@@ -1,0 +1,100 @@
+"""Ablations of the edge-potential design choices (Section 3.3).
+
+The paper motivates three departures from a plain potts potential:
+similarity normalization, confidence gating, and max-matching edges.  This
+benchmark removes each protection from the table-centric algorithm and
+measures the F1-error impact on the workload:
+
+* ``no edges``       — w_e = 0 (no collective inference at all);
+* ``no gating``      — confidence threshold 0 (every column may send);
+* ``unnormalized``   — raw similarity instead of nsim;
+* ``all-pairs``      — every similar column pair, not the max-matching.
+"""
+
+from repro.core.edges import MappingEdge, all_similar_pairs
+from repro.core.labels import LabelSpace
+from repro.core.model import build_problem
+from repro.core.params import DEFAULT_PARAMS
+from repro.evaluation.metrics import f1_error
+from repro.inference import table_centric_inference
+
+from .conftest import write_result
+
+
+def _swap_edges(problem, edges):
+    from repro.core.model import ColumnMappingProblem
+
+    return ColumnMappingProblem(
+        query=problem.query,
+        tables=problem.tables,
+        params=problem.params,
+        node_potentials=problem.node_potentials,
+        features=problem.features,
+        table_relevance=problem.table_relevance,
+        edges=edges,
+    )
+
+
+def _variant_problem(problem, variant, stats):
+    if variant == "full":
+        return problem
+    if variant == "no edges":
+        return problem.with_params(problem.params.with_values(we=0.0))
+    if variant == "no gating":
+        return problem.with_params(
+            problem.params.with_values(confidence_threshold=0.0)
+        )
+    if variant == "unnormalized":
+        edges = [
+            MappingEdge(a=e.a, b=e.b, sim=e.sim, nsim_ab=e.sim, nsim_ba=e.sim)
+            for e in problem.edges
+        ]
+        return _swap_edges(problem, edges)
+    if variant == "all-pairs":
+        pairs = all_similar_pairs(problem.tables, stats)
+        edges = [
+            MappingEdge(a=a, b=b, sim=sim, nsim_ab=sim, nsim_ba=sim)
+            for a, b, sim in pairs
+        ]
+        return _swap_edges(problem, edges)
+    raise ValueError(variant)
+
+
+VARIANTS = ["full", "no edges", "no gating", "unnormalized", "all-pairs"]
+
+
+def test_ablation_edge_design(env, benchmark):
+    stats = env.synthetic.corpus.stats
+    errors = {v: [] for v in VARIANTS}
+    for wq in env.queries:
+        probe = env.candidates[wq.query_id]
+        base = build_problem(wq.query, probe.tables, stats, DEFAULT_PARAMS)
+        gold = env.gold(wq)
+        space = LabelSpace(wq.query.q)
+        for variant in VARIANTS:
+            problem = _variant_problem(base, variant, stats)
+            result = table_centric_inference(problem)
+            errors[variant].append(f1_error(result.labels, gold, space))
+
+    lines = [f"{'variant':<16}{'mean F1 error':>14}", "-" * 30]
+    means = {}
+    for variant in VARIANTS:
+        means[variant] = sum(errors[variant]) / len(errors[variant])
+        lines.append(f"{variant:<16}{means[variant]:>13.2f}%")
+    lines.append("")
+    lines.append(
+        "Confidence gating is the critical protection (removing it is worse\n"
+        "than removing edges entirely).  Normalization and max-matching\n"
+        "guard against web-scale content noise; on this synthetic corpus,\n"
+        "whose cross-domain content overlap is cleaner than the web's, the\n"
+        "unprotected variants can even over-perform — see EXPERIMENTS.md."
+    )
+    write_result("ablation_edges.txt", "\n".join(lines))
+
+    # The full design must beat dropping edges entirely.
+    assert means["full"] < means["no edges"]
+
+    wq = env.queries[14]
+    probe = env.candidates[wq.query_id]
+    base = build_problem(wq.query, probe.tables, stats, DEFAULT_PARAMS)
+    benchmark(table_centric_inference, base)

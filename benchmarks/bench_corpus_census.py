@@ -1,0 +1,46 @@
+"""Section 2.1's offline corpus statistics.
+
+Regenerates the in-text numbers: the fraction of table tags holding
+relational data and the header-row histogram (paper: 18% none / 60% one /
+17% two / 5% more than two).  The kernel benchmark times corpus generation
+itself (parse + extract + header detect + context + index).
+"""
+
+from repro.corpus.generator import CorpusConfig, generate_corpus
+
+from .conftest import write_result
+
+
+def test_corpus_census(env, benchmark):
+    census = env.synthetic.census
+    hist = census.header_row_histogram
+    total = sum(hist.values())
+    names = {0: "no header", 1: "one header row", 2: "two header rows",
+             3: "more than two"}
+    paper = {0: 18, 1: 60, 2: 17, 3: 5}
+
+    lines = [
+        f"table tags seen:       {census.table_tags}",
+        f"data tables extracted: {census.data_tables} "
+        f"({census.yield_fraction:.0%} yield; paper ~10%)",
+        "",
+        "rejection reasons:",
+    ]
+    for reason, count in sorted(census.rejected.items(), key=lambda kv: -kv[1]):
+        lines.append(f"  {reason:<22} {count}")
+    lines.append("")
+    lines.append(f"{'header rows':<18}{'count':>7}{'ours':>7}{'paper':>7}")
+    for key in sorted(hist):
+        lines.append(
+            f"{names[key]:<18}{hist[key]:>7}{hist[key] / total:>7.0%}"
+            f"{paper[key]:>6}%"
+        )
+    write_result("corpus_census.txt", "\n".join(lines))
+
+    # Shape: distribution within loose bands of the paper's.
+    assert 0.08 <= hist.get(0, 0) / total <= 0.30
+    assert 0.45 <= hist.get(1, 0) / total <= 0.80
+    assert hist.get(2, 0) / total <= 0.30
+
+    # Kernel: small-scale corpus generation end to end.
+    benchmark(generate_corpus, CorpusConfig(seed=5, scale=0.05))

@@ -1,0 +1,57 @@
+"""Figure 5: error reduction relative to Basic for PMI², NbrText, and WWT.
+
+Regenerates the paper's Figure 5: hard queries (where methods differ by
+more than 0.5%) are binned into seven groups by Basic's error; for each
+group we report each method's error reduction relative to Basic, plus the
+side table of Basic's per-group error.  The paper's shape: WWT reduces
+error in every group (overall 34.7% -> 30.3%); NbrText helps some groups
+and hurts others; PMI² is mixed and yields no overall gain.
+"""
+
+from repro.evaluation.harness import bin_queries, split_easy_hard
+
+from .conftest import write_result
+
+METHODS = [("PMI2", "pmi2"), ("NbrText", "nbrtext"), ("WWT", "wwt")]
+
+
+def test_fig5_error_reduction(env, method_runs, benchmark):
+    basic = method_runs("basic")
+    runs = {label: method_runs(method) for label, method in METHODS}
+
+    qids = [wq.query_id for wq in env.queries]
+    all_runs = dict(runs)
+    all_runs["Basic"] = basic
+    easy, hard = split_easy_hard(all_runs, qids)
+    groups = bin_queries(basic.errors, hard)
+
+    lines = [
+        f"easy queries: {len(easy)}   hard queries: {len(hard)}",
+        "",
+        f"{'Group':<7}{'Basic err':>10}"
+        + "".join(f"{label + ' red.':>14}" for label, _m in METHODS),
+        "-" * (17 + 14 * len(METHODS)),
+    ]
+    for gi, group in enumerate(groups, start=1):
+        base_err = basic.mean_error(group)
+        row = f"{gi:<7}{base_err:>9.1f}%"
+        for label, _method in METHODS:
+            reduction = base_err - runs[label].mean_error(group)
+            row += f"{reduction:>+13.1f}%"
+        lines.append(row)
+
+    base_overall = basic.mean_error(hard)
+    lines.append("-" * (17 + 14 * len(METHODS)))
+    row = f"{'Overall':<7}{base_overall:>9.1f}%"
+    for label, _method in METHODS:
+        row += f"{base_overall - runs[label].mean_error(hard):>+13.1f}%"
+    lines.append(row)
+    lines.append("")
+    lines.append("paper: Basic 34.7%, PMI2 34.7%, NbrText 34.2%, WWT 30.3% overall")
+    write_result("fig5_error_reduction.txt", "\n".join(lines))
+
+    # Shape: WWT reduces overall error; PMI² does not beat WWT anywhere.
+    assert runs["WWT"].mean_error(hard) < base_overall
+    assert runs["WWT"].mean_error(hard) < runs["PMI2"].mean_error(hard)
+
+    benchmark(basic.mean_error, hard)

@@ -1,0 +1,39 @@
+"""Quickstart: ask a column-keyword query against a synthetic web corpus.
+
+Generates a small corpus of noisy web pages, indexes the extracted tables,
+and runs the full WWT pipeline (two-stage probe, collective column mapping,
+consolidation, ranking) for one query.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CorpusConfig, Query, WWTEngine, generate_corpus
+
+
+def main() -> None:
+    print("Generating synthetic web corpus (scale 0.4)...")
+    synthetic = generate_corpus(CorpusConfig(seed=42, scale=0.4))
+    print(f"  {len(synthetic.pages)} pages -> {synthetic.num_tables} data tables")
+
+    engine = WWTEngine(synthetic.corpus)
+
+    query = Query.parse("country | currency")
+    print(f"\nQuery: {query}")
+    result = engine.answer(query)
+
+    print(f"Candidates: {result.probe.num_candidates} "
+          f"(2nd probe used: {result.probe.used_second_stage})")
+    print(f"Relevant tables: {len(result.mapping.relevant_tables())}")
+    print(f"Total time: {result.timing.total:.2f}s "
+          f"(column map {result.timing.column_map:.2f}s)")
+
+    print(f"\nAnswer table ({result.answer.num_rows} rows, top 10):")
+    header = result.answer.header()
+    print(f"  {header[0]:<18} | {header[1]:<22} | support")
+    print("  " + "-" * 55)
+    for row in result.answer.rows[:10]:
+        print(f"  {row.cells[0]:<18} | {row.cells[1]:<22} | {row.support}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""repro — reproduction of "Answering Table Queries on the Web using Column
+Keywords" (Pimplikar & Sarawagi, PVLDB 5(10), 2012): the WWT structured
+web-table search engine.
+
+Quickstart::
+
+    from repro import CorpusConfig, Query, WWTEngine, generate_corpus
+
+    synthetic = generate_corpus(CorpusConfig(scale=0.3))
+    engine = WWTEngine(synthetic.corpus)
+    result = engine.answer(Query.parse("country | currency"))
+    for row in result.answer.rows[:5]:
+        print(row.cells)
+
+Package map (see DESIGN.md for the full inventory):
+
+- :mod:`repro.html`, :mod:`repro.tables`, :mod:`repro.text` — offline
+  extraction substrate (Section 2.1);
+- :mod:`repro.index` — Lucene-style fielded index + table store;
+- :mod:`repro.corpus` — the synthetic web crawl substitute;
+- :mod:`repro.query` — column-keyword queries + the 59-query workload;
+- :mod:`repro.core` — the graphical model (SegSim, PMI², potentials);
+- :mod:`repro.flow`, :mod:`repro.inference` — Section 4's algorithms;
+- :mod:`repro.baselines` — Basic / NbrText / PMI²;
+- :mod:`repro.pipeline`, :mod:`repro.consolidate` — the end-to-end engine;
+- :mod:`repro.evaluation` — F1 error and the experiment harness.
+"""
+
+from .consolidate import AnswerRow, AnswerTable
+from .core import DEFAULT_PARAMS, ModelParams, build_problem
+from .corpus import CorpusConfig, GroundTruth, generate_corpus
+from .evaluation import build_environment, f1_error, run_method
+from .index import IndexedCorpus, build_corpus_index
+from .inference import ALGORITHMS, MappingResult
+from .pipeline import ProbeConfig, WWTAnswer, WWTEngine
+from .query import WORKLOAD, Query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "AnswerRow",
+    "AnswerTable",
+    "CorpusConfig",
+    "DEFAULT_PARAMS",
+    "GroundTruth",
+    "IndexedCorpus",
+    "MappingResult",
+    "ModelParams",
+    "ProbeConfig",
+    "Query",
+    "WORKLOAD",
+    "WWTAnswer",
+    "WWTEngine",
+    "build_corpus_index",
+    "build_environment",
+    "build_problem",
+    "f1_error",
+    "generate_corpus",
+    "run_method",
+    "__version__",
+]

@@ -1,0 +1,13 @@
+"""Baseline methods compared against WWT in Section 5."""
+
+from .basic import BasicParams, BaselineResult, basic_method
+from .nbrtext import nbrtext_method
+from .pmi_baseline import pmi_method
+
+__all__ = [
+    "BaselineResult",
+    "BasicParams",
+    "basic_method",
+    "nbrtext_method",
+    "pmi_method",
+]

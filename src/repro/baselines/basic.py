@@ -1,0 +1,139 @@
+"""The Basic baseline (opening of Section 3).
+
+The simple method WWT is measured against: (1) decide table relevance by
+thresholding the TF-IDF similarity of the query's keywords to the table's
+context + header text; (2) for relevant tables, match query columns to
+table columns by thresholded cosine similarity of ``Q_l`` against each
+column's header text, with a maximum bipartite matching enforcing
+one-to-one assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.labels import LabelSpace
+from ..flow.bipartite import BipartiteMatcher
+from ..query.model import Query
+from ..tables.table import WebTable
+from ..text.tfidf import TermStatistics, TfIdfVector
+from ..text.tokenize import tokenize
+
+__all__ = ["BasicParams", "BaselineResult", "basic_method", "column_header_similarity"]
+
+
+@dataclass(frozen=True)
+class BasicParams:
+    """Thresholds of the Basic method (grid-tuned on the training corpus)."""
+
+    relevance_threshold: float = 0.2
+    column_threshold: float = 0.25
+
+
+@dataclass
+class BaselineResult:
+    """A labeling produced by a baseline (mirrors MappingResult.labels)."""
+
+    labels: Dict[Tuple[int, int], int]
+    label_space: LabelSpace
+    algorithm: str
+
+    def is_relevant(self, ti: int, num_cols: int) -> bool:
+        """Did the baseline mark table ``ti`` relevant?"""
+        return any(
+            self.labels[(ti, ci)] != self.label_space.nr for ci in range(num_cols)
+        )
+
+
+def column_header_similarity(
+    query: Query,
+    table: WebTable,
+    col: int,
+    stats: Optional[TermStatistics],
+) -> List[float]:
+    """Cosine of each query column against one column's full header text."""
+    header_tokens = table.column_header_tokens(col)
+    header_vec = TfIdfVector.from_tokens(header_tokens, stats)
+    sims = []
+    for l in range(query.q):
+        q_vec = TfIdfVector.from_tokens(query.column_tokens(l), stats)
+        sims.append(q_vec.cosine(header_vec))
+    return sims
+
+
+def table_relevance_similarity(
+    query: Query, table: WebTable, stats: Optional[TermStatistics]
+) -> float:
+    """TF-IDF cosine of all query keywords vs context + header text."""
+    doc_tokens = tokenize(table.field_text("header")) + tokenize(
+        table.field_text("context")
+    )
+    doc_vec = TfIdfVector.from_tokens(doc_tokens, stats)
+    q_vec = TfIdfVector.from_tokens(query.all_tokens(), stats)
+    return q_vec.cosine(doc_vec)
+
+
+def assign_columns(
+    query: Query,
+    similarities: Sequence[Sequence[float]],
+    threshold: float,
+    labels: LabelSpace,
+) -> Dict[int, int]:
+    """One-to-one column assignment from a similarity matrix.
+
+    Returns {column index -> dense label} for columns passing the threshold;
+    unassigned columns are implicitly na.
+    """
+    nt = len(similarities)
+    if nt == 0:
+        return {}
+    matcher = BipartiteMatcher(
+        [list(row) for row in similarities], [1] * nt, [1] * query.q
+    )
+    result = matcher.solve()
+    out: Dict[int, int] = {}
+    for ci, l in result.pairs:
+        if similarities[ci][l] >= threshold:
+            out[ci] = l
+    return out
+
+
+def basic_method(
+    query: Query,
+    tables: Sequence[WebTable],
+    stats: Optional[TermStatistics] = None,
+    params: BasicParams = BasicParams(),
+    column_sims: Optional[Dict[int, List[List[float]]]] = None,
+) -> BaselineResult:
+    """Run the Basic method over candidate tables.
+
+    ``column_sims`` lets variants (NbrText, PMI²) inject their own
+    per-table column-similarity matrices while reusing the relevance
+    decision and assignment logic.
+    """
+    labels = LabelSpace(query.q)
+    assignment: Dict[Tuple[int, int], int] = {}
+    for ti, table in enumerate(tables):
+        nt = table.num_cols
+        relevance = table_relevance_similarity(query, table, stats)
+        if relevance < params.relevance_threshold:
+            for ci in range(nt):
+                assignment[(ti, ci)] = labels.nr
+            continue
+        if column_sims is not None and ti in column_sims:
+            sims = column_sims[ti]
+        else:
+            sims = [
+                column_header_similarity(query, table, ci, stats)
+                for ci in range(nt)
+            ]
+        mapped = assign_columns(query, sims, params.column_threshold, labels)
+        if not mapped:
+            # No column matched at all: the table contributes nothing.
+            for ci in range(nt):
+                assignment[(ti, ci)] = labels.nr
+            continue
+        for ci in range(nt):
+            assignment[(ti, ci)] = mapped.get(ci, labels.na)
+    return BaselineResult(labels=assignment, label_space=labels, algorithm="basic")

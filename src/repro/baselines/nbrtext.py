@@ -1,0 +1,90 @@
+"""The NbrText baseline (Section 5).
+
+Basic augmented with header text *imported* from similar columns of other
+tables:
+
+    sim(Q_l, tc) = max(TI(Q_l, tc), max_{t'c'} sim(tc, t'c') * TI(Q_l, t'c'))
+
+This is the ad hoc way to use content overlap that the paper shows to be
+fragile — when columns within a table overlap (e.g. state capitals vs
+largest cities), the wrong header gets imported and accuracy drops.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.edges import all_similar_pairs
+from ..query.model import Query
+from ..tables.table import WebTable
+from ..text.tfidf import TermStatistics
+from .basic import BasicParams, BaselineResult, basic_method, column_header_similarity
+
+__all__ = ["nbrtext_method"]
+
+
+def nbrtext_method(
+    query: Query,
+    tables: Sequence[WebTable],
+    stats: Optional[TermStatistics] = None,
+    params: BasicParams = BasicParams(),
+) -> BaselineResult:
+    """Run the NbrText variant of Basic."""
+    base_sims: Dict[int, List[List[float]]] = {
+        ti: [
+            column_header_similarity(query, table, ci, stats)
+            for ci in range(table.num_cols)
+        ]
+        for ti, table in enumerate(tables)
+    }
+
+    # Import neighbor header similarity from *every* similar column — no
+    # max-matching, no normalization, no confidence gating.  This is the
+    # ad hoc import the paper contrasts with WWT's robust edges; with
+    # overlapping columns (capitals vs largest cities) it imports the wrong
+    # header text.
+    boosted: Dict[int, List[List[float]]] = {
+        ti: [list(row) for row in rows] for ti, rows in base_sims.items()
+    }
+    for (ta, ca), (tb, cb), sim in all_similar_pairs(tables, stats):
+        for l in range(query.q):
+            import_a = sim * base_sims[tb][cb][l]
+            import_b = sim * base_sims[ta][ca][l]
+            if import_a > boosted[ta][ca][l]:
+                boosted[ta][ca][l] = import_a
+            if import_b > boosted[tb][cb][l]:
+                boosted[tb][cb][l] = import_b
+
+    # The imported text also drives the *relevance* decision: a table whose
+    # columns look like a matching table's columns now looks relevant, even
+    # when its own context says otherwise.  (This is why the method is
+    # fragile: content look-alikes from other topics slip through.)
+    from ..core.labels import LabelSpace
+    from .basic import assign_columns, table_relevance_similarity
+
+    labels = LabelSpace(query.q)
+    assignment = {}
+    for ti, table in enumerate(tables):
+        nt = table.num_cols
+        own_relevance = table_relevance_similarity(query, table, stats)
+        mapped = assign_columns(query, boosted[ti], params.column_threshold, labels)
+        # The gate bypass needs a *strong* imported match (2x the column
+        # threshold) plus at least half the usual context evidence — weak
+        # look-alikes alone do not make a table relevant.
+        strong_import = (
+            max((boosted[ti][ci][l] for ci, l in mapped.items()), default=0.0)
+            >= 2.0 * params.column_threshold
+        )
+        relevant = bool(mapped) and (
+            own_relevance >= params.relevance_threshold
+            or (strong_import and own_relevance >= 0.5 * params.relevance_threshold)
+        )
+        if not relevant:
+            for ci in range(nt):
+                assignment[(ti, ci)] = labels.nr
+            continue
+        for ci in range(nt):
+            assignment[(ti, ci)] = mapped.get(ci, labels.na)
+    return BaselineResult(
+        labels=assignment, label_space=labels, algorithm="nbrtext"
+    )

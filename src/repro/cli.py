@@ -1,0 +1,134 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``query``    answer a column-keyword query against a generated corpus
+``corpus``   generate a corpus and print its census / save the table store
+``eval``     run one or more methods over the 59-query workload
+``workload`` list the workload queries with their Table 1 statistics
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .corpus.generator import CorpusConfig, generate_corpus
+from .evaluation.harness import METHODS, build_environment, run_method
+from .pipeline.wwt import WWTEngine
+from .query.model import Query
+from .query.workload import WORKLOAD
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="WWT reproduction: table queries with column keywords",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    query = sub.add_parser("query", help="answer a column-keyword query")
+    query.add_argument("text", help='e.g. "country | currency"')
+    query.add_argument("--scale", type=float, default=0.4,
+                       help="corpus scale factor (default 0.4)")
+    query.add_argument("--seed", type=int, default=42)
+    query.add_argument("--rows", type=int, default=15,
+                       help="answer rows to print")
+    query.add_argument("--inference", default="table-centric",
+                       choices=("none", "table-centric", "alpha-expansion",
+                                "bp", "trws"))
+
+    corpus = sub.add_parser("corpus", help="generate a corpus, print census")
+    corpus.add_argument("--scale", type=float, default=1.0)
+    corpus.add_argument("--seed", type=int, default=42)
+    corpus.add_argument("--save", metavar="PATH", default=None,
+                        help="write the table store as JSON-lines")
+
+    evaluate = sub.add_parser("eval", help="run methods over the workload")
+    evaluate.add_argument("--methods", nargs="+", default=["basic", "wwt"],
+                          choices=list(METHODS))
+    evaluate.add_argument("--scale", type=float, default=1.0)
+    evaluate.add_argument("--seed", type=int, default=42)
+
+    sub.add_parser("workload", help="list the 59 workload queries")
+    return parser
+
+
+def _cmd_query(args: argparse.Namespace, out) -> int:
+    synthetic = generate_corpus(CorpusConfig(seed=args.seed, scale=args.scale))
+    engine = WWTEngine(synthetic.corpus, inference=args.inference)
+    query = Query.parse(args.text)
+    result = engine.answer(query)
+    print(f"query: {query}", file=out)
+    print(
+        f"candidates: {result.probe.num_candidates}  "
+        f"relevant tables: {len(result.mapping.relevant_tables())}  "
+        f"time: {result.timing.total:.2f}s",
+        file=out,
+    )
+    header = result.answer.header()
+    print(" | ".join(header), file=out)
+    print("-" * (sum(len(h) for h in header) + 3 * len(header)), file=out)
+    for row in result.answer.rows[: args.rows]:
+        print(" | ".join(row.cells) + f"   (x{row.support})", file=out)
+    return 0
+
+
+def _cmd_corpus(args: argparse.Namespace, out) -> int:
+    synthetic = generate_corpus(CorpusConfig(seed=args.seed, scale=args.scale))
+    census = synthetic.census
+    print(f"pages: {len(synthetic.pages)}", file=out)
+    print(f"data tables: {synthetic.num_tables} "
+          f"({census.yield_fraction:.0%} of table tags)", file=out)
+    total = sum(census.header_row_histogram.values())
+    for k in sorted(census.header_row_histogram):
+        count = census.header_row_histogram[k]
+        label = {0: "no header", 1: "1 header row", 2: "2 header rows",
+                 3: ">2 header rows"}[k]
+        print(f"  {label:<15} {count:>5}  ({count / total:.0%})", file=out)
+    if args.save:
+        synthetic.corpus.store.save(args.save)
+        print(f"table store written to {args.save}", file=out)
+    return 0
+
+
+def _cmd_eval(args: argparse.Namespace, out) -> int:
+    env = build_environment(scale=args.scale, seed=args.seed)
+    print(f"corpus: {env.synthetic.num_tables} tables; "
+          f"{len(env.queries)} queries", file=out)
+    for method in args.methods:
+        run = run_method(env, method)
+        print(f"{method:<18} mean F1 error {run.mean_error():6.2f}%", file=out)
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace, out) -> int:
+    print(f"{'query':<60} {'cols':>4} {'paper rel/total':>16}", file=out)
+    for wq in WORKLOAD:
+        print(
+            f"{wq.query_id:<60} {wq.query.q:>4} "
+            f"{wq.paper_relevant:>8}/{wq.paper_total}",
+            file=out,
+        )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns an exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "query": _cmd_query,
+        "corpus": _cmd_corpus,
+        "eval": _cmd_eval,
+        "workload": _cmd_workload,
+    }
+    return handlers[args.command](args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

@@ -1,0 +1,66 @@
+"""Duplicate-row detection for the consolidator (Section 2.2.3).
+
+The paper delegates row resolution to Gupta & Sarawagi [9]; any sound
+resolver preserves the pipeline, so we use the standard recipe: rows whose
+*subject* cells agree after normalization are duplicates when their
+remaining cells are compatible (equal after normalization, token-similar,
+or one side empty).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..text.tokenize import normalize_cell, tokenize
+
+__all__ = ["cells_compatible", "rows_duplicate", "subject_key"]
+
+#: Token-Jaccard at or above this makes two non-equal cells compatible.
+_CELL_SIM_THRESHOLD = 0.6
+
+
+def subject_key(value: str) -> str:
+    """Normalization key of a subject cell."""
+    return normalize_cell(value)
+
+
+def cells_compatible(a: str, b: str) -> bool:
+    """Can two cells describe the same fact?
+
+    Empty cells are wildcards; otherwise normalized equality or high token
+    overlap.
+    """
+    na, nb = normalize_cell(a), normalize_cell(b)
+    if not na or not nb:
+        return True
+    if na == nb:
+        return True
+    ta, tb = set(tokenize(a)), set(tokenize(b))
+    if not ta or not tb:
+        return True
+    inter = len(ta & tb)
+    union = len(ta | tb)
+    return union > 0 and inter / union >= _CELL_SIM_THRESHOLD
+
+
+def rows_duplicate(
+    row_a: Sequence[str],
+    row_b: Sequence[str],
+    subject_col: int = 0,
+) -> bool:
+    """Are two projected answer rows duplicates?
+
+    Requires matching (non-empty) subject cells and compatibility in every
+    other position.
+    """
+    if len(row_a) != len(row_b):
+        return False
+    key_a = subject_key(row_a[subject_col])
+    key_b = subject_key(row_b[subject_col])
+    if not key_a or not key_b or key_a != key_b:
+        return False
+    return all(
+        cells_compatible(row_a[i], row_b[i])
+        for i in range(len(row_a))
+        if i != subject_col
+    )

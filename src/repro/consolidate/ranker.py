@@ -1,0 +1,41 @@
+"""The ranker (Section 2.2.3): order consolidated rows.
+
+"Brings more relevant and highly supported rows on top": rows are ordered
+by support (number of contributing tables), then source-table relevance,
+then completeness (fraction of filled cells), with the subject key as the
+deterministic tie-break.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .dedup import subject_key
+from .merge import AnswerRow, AnswerTable
+
+__all__ = ["rank_rows", "rank_answer"]
+
+
+def _completeness(row: AnswerRow) -> float:
+    if not row.cells:
+        return 0.0
+    return sum(1 for c in row.cells if c.strip()) / len(row.cells)
+
+
+def rank_rows(rows: List[AnswerRow]) -> List[AnswerRow]:
+    """Return rows sorted best-first."""
+    return sorted(
+        rows,
+        key=lambda r: (
+            -r.support,
+            -r.relevance,
+            -_completeness(r),
+            subject_key(r.cells[0]) if r.cells else "",
+        ),
+    )
+
+
+def rank_answer(answer: AnswerTable) -> AnswerTable:
+    """Sort the answer's rows in place and return it."""
+    answer.rows = rank_rows(answer.rows)
+    return answer

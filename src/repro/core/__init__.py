@@ -1,0 +1,43 @@
+"""The paper's core contribution: the column mapper's graphical model."""
+
+from .edges import MappingEdge, build_edges, column_pair_similarity
+from .labels import LabelSpace
+from .model import ColumnFeatures, ColumnMappingProblem, build_problem
+from .params import (
+    DEFAULT_PARAMS,
+    UNSEGMENTED_PARAMS,
+    ModelParams,
+    enumerate_grid,
+    train_parameters,
+)
+from .pmi import PmiScorer
+from .segsim import (
+    DEFAULT_RELIABILITIES,
+    Reliabilities,
+    TablePartIndex,
+    estimate_reliabilities,
+    segmented_similarity,
+    unsegmented_similarity,
+)
+
+__all__ = [
+    "ColumnFeatures",
+    "ColumnMappingProblem",
+    "DEFAULT_PARAMS",
+    "DEFAULT_RELIABILITIES",
+    "LabelSpace",
+    "MappingEdge",
+    "ModelParams",
+    "PmiScorer",
+    "Reliabilities",
+    "TablePartIndex",
+    "UNSEGMENTED_PARAMS",
+    "build_edges",
+    "build_problem",
+    "column_pair_similarity",
+    "enumerate_grid",
+    "estimate_reliabilities",
+    "segmented_similarity",
+    "train_parameters",
+    "unsegmented_similarity",
+]

@@ -1,0 +1,249 @@
+"""Edge structure: content overlap across table columns (Section 3.3).
+
+The paper's custom edge potential needs three ingredients computed here:
+
+* **raw column similarity** — a weighted sum of content and header
+  similarity between two columns of *different* tables;
+* **max-matching edges** — per table pair, each column connects to at most
+  one column of the other table, chosen by a maximum-weight one-to-one
+  matching (robust when a table's own columns resemble each other);
+* **normalized similarity** ``nsim(tc, t'c') = sim / (λ + Σ sim)`` with
+  λ = 0.3, neighbors below 0.1 raw similarity ignored.
+
+Column-pair candidates are *blocked* on shared normalized cell values, so
+building edges over a hundred candidate tables stays fast.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from math import sqrt
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..flow.bipartite import BipartiteMatcher
+from ..tables.table import WebTable
+from ..text.tfidf import TermStatistics
+from ..text.tokenize import normalize_cell, tokenize
+
+__all__ = ["SIM_FLOOR", "NSIM_LAMBDA", "ColumnProfile", "MappingEdge", "build_edges"]
+
+#: Neighbors with raw similarity below this are ignored (Section 3.3).
+SIM_FLOOR = 0.1
+#: Smoothing constant λ in the nsim normalization (Section 3.3).
+NSIM_LAMBDA = 0.3
+#: Weight of content similarity vs header similarity in the matching.
+CONTENT_WEIGHT = 0.8
+
+
+@dataclass
+class ColumnProfile:
+    """Precomputed comparison data for one table column."""
+
+    table_idx: int
+    col_idx: int
+    values: Set[str]
+    token_counts: Counter
+    token_norm: float
+    header_counts: Counter
+    header_norm: float
+
+    @classmethod
+    def build(
+        cls,
+        table_idx: int,
+        col_idx: int,
+        table: WebTable,
+        stats: Optional[TermStatistics],
+    ) -> "ColumnProfile":
+        values = {
+            normalize_cell(v) for v in table.column_values(col_idx)
+        } - {""}
+        tokens: Counter = Counter()
+        for v in table.column_values(col_idx):
+            tokens.update(tokenize(v))
+        header: Counter = Counter(table.column_header_tokens(col_idx))
+
+        def weighted(counts: Counter) -> Tuple[Counter, float]:
+            if stats is None:
+                weighted_counts = Counter(counts)
+            else:
+                weighted_counts = Counter(
+                    {t: c * stats.idf(t) for t, c in counts.items()}
+                )
+            norm = sqrt(sum(w * w for w in weighted_counts.values()))
+            return weighted_counts, norm
+
+        token_counts, token_norm = weighted(tokens)
+        header_counts, header_norm = weighted(header)
+        return cls(
+            table_idx=table_idx,
+            col_idx=col_idx,
+            values=values,
+            token_counts=token_counts,
+            token_norm=token_norm,
+            header_counts=header_counts,
+            header_norm=header_norm,
+        )
+
+
+def _cosine(a: Counter, an: float, b: Counter, bn: float) -> float:
+    if an <= 0 or bn <= 0:
+        return 0.0
+    if len(b) < len(a):
+        a, an, b, bn = b, bn, a, an
+    dot = sum(w * b.get(t, 0.0) for t, w in a.items())
+    return dot / (an * bn)
+
+
+def column_pair_similarity(a: ColumnProfile, b: ColumnProfile) -> float:
+    """Weighted content + header similarity between two column profiles."""
+    if a.values and b.values:
+        inter = len(a.values & b.values)
+        union = len(a.values | b.values)
+        overlap = inter / union if union else 0.0
+    else:
+        overlap = 0.0
+    content = 0.5 * (overlap + _cosine(a.token_counts, a.token_norm,
+                                       b.token_counts, b.token_norm))
+    header = _cosine(a.header_counts, a.header_norm,
+                     b.header_counts, b.header_norm)
+    return CONTENT_WEIGHT * content + (1.0 - CONTENT_WEIGHT) * header
+
+
+@dataclass(frozen=True)
+class MappingEdge:
+    """A max-matching edge between columns of two tables."""
+
+    a: Tuple[int, int]  # (table_idx, col_idx)
+    b: Tuple[int, int]
+    sim: float  # raw similarity
+    nsim_ab: float  # normalized from a's perspective
+    nsim_ba: float  # normalized from b's perspective
+
+
+def all_similar_pairs(
+    tables: Sequence[WebTable],
+    stats: Optional[TermStatistics] = None,
+    sim_floor: float = SIM_FLOOR,
+) -> List[Tuple[Tuple[int, int], Tuple[int, int], float]]:
+    """Every cross-table column pair above the similarity floor.
+
+    This is the *unprotected* neighbor structure the NbrText baseline uses
+    (Section 5): no max-matching, no normalization, no confidence gating —
+    exactly the ad hoc variant the paper shows to be fragile.  Returns
+    ``(a, b, sim)`` triples.
+    """
+    profiles: Dict[Tuple[int, int], ColumnProfile] = {}
+    by_value: Dict[str, List[Tuple[int, int]]] = defaultdict(list)
+    for ti, table in enumerate(tables):
+        for ci in range(table.num_cols):
+            profile = ColumnProfile.build(ti, ci, table, stats)
+            profiles[(ti, ci)] = profile
+            for value in profile.values:
+                by_value[value].append((ti, ci))
+
+    shared: Dict[Tuple[Tuple[int, int], Tuple[int, int]], int] = defaultdict(int)
+    for value, cols in by_value.items():
+        if len(cols) > 60:
+            continue
+        for i in range(len(cols)):
+            for j in range(i + 1, len(cols)):
+                a, b = cols[i], cols[j]
+                if a[0] == b[0]:
+                    continue
+                key = (a, b) if a < b else (b, a)
+                shared[key] += 1
+
+    out: List[Tuple[Tuple[int, int], Tuple[int, int], float]] = []
+    for (a, b), cnt in shared.items():
+        small = min(len(profiles[a].values), len(profiles[b].values)) < 4
+        if cnt >= 2 or (small and cnt >= 1):
+            sim = column_pair_similarity(profiles[a], profiles[b])
+            if sim >= sim_floor:
+                out.append((a, b, sim))
+    out.sort()
+    return out
+
+
+def build_edges(
+    tables: Sequence[WebTable],
+    stats: Optional[TermStatistics] = None,
+    sim_floor: float = SIM_FLOOR,
+    nsim_lambda: float = NSIM_LAMBDA,
+) -> List[MappingEdge]:
+    """Build the cross-table neighbor structure.
+
+    Returns max-matching edges with both directional nsim values filled in.
+    """
+    profiles: Dict[Tuple[int, int], ColumnProfile] = {}
+    by_value: Dict[str, List[Tuple[int, int]]] = defaultdict(list)
+    for ti, table in enumerate(tables):
+        for ci in range(table.num_cols):
+            profile = ColumnProfile.build(ti, ci, table, stats)
+            profiles[(ti, ci)] = profile
+            for value in profile.values:
+                by_value[value].append((ti, ci))
+
+    # Blocking: column pairs (different tables) sharing >= 2 values, or 1
+    # when either column is tiny.
+    shared: Dict[Tuple[Tuple[int, int], Tuple[int, int]], int] = defaultdict(int)
+    for value, cols in by_value.items():
+        if len(cols) > 60:
+            continue  # stop-value (e.g. "euro" everywhere) — too common to block on
+        for i in range(len(cols)):
+            for j in range(i + 1, len(cols)):
+                a, b = cols[i], cols[j]
+                if a[0] == b[0]:
+                    continue
+                key = (a, b) if a < b else (b, a)
+                shared[key] += 1
+
+    candidate_pairs: Dict[Tuple[int, int], List[Tuple[Tuple[int, int], Tuple[int, int]]]] = defaultdict(list)
+    for (a, b), cnt in shared.items():
+        small = min(len(profiles[a].values), len(profiles[b].values)) < 4
+        if cnt >= 2 or (small and cnt >= 1):
+            candidate_pairs[(a[0], b[0])].append((a, b))
+
+    # Per table pair: maximum one-one matching over candidate column pairs.
+    matched: List[Tuple[Tuple[int, int], Tuple[int, int], float]] = []
+    for (ta, tb), pairs in candidate_pairs.items():
+        cols_a = sorted({a[1] for a, _b in pairs})
+        cols_b = sorted({b[1] for _a, b in pairs})
+        sims: Dict[Tuple[int, int], float] = {}
+        weights = [[0.0] * len(cols_b) for _ in cols_a]
+        for a, b in pairs:
+            sim = column_pair_similarity(profiles[a], profiles[b])
+            if sim >= sim_floor:
+                ia, ib = cols_a.index(a[1]), cols_b.index(b[1])
+                weights[ia][ib] = sim
+                sims[(ia, ib)] = sim
+        if not sims:
+            continue
+        matcher = BipartiteMatcher(
+            weights, [1] * len(cols_a), [1] * len(cols_b)
+        )
+        result = matcher.solve()
+        for ia, ib in result.pairs:
+            sim = weights[ia][ib]
+            if sim >= sim_floor:
+                matched.append(((ta, cols_a[ia]), (tb, cols_b[ib]), sim))
+
+    # nsim normalization per column over its matched neighbors.
+    sim_sums: Dict[Tuple[int, int], float] = defaultdict(float)
+    for a, b, sim in matched:
+        sim_sums[a] += sim
+        sim_sums[b] += sim
+
+    edges = [
+        MappingEdge(
+            a=a,
+            b=b,
+            sim=sim,
+            nsim_ab=sim / (nsim_lambda + sim_sums[a]),
+            nsim_ba=sim / (nsim_lambda + sim_sums[b]),
+        )
+        for a, b, sim in matched
+    ]
+    edges.sort(key=lambda e: (e.a, e.b))
+    return edges

@@ -1,0 +1,77 @@
+"""Label space for the column mapping task (Section 3.1).
+
+Each column variable ``tc`` takes one of ``q + 2`` labels: a query column
+``1..q``, ``na`` (column of a relevant table that maps to no query column),
+or ``nr`` (column of an irrelevant table).  Internally labels are dense
+integers ``0..q+1``: query columns are ``0..q-1``, then ``na``, then ``nr``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["LabelSpace"]
+
+
+class LabelSpace:
+    """Dense integer encoding of the ``{1..q} ∪ {na, nr}`` label set."""
+
+    __slots__ = ("q",)
+
+    def __init__(self, q: int) -> None:
+        if q < 1:
+            raise ValueError("q must be at least 1")
+        self.q = q
+
+    @property
+    def na(self) -> int:
+        """Dense index of the na label."""
+        return self.q
+
+    @property
+    def nr(self) -> int:
+        """Dense index of the nr label."""
+        return self.q + 1
+
+    @property
+    def size(self) -> int:
+        """Total number of labels (q + 2)."""
+        return self.q + 2
+
+    def query_labels(self) -> range:
+        """Dense indices of the query-column labels."""
+        return range(self.q)
+
+    def all_labels(self) -> range:
+        """All dense label indices."""
+        return range(self.size)
+
+    def is_query(self, label: int) -> bool:
+        """Is ``label`` one of the q query columns?"""
+        return 0 <= label < self.q
+
+    def to_query_column(self, label: int) -> int:
+        """Dense label -> 1-based query column number."""
+        if not self.is_query(label):
+            raise ValueError(f"label {label} is not a query column")
+        return label + 1
+
+    def from_query_column(self, query_col: int) -> int:
+        """1-based query column number -> dense label."""
+        if not 1 <= query_col <= self.q:
+            raise ValueError(f"query column {query_col} out of range")
+        return query_col - 1
+
+    def name(self, label: int) -> str:
+        """Human-readable label name: '1'..'q', 'na', 'nr'."""
+        if self.is_query(label):
+            return str(label + 1)
+        if label == self.na:
+            return "na"
+        if label == self.nr:
+            return "nr"
+        raise ValueError(f"label {label} out of range")
+
+    def names(self) -> List[str]:
+        """All label names in dense order."""
+        return [self.name(l) for l in self.all_labels()]

@@ -1,0 +1,72 @@
+"""The PMI² corpus co-occurrence feature (Section 3.2.3).
+
+``PMI²(Q_l, tc)`` measures, averaged over the rows of table ``t``, how
+strongly the corpus associates the query keywords with the *content* of
+column ``c``:
+
+    PMI²(Q_l, tc) = (1/#Rows) * sum_r |H(Q_l) ∩ B(cell(r,c))|² /
+                                   (|H(Q_l)| * |B(cell(r,c))|)
+
+where ``H(Q_l)`` is the set of corpus tables containing all of ``Q_l`` in
+header or context, and ``B(cell)`` the set of tables matching the cell's
+words in their content.  The paper found the signal noisy (overweighting
+low-frequency cells) and expensive — WWT leaves it out by default; it exists
+here to reproduce the PMI² baseline and the cost comparison of Section 5.1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..index.inverted import InvertedIndex
+from ..tables.table import WebTable
+from ..text.tokenize import tokenize
+
+__all__ = ["PmiScorer"]
+
+
+class PmiScorer:
+    """Computes PMI² scores against a corpus index, with caching."""
+
+    def __init__(self, index: InvertedIndex, max_rows: int = 30) -> None:
+        self.index = index
+        self.max_rows = max_rows
+        self._h_cache: Dict[str, frozenset] = {}
+        self._b_cache: Dict[str, frozenset] = {}
+
+    def _h_set(self, query_text: str) -> frozenset:
+        """H(Q_l): tables containing all query tokens in header or context."""
+        cached = self._h_cache.get(query_text)
+        if cached is None:
+            tokens = tokenize(query_text)
+            cached = frozenset(
+                self.index.docs_containing_all(tokens, ("header", "context"))
+            )
+            self._h_cache[query_text] = cached
+        return cached
+
+    def _b_set(self, cell_text: str) -> frozenset:
+        """B(cell): tables matching the cell's words in their content."""
+        cached = self._b_cache.get(cell_text)
+        if cached is None:
+            tokens = tokenize(cell_text)
+            cached = frozenset(self.index.docs_containing_all(tokens, ("content",)))
+            self._b_cache[cell_text] = cached
+        return cached
+
+    def score(self, query_text: str, table: WebTable, col: int) -> float:
+        """PMI²(Q_l, tc); 0 when the query matches no table at all."""
+        h_set = self._h_set(query_text)
+        if not h_set:
+            return 0.0
+        values = table.column_values(col)[: self.max_rows]
+        if not values:
+            return 0.0
+        total = 0.0
+        for value in values:
+            b_set = self._b_set(value)
+            if not b_set:
+                continue
+            inter = len(h_set & b_set)
+            total += (inter * inter) / (len(h_set) * len(b_set))
+        return total / len(values)

@@ -1,0 +1,22 @@
+"""Synthetic web corpus: the substitute for the paper's 25M-table crawl."""
+
+from .domains import REGISTRY, Attribute, Domain, build_registry
+from .generator import CorpusConfig, SyntheticCorpus, generate_corpus
+from .groundtruth import GroundTruth, TableLabel, TableProvenance, label_table
+from .pages import GeneratedPage, render_page
+
+__all__ = [
+    "Attribute",
+    "CorpusConfig",
+    "Domain",
+    "GeneratedPage",
+    "GroundTruth",
+    "REGISTRY",
+    "SyntheticCorpus",
+    "TableLabel",
+    "TableProvenance",
+    "build_registry",
+    "generate_corpus",
+    "label_table",
+    "render_page",
+]

@@ -1,0 +1,287 @@
+"""Hand-curated entity data for the high-signal domains.
+
+The paper's queries hit real-world relations (countries, US states, chemical
+elements, explorers, ...).  For the domains where entity identity matters to
+the clues being tested — content overlap across tables, body evidence,
+overlapping columns — we ship small real-world value lists.  Long-tail
+domains use synthesized values from :mod:`repro.corpus.wordbanks` instead.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "COUNTRIES", "US_STATES", "ELEMENTS", "EXPLORERS", "MOUNTAINS",
+    "DOG_BREEDS", "US_CITIES", "MOON_PHASES", "RELIGIONS", "FOODS",
+    "AUSTRALIAN_CITIES", "PARROTS", "JAMES_BOND_FILMS", "WINDOWS_PRODUCTS",
+    "IPOD_MODELS", "SUN_COMPOSITION",
+]
+
+#: (name, currency) — gdp/population/fuel/exchange-rate are synthesized.
+COUNTRIES = [
+    ("United States", "US Dollar"), ("China", "Renminbi"), ("Japan", "Yen"),
+    ("Germany", "Euro"), ("France", "Euro"), ("United Kingdom", "Pound Sterling"),
+    ("Brazil", "Real"), ("Italy", "Euro"), ("India", "Rupee"),
+    ("Canada", "Canadian Dollar"), ("Russia", "Ruble"), ("Spain", "Euro"),
+    ("Australia", "Australian Dollar"), ("Mexico", "Peso"), ("South Korea", "Won"),
+    ("Netherlands", "Euro"), ("Turkey", "Lira"), ("Indonesia", "Rupiah"),
+    ("Switzerland", "Swiss Franc"), ("Poland", "Zloty"), ("Belgium", "Euro"),
+    ("Sweden", "Krona"), ("Saudi Arabia", "Riyal"), ("Norway", "Krone"),
+    ("Austria", "Euro"), ("Argentina", "Peso"), ("South Africa", "Rand"),
+    ("Thailand", "Baht"), ("Denmark", "Krone"), ("Greece", "Euro"),
+    ("Egypt", "Egyptian Pound"), ("Finland", "Euro"), ("Portugal", "Euro"),
+    ("Ireland", "Euro"), ("Israel", "Shekel"), ("Malaysia", "Ringgit"),
+    ("Singapore", "Singapore Dollar"), ("Chile", "Chilean Peso"),
+    ("Nigeria", "Naira"), ("Philippines", "Philippine Peso"),
+    ("Pakistan", "Pakistani Rupee"), ("Vietnam", "Dong"), ("Peru", "Sol"),
+    ("Czech Republic", "Koruna"), ("Romania", "Leu"), ("New Zealand", "New Zealand Dollar"),
+    ("Ukraine", "Hryvnia"), ("Hungary", "Forint"), ("Kenya", "Kenyan Shilling"),
+    ("Morocco", "Dirham"),
+]
+
+#: (state, capital, largest city) — capital == largest city for 17 of them,
+#: the overlap that breaks NbrText in Section 5.1.
+US_STATES = [
+    ("Alabama", "Montgomery", "Birmingham"), ("Alaska", "Juneau", "Anchorage"),
+    ("Arizona", "Phoenix", "Phoenix"), ("Arkansas", "Little Rock", "Little Rock"),
+    ("California", "Sacramento", "Los Angeles"), ("Colorado", "Denver", "Denver"),
+    ("Connecticut", "Hartford", "Bridgeport"), ("Delaware", "Dover", "Wilmington"),
+    ("Florida", "Tallahassee", "Jacksonville"), ("Georgia", "Atlanta", "Atlanta"),
+    ("Hawaii", "Honolulu", "Honolulu"), ("Idaho", "Boise", "Boise"),
+    ("Illinois", "Springfield", "Chicago"), ("Indiana", "Indianapolis", "Indianapolis"),
+    ("Iowa", "Des Moines", "Des Moines"), ("Kansas", "Topeka", "Wichita"),
+    ("Kentucky", "Frankfort", "Louisville"), ("Louisiana", "Baton Rouge", "New Orleans"),
+    ("Maine", "Augusta", "Portland"), ("Maryland", "Annapolis", "Baltimore"),
+    ("Massachusetts", "Boston", "Boston"), ("Michigan", "Lansing", "Detroit"),
+    ("Minnesota", "Saint Paul", "Minneapolis"), ("Mississippi", "Jackson", "Jackson"),
+    ("Missouri", "Jefferson City", "Kansas City"), ("Montana", "Helena", "Billings"),
+    ("Nebraska", "Lincoln", "Omaha"), ("Nevada", "Carson City", "Las Vegas"),
+    ("New Hampshire", "Concord", "Manchester"), ("New Jersey", "Trenton", "Newark"),
+    ("New Mexico", "Santa Fe", "Albuquerque"), ("New York", "Albany", "New York City"),
+    ("North Carolina", "Raleigh", "Charlotte"), ("North Dakota", "Bismarck", "Fargo"),
+    ("Ohio", "Columbus", "Columbus"), ("Oklahoma", "Oklahoma City", "Oklahoma City"),
+    ("Oregon", "Salem", "Portland"), ("Pennsylvania", "Harrisburg", "Philadelphia"),
+    ("Rhode Island", "Providence", "Providence"), ("South Carolina", "Columbia", "Columbia"),
+    ("South Dakota", "Pierre", "Sioux Falls"), ("Tennessee", "Nashville", "Memphis"),
+    ("Texas", "Austin", "Houston"), ("Utah", "Salt Lake City", "Salt Lake City"),
+    ("Vermont", "Montpelier", "Burlington"), ("Virginia", "Richmond", "Virginia Beach"),
+    ("Washington", "Olympia", "Seattle"), ("West Virginia", "Charleston", "Charleston"),
+    ("Wisconsin", "Madison", "Milwaukee"), ("Wyoming", "Cheyenne", "Cheyenne"),
+]
+
+#: (element, atomic number, atomic weight)
+ELEMENTS = [
+    ("Hydrogen", 1, "1.008"), ("Helium", 2, "4.003"), ("Lithium", 3, "6.941"),
+    ("Beryllium", 4, "9.012"), ("Boron", 5, "10.811"), ("Carbon", 6, "12.011"),
+    ("Nitrogen", 7, "14.007"), ("Oxygen", 8, "15.999"), ("Fluorine", 9, "18.998"),
+    ("Neon", 10, "20.180"), ("Sodium", 11, "22.990"), ("Magnesium", 12, "24.305"),
+    ("Aluminium", 13, "26.982"), ("Silicon", 14, "28.086"), ("Phosphorus", 15, "30.974"),
+    ("Sulfur", 16, "32.065"), ("Chlorine", 17, "35.453"), ("Argon", 18, "39.948"),
+    ("Potassium", 19, "39.098"), ("Calcium", 20, "40.078"), ("Scandium", 21, "44.956"),
+    ("Titanium", 22, "47.867"), ("Vanadium", 23, "50.942"), ("Chromium", 24, "51.996"),
+    ("Manganese", 25, "54.938"), ("Iron", 26, "55.845"), ("Cobalt", 27, "58.933"),
+    ("Nickel", 28, "58.693"), ("Copper", 29, "63.546"), ("Zinc", 30, "65.38"),
+    ("Gallium", 31, "69.723"), ("Germanium", 32, "72.64"), ("Arsenic", 33, "74.922"),
+    ("Selenium", 34, "78.96"), ("Bromine", 35, "79.904"), ("Krypton", 36, "83.798"),
+    ("Rubidium", 37, "85.468"), ("Strontium", 38, "87.62"), ("Yttrium", 39, "88.906"),
+    ("Zirconium", 40, "91.224"),
+]
+
+#: (explorer, nationality, areas explored) — the Figure 1 scenario.
+EXPLORERS = [
+    ("Abel Tasman", "Dutch", "Oceania"),
+    ("Vasco da Gama", "Portuguese", "Sea route to India"),
+    ("Alexander Mackenzie", "British", "Canada"),
+    ("Christopher Columbus", "Italian", "Caribbean"),
+    ("Ferdinand Magellan", "Portuguese", "Pacific Ocean"),
+    ("James Cook", "British", "Pacific and Australia"),
+    ("Marco Polo", "Italian", "Asia and China"),
+    ("Hernan Cortes", "Spanish", "Mexico"),
+    ("Francisco Pizarro", "Spanish", "Peru"),
+    ("Jacques Cartier", "French", "Saint Lawrence River"),
+    ("Henry Hudson", "English", "Hudson Bay"),
+    ("David Livingstone", "Scottish", "Central Africa"),
+    ("Roald Amundsen", "Norwegian", "South Pole"),
+    ("Ernest Shackleton", "Irish", "Antarctica"),
+    ("Meriwether Lewis", "American", "Western United States"),
+    ("William Clark", "American", "Missouri River"),
+    ("John Cabot", "Italian", "North America coast"),
+    ("Bartolomeu Dias", "Portuguese", "Cape of Good Hope"),
+    ("Samuel de Champlain", "French", "New France"),
+    ("Vitus Bering", "Danish", "Bering Strait"),
+    ("Hernando de Soto", "Spanish", "Mississippi River"),
+    ("Amerigo Vespucci", "Italian", "South America coast"),
+    ("Juan Ponce de Leon", "Spanish", "Florida"),
+    ("Zheng He", "Chinese", "Indian Ocean"),
+    ("Ibn Battuta", "Moroccan", "Islamic world"),
+]
+
+#: (mountain, height in metres, country) — North American peaks.
+MOUNTAINS = [
+    ("Denali", 6190, "United States"), ("Mount Logan", 5959, "Canada"),
+    ("Pico de Orizaba", 5636, "Mexico"), ("Mount Saint Elias", 5489, "United States"),
+    ("Popocatepetl", 5426, "Mexico"), ("Mount Foraker", 5304, "United States"),
+    ("Mount Lucania", 5226, "Canada"), ("Iztaccihuatl", 5230, "Mexico"),
+    ("King Peak", 5173, "Canada"), ("Mount Bona", 5044, "United States"),
+    ("Mount Steele", 5073, "Canada"), ("Mount Blackburn", 4996, "United States"),
+    ("Mount Sanford", 4949, "United States"), ("Mount Wood", 4842, "Canada"),
+    ("Mount Vancouver", 4812, "Canada"), ("Mount Churchill", 4766, "United States"),
+    ("Mount Fairweather", 4671, "United States"), ("Mount Hubbard", 4577, "Canada"),
+    ("Mount Bear", 4520, "United States"), ("Mount Walsh", 4507, "Canada"),
+    ("Mount Hunter", 4442, "United States"), ("Mount Whitney", 4421, "United States"),
+    ("Mount Elbert", 4401, "United States"), ("Mount Massive", 4398, "United States"),
+    ("Mount Harvard", 4395, "United States"), ("Mount Rainier", 4392, "United States"),
+    ("Mount Williamson", 4383, "United States"), ("Blanca Peak", 4374, "United States"),
+    ("La Plata Peak", 4370, "United States"), ("Uncompahgre Peak", 4365, "United States"),
+]
+
+DOG_BREEDS = [
+    "Labrador Retriever", "German Shepherd", "Golden Retriever", "Beagle",
+    "Bulldog", "Yorkshire Terrier", "Boxer", "Poodle", "Rottweiler",
+    "Dachshund", "Shih Tzu", "Doberman Pinscher", "Chihuahua", "Great Dane",
+    "Miniature Schnauzer", "Siberian Husky", "Pomeranian", "French Bulldog",
+    "Border Collie", "Boston Terrier", "Maltese", "Cocker Spaniel",
+    "Pembroke Welsh Corgi", "Basset Hound", "English Springer Spaniel",
+    "Mastiff", "Brittany", "West Highland White Terrier", "Bernese Mountain Dog",
+    "Saint Bernard", "Bichon Frise", "Vizsla", "Bloodhound", "Akita",
+    "Weimaraner", "Whippet", "Samoyed", "Dalmatian", "Airedale Terrier",
+    "Scottish Terrier",
+]
+
+US_CITIES = [
+    "New York", "Los Angeles", "Chicago", "Houston", "Phoenix",
+    "Philadelphia", "San Antonio", "San Diego", "Dallas", "San Jose",
+    "Austin", "Jacksonville", "Fort Worth", "Columbus", "Charlotte",
+    "San Francisco", "Indianapolis", "Seattle", "Denver", "Washington",
+    "Boston", "El Paso", "Nashville", "Detroit", "Oklahoma City",
+    "Portland", "Las Vegas", "Memphis", "Louisville", "Baltimore",
+    "Milwaukee", "Albuquerque", "Tucson", "Fresno", "Sacramento",
+    "Kansas City", "Mesa", "Atlanta", "Omaha", "Colorado Springs",
+]
+
+MOON_PHASES = [
+    ("New Moon", "0%"), ("Waxing Crescent", "25%"), ("First Quarter", "50%"),
+    ("Waxing Gibbous", "75%"), ("Full Moon", "100%"), ("Waning Gibbous", "75%"),
+    ("Last Quarter", "50%"), ("Waning Crescent", "25%"),
+]
+
+#: (religion, country/region of origin)
+RELIGIONS = [
+    ("Christianity", "Judea"), ("Islam", "Arabia"), ("Hinduism", "India"),
+    ("Buddhism", "India"), ("Sikhism", "India"), ("Judaism", "Israel"),
+    ("Bahai Faith", "Iran"), ("Jainism", "India"), ("Shinto", "Japan"),
+    ("Taoism", "China"), ("Confucianism", "China"), ("Zoroastrianism", "Persia"),
+    ("Shamanism", "Siberia"), ("Candomble", "Brazil"), ("Rastafari", "Jamaica"),
+]
+
+#: (food, fat g, protein g) per 100 g, approximate.
+FOODS = [
+    ("Chicken breast", "3.6", "31.0"), ("Salmon", "13.4", "20.4"),
+    ("Brown rice", "0.9", "2.6"), ("Whole milk", "3.3", "3.2"),
+    ("Cheddar cheese", "33.1", "24.9"), ("Eggs", "9.5", "12.6"),
+    ("Almonds", "49.9", "21.2"), ("Peanut butter", "50.4", "25.1"),
+    ("Broccoli", "0.4", "2.8"), ("Spinach", "0.4", "2.9"),
+    ("Banana", "0.3", "1.1"), ("Apple", "0.2", "0.3"),
+    ("Avocado", "14.7", "2.0"), ("Oatmeal", "6.9", "16.9"),
+    ("Lentils", "0.4", "9.0"), ("Black beans", "0.5", "8.9"),
+    ("Tofu", "4.8", "8.0"), ("Beef steak", "19.0", "25.0"),
+    ("Pork chop", "14.0", "25.7"), ("Tuna", "1.0", "23.3"),
+    ("Shrimp", "0.3", "24.0"), ("Greek yogurt", "0.4", "10.2"),
+    ("Cottage cheese", "4.3", "11.1"), ("Quinoa", "1.9", "4.4"),
+    ("Sweet potato", "0.1", "1.6"), ("White bread", "3.2", "8.9"),
+    ("Pasta", "1.1", "5.8"), ("Potato chips", "34.6", "7.0"),
+    ("Dark chocolate", "42.6", "7.8"), ("Olive oil", "100.0", "0.0"),
+    ("Butter", "81.1", "0.9"), ("Walnuts", "65.2", "15.2"),
+    ("Cashews", "43.8", "18.2"), ("Turkey breast", "1.0", "29.0"),
+    ("Cod", "0.7", "17.8"), ("Mackerel", "13.9", "18.6"),
+    ("Chickpeas", "2.6", "8.9"), ("Green peas", "0.4", "5.4"),
+    ("Corn", "1.5", "3.3"), ("Mushrooms", "0.3", "3.1"),
+]
+
+#: (city, area km2)
+AUSTRALIAN_CITIES = [
+    ("Sydney", "12368"), ("Melbourne", "9993"), ("Brisbane", "15826"),
+    ("Perth", "6418"), ("Adelaide", "3258"), ("Gold Coast", "1334"),
+    ("Newcastle", "261"), ("Canberra", "814"), ("Wollongong", "684"),
+    ("Hobart", "1696"), ("Geelong", "1329"), ("Townsville", "3736"),
+    ("Cairns", "254"), ("Darwin", "112"), ("Toowoomba", "498"),
+    ("Ballarat", "740"), ("Bendigo", "82"), ("Launceston", "178"),
+]
+
+#: (parrot, binomial name)
+PARROTS = [
+    ("African Grey Parrot", "Psittacus erithacus"),
+    ("Scarlet Macaw", "Ara macao"),
+    ("Blue and yellow Macaw", "Ara ararauna"),
+    ("Cockatiel", "Nymphicus hollandicus"),
+    ("Budgerigar", "Melopsittacus undulatus"),
+    ("Sun Conure", "Aratinga solstitialis"),
+    ("Eclectus Parrot", "Eclectus roratus"),
+    ("Hyacinth Macaw", "Anodorhynchus hyacinthinus"),
+    ("Galah", "Eolophus roseicapilla"),
+    ("Kea", "Nestor notabilis"),
+    ("Kakapo", "Strigops habroptilus"),
+    ("Rainbow Lorikeet", "Trichoglossus moluccanus"),
+    ("Monk Parakeet", "Myiopsitta monachus"),
+    ("Senegal Parrot", "Poicephalus senegalus"),
+    ("Amazon Parrot", "Amazona aestiva"),
+]
+
+#: (film, year)
+JAMES_BOND_FILMS = [
+    ("Dr. No", "1962"), ("From Russia with Love", "1963"), ("Goldfinger", "1964"),
+    ("Thunderball", "1965"), ("You Only Live Twice", "1967"),
+    ("On Her Majesty's Secret Service", "1969"), ("Diamonds Are Forever", "1971"),
+    ("Live and Let Die", "1973"), ("The Man with the Golden Gun", "1974"),
+    ("The Spy Who Loved Me", "1977"), ("Moonraker", "1979"),
+    ("For Your Eyes Only", "1981"), ("Octopussy", "1983"),
+    ("A View to a Kill", "1985"), ("The Living Daylights", "1987"),
+    ("Licence to Kill", "1989"), ("GoldenEye", "1995"),
+    ("Tomorrow Never Dies", "1997"), ("The World Is Not Enough", "1999"),
+    ("Die Another Day", "2002"), ("Casino Royale", "2006"),
+    ("Quantum of Solace", "2008"),
+]
+
+#: (product, release date)
+WINDOWS_PRODUCTS = [
+    ("Windows 1.0", "November 1985"), ("Windows 2.0", "December 1987"),
+    ("Windows 3.0", "May 1990"), ("Windows 3.1", "April 1992"),
+    ("Windows NT 3.1", "July 1993"), ("Windows 95", "August 1995"),
+    ("Windows NT 4.0", "July 1996"), ("Windows 98", "June 1998"),
+    ("Windows 2000", "February 2000"), ("Windows ME", "September 2000"),
+    ("Windows XP", "October 2001"), ("Windows Server 2003", "April 2003"),
+    ("Windows Vista", "January 2007"), ("Windows Server 2008", "February 2008"),
+    ("Windows 7", "October 2009"), ("Windows Server 2008 R2", "October 2009"),
+]
+
+#: (model, release date, launch price)
+IPOD_MODELS = [
+    ("iPod Classic 1st generation", "October 2001", "$399"),
+    ("iPod Classic 2nd generation", "July 2002", "$399"),
+    ("iPod Classic 3rd generation", "April 2003", "$299"),
+    ("iPod Mini", "January 2004", "$249"),
+    ("iPod Classic 4th generation", "July 2004", "$299"),
+    ("iPod Photo", "October 2004", "$499"),
+    ("iPod Shuffle 1st generation", "January 2005", "$99"),
+    ("iPod Nano 1st generation", "September 2005", "$199"),
+    ("iPod Classic 5th generation", "October 2005", "$299"),
+    ("iPod Nano 2nd generation", "September 2006", "$149"),
+    ("iPod Shuffle 2nd generation", "September 2006", "$79"),
+    ("iPod Classic 6th generation", "September 2007", "$249"),
+    ("iPod Touch 1st generation", "September 2007", "$299"),
+    ("iPod Nano 3rd generation", "September 2007", "$149"),
+    ("iPod Nano 4th generation", "September 2008", "$149"),
+    ("iPod Touch 2nd generation", "September 2008", "$229"),
+    ("iPod Nano 5th generation", "September 2009", "$149"),
+    ("iPod Touch 3rd generation", "September 2009", "$199"),
+    ("iPod Shuffle 3rd generation", "March 2009", "$79"),
+    ("iPod Nano 6th generation", "September 2010", "$149"),
+    ("iPod Touch 4th generation", "September 2010", "$229"),
+]
+
+#: (component, percentage) of the solar photosphere.
+SUN_COMPOSITION = [
+    ("Hydrogen", "73.46"), ("Helium", "24.85"), ("Oxygen", "0.77"),
+    ("Carbon", "0.29"), ("Iron", "0.16"), ("Neon", "0.12"),
+    ("Nitrogen", "0.09"), ("Silicon", "0.07"), ("Magnesium", "0.05"),
+    ("Sulfur", "0.04"),
+]

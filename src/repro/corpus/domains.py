@@ -1,0 +1,1611 @@
+"""Domain specifications for the synthetic web corpus.
+
+A *domain* is one real-world relation (countries with their attributes, dog
+breeds, explorers, ...) plus everything needed to author noisy web pages
+about it: header variants per attribute (informative, partial, and
+uninformative ones like "Name"), context sentence templates, and noise
+profile overrides.  Distractor domains carry query keywords without the
+queried relation — they are what makes relevance decisions hard
+(Figure 1's "Forest Reserves" page is reproduced verbatim as one).
+
+Queries in :mod:`repro.query.workload` reference domains by key and
+attributes by attribute key; the generator derives exact ground truth from
+that binding.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from . import data_real as real
+from .wordbanks import (
+    ADJECTIVES, NOUNS, company_name, count, city_name, money, person_name,
+    phrase, pick, picks, year,
+)
+
+__all__ = ["Attribute", "Domain", "REGISTRY", "build_registry"]
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """One column of a domain relation."""
+
+    key: str
+    headers: Tuple[str, ...]  # informative header variants
+    vague_headers: Tuple[str, ...] = ()  # uninformative variants ("Name")
+    presence: float = 1.0  # probability a domain page includes this column
+
+
+@dataclass
+class Domain:
+    """A page-generating specification for one relation (or distractor)."""
+
+    key: str
+    page_title: str
+    topic_phrase: str
+    context_templates: Tuple[str, ...]
+    attributes: Tuple[Attribute, ...]  # [0] is the subject column
+    rows: Tuple[Tuple[str, ...], ...]
+    num_pages: int
+    # Noise profile (defaults mirror the paper's corpus statistics).
+    headerless: float = 0.18
+    two_header: float = 0.17
+    multi_header: float = 0.05
+    th_usage: float = 0.20
+    title_row: float = 0.15
+    vague_prob: float = 0.25
+    verbose_context: float = 0.25
+    is_distractor: bool = False
+
+    def __post_init__(self) -> None:
+        width = len(self.attributes)
+        for row in self.rows:
+            if len(row) != width:
+                raise ValueError(
+                    f"domain {self.key!r}: row width {len(row)} != {width}"
+                )
+
+    def attribute_index(self, attr_key: str) -> int:
+        """Position of an attribute in the relation."""
+        for i, attr in enumerate(self.attributes):
+            if attr.key == attr_key:
+                return i
+        raise KeyError(f"domain {self.key!r} has no attribute {attr_key!r}")
+
+
+def _attr(key, headers, vague=(), presence=1.0):
+    return Attribute(key, tuple(headers), tuple(vague), presence)
+
+
+def _rows(*cols: Sequence[str]) -> Tuple[Tuple[str, ...], ...]:
+    return tuple(zip(*cols))
+
+
+# ---------------------------------------------------------------------------
+# Small hand lists for domains where a handful of real values carry the term
+# statistics (kept here rather than data_real to stay near their domain).
+# ---------------------------------------------------------------------------
+
+_FIFA = [
+    ("Uruguay", "1930"), ("Italy", "1934"), ("Italy", "1938"),
+    ("Uruguay", "1950"), ("West Germany", "1954"), ("Brazil", "1958"),
+    ("Brazil", "1962"), ("England", "1966"), ("Brazil", "1970"),
+    ("West Germany", "1974"), ("Argentina", "1978"), ("Italy", "1982"),
+    ("Argentina", "1986"), ("West Germany", "1990"), ("Brazil", "1994"),
+    ("France", "1998"), ("Brazil", "2002"), ("Italy", "2006"), ("Spain", "2010"),
+]
+
+_BUILDINGS = [
+    ("Burj Khalifa", "828", "Dubai"), ("Taipei 101", "508", "Taipei"),
+    ("Shanghai World Financial Center", "492", "Shanghai"),
+    ("International Commerce Centre", "484", "Hong Kong"),
+    ("Petronas Tower 1", "452", "Kuala Lumpur"),
+    ("Petronas Tower 2", "452", "Kuala Lumpur"),
+    ("Zifeng Tower", "450", "Nanjing"), ("Willis Tower", "442", "Chicago"),
+    ("Kingkey 100", "442", "Shenzhen"), ("Guangzhou West Tower", "440", "Guangzhou"),
+    ("Trump International Hotel", "423", "Chicago"), ("Jin Mao Building", "421", "Shanghai"),
+    ("Princess Tower", "414", "Dubai"), ("Al Hamra Tower", "413", "Kuwait City"),
+    ("Two International Finance Centre", "412", "Hong Kong"),
+    ("23 Marina", "395", "Dubai"), ("CITIC Plaza", "390", "Guangzhou"),
+    ("Shun Hing Square", "384", "Shenzhen"), ("Empire State Building", "381", "New York"),
+    ("Central Plaza", "374", "Hong Kong"),
+]
+
+_ACADEMY_CATEGORIES = [
+    "Best Picture", "Best Director", "Best Actor", "Best Actress",
+    "Best Supporting Actor", "Best Supporting Actress",
+    "Best Original Screenplay", "Best Adapted Screenplay",
+    "Best Animated Feature", "Best Cinematography", "Best Film Editing",
+    "Best Original Score", "Best Original Song", "Best Foreign Language Film",
+    "Best Documentary Feature", "Best Visual Effects",
+]
+
+_DISCOVERIES = [
+    ("Penicillin", "Alexander Fleming"), ("Gravity", "Isaac Newton"),
+    ("Radioactivity", "Henri Becquerel"), ("Radium", "Marie Curie"),
+    ("Electron", "J J Thomson"), ("Neutron", "James Chadwick"),
+    ("DNA structure", "Watson and Crick"), ("Oxygen", "Joseph Priestley"),
+    ("Vaccination", "Edward Jenner"), ("X-rays", "Wilhelm Roentgen"),
+    ("Electromagnetic induction", "Michael Faraday"),
+    ("Theory of relativity", "Albert Einstein"),
+    ("Evolution by natural selection", "Charles Darwin"),
+    ("Pasteurization", "Louis Pasteur"), ("Insulin", "Frederick Banting"),
+    ("Blood circulation", "William Harvey"), ("Cell nucleus", "Robert Brown"),
+    ("Electric battery", "Alessandro Volta"), ("Periodic law", "Dmitri Mendeleev"),
+    ("Quantum theory", "Max Planck"), ("Superconductivity", "Heike Onnes"),
+    ("Hydrogen", "Henry Cavendish"),
+]
+
+_PRESIDENT_LIBRARIES = [
+    ("Herbert Hoover", "Hoover Presidential Library", "West Branch Iowa"),
+    ("Franklin D. Roosevelt", "Roosevelt Presidential Library", "Hyde Park New York"),
+    ("Harry S. Truman", "Truman Presidential Library", "Independence Missouri"),
+    ("Dwight D. Eisenhower", "Eisenhower Presidential Library", "Abilene Kansas"),
+    ("John F. Kennedy", "Kennedy Presidential Library", "Boston Massachusetts"),
+    ("Lyndon B. Johnson", "Johnson Presidential Library", "Austin Texas"),
+    ("Richard Nixon", "Nixon Presidential Library", "Yorba Linda California"),
+    ("Gerald Ford", "Ford Presidential Library", "Ann Arbor Michigan"),
+    ("Jimmy Carter", "Carter Presidential Library", "Atlanta Georgia"),
+    ("Ronald Reagan", "Reagan Presidential Library", "Simi Valley California"),
+    ("George Bush", "Bush Presidential Library", "College Station Texas"),
+    ("Bill Clinton", "Clinton Presidential Library", "Little Rock Arkansas"),
+]
+
+_INTERNET_DOMAINS = [
+    (".com", "Commercial organizations"), (".org", "Nonprofit organizations"),
+    (".net", "Network infrastructure"), (".edu", "Educational institutions"),
+    (".gov", "United States government"), (".mil", "United States military"),
+    (".int", "International organizations"), (".info", "Information sites"),
+    (".biz", "Business use"), (".name", "Individuals"),
+    (".museum", "Museums"), (".aero", "Air transport industry"),
+]
+
+_METAL_GENRES = ["Black metal", "Black metal", "Death metal", "Doom metal",
+                 "Thrash metal", "Power metal", "Black metal", "Folk metal"]
+
+_NOBEL_FIELDS = ["Physics", "Chemistry", "Medicine", "Literature", "Peace", "Economics"]
+
+_CAR_BRANDS = ["Bugatti", "Koenigsegg", "McLaren", "Ferrari", "Lamborghini",
+               "Porsche", "Pagani", "Aston Martin", "Jaguar", "Chevrolet"]
+
+_SHOE_BRANDS = ["Nike", "Adidas", "Asics", "Brooks", "Saucony", "New Balance",
+                "Mizuno", "Reebok"]
+
+_GUITAR_SERIES = ["RG series", "S series", "JEM series", "Artcore series",
+                  "Iceman series", "Talman series", "SR series", "Prestige series"]
+
+
+# ---------------------------------------------------------------------------
+# Registry construction
+# ---------------------------------------------------------------------------
+
+def build_registry(seed: int = 7) -> Dict[str, Domain]:
+    """Build all content and distractor domains deterministically."""
+    rng = random.Random(seed)
+    domains: List[Domain] = []
+
+    def add(domain: Domain) -> None:
+        domains.append(domain)
+
+    # A shared pool of public figures: the same names appear as Wimbledon
+    # champions, PGA players, award winners, Nobel laureates — exactly the
+    # cross-domain entity-column overlap that makes naive header importing
+    # (NbrText) fragile while WWT's confidence-gated edges stay safe.
+    celebrities = [person_name(rng) for _ in range(64)]
+
+    def celebrity(r: random.Random) -> str:
+        return pick(r, celebrities)
+
+    # -- content domains -----------------------------------------------------
+
+    n = len(real.COUNTRIES)
+    add(Domain(
+        key="countries",
+        page_title="List of countries - world statistics",
+        topic_phrase="countries of the world",
+        context_templates=(
+            "Statistics for countries of the world including economic indicators.",
+            "This page lists sovereign countries with key national data.",
+            "World factbook style reference for every country and territory.",
+        ),
+        attributes=(
+            _attr("name", ("Country", "Country name", "Nation"), ("Name",)),
+            _attr("currency", ("Currency", "National currency", "Currency unit"),
+                  ("Unit",), presence=0.85),
+            _attr("gdp", ("GDP", "GDP millions USD", "Gross domestic product"),
+                  ("Value",), presence=0.9),
+            _attr("population", ("Population", "Population estimate", "Total population"),
+                  ("Total",), presence=0.9),
+            _attr("exchange_rate", ("US dollar exchange rate", "Exchange rate per USD",
+                                    "Rate to US dollar"), ("Rate",), presence=0.75),
+            _attr("fuel", ("Daily fuel consumption", "Fuel consumption barrels day",
+                           "Oil consumption"), ("Consumption",), presence=0.28),
+        ),
+        rows=_rows(
+            [c for c, _cur in real.COUNTRIES],
+            [cur for _c, cur in real.COUNTRIES],
+            [money(rng, 10_000, 15_000_000, "") for _ in range(n)],
+            [count(rng, 300_000, 1_350_000_000) for _ in range(n)],
+            [f"{rng.uniform(0.5, 120):.2f}" for _ in range(n)],
+            [count(rng, 10_000, 19_000_000) for _ in range(n)],
+        ),
+        num_pages=35,
+    ))
+
+    add(Domain(
+        key="us_states",
+        page_title="List of U.S. states",
+        topic_phrase="us states",
+        context_templates=(
+            "The fifty usa states with their capitals and population figures.",
+            "Reference list of US states, state capitals and largest cities.",
+        ),
+        attributes=(
+            _attr("name", ("State", "US state", "State name"), ("Name",)),
+            _attr("capital", ("Capital", "State capital", "Capital city"),
+                  ("City",), presence=0.7),
+            _attr("largest_city", ("Largest city", "Biggest city", "Most populous city"),
+                  ("City",), presence=0.6),
+            _attr("population", ("Population", "Population 2010", "Residents"),
+                  ("Total",), presence=0.8),
+        ),
+        rows=_rows(
+            [s for s, _c, _l in real.US_STATES],
+            [c for _s, c, _l in real.US_STATES],
+            [l for _s, _c, l in real.US_STATES],
+            [count(rng, 560_000, 37_000_000) for _ in real.US_STATES],
+        ),
+        num_pages=26,
+    ))
+
+    add(Domain(
+        key="dogs",
+        page_title="Dog breeds directory",
+        topic_phrase="dog breed",
+        context_templates=(
+            "Complete directory of every recognized dog breed with origin.",
+            "Find your dog breed: temperament, origin and group.",
+        ),
+        attributes=(
+            _attr("breed", ("Dog breed", "Breed"), ("Name", "Dog")),
+            _attr("origin", ("Country of origin", "Origin"), (), presence=0.8),
+            _attr("group", ("Breed group", "Group"), (), presence=0.5),
+        ),
+        rows=tuple(
+            (b, pick(rng, [c for c, _x in real.COUNTRIES]),
+             pick(rng, ["Working", "Herding", "Toy", "Hound", "Terrier", "Sporting"]))
+            for b in real.DOG_BREEDS
+        ),
+        num_pages=40,
+        vague_prob=0.35,
+    ))
+
+    add(Domain(
+        key="wrestlers",
+        page_title="Professional wrestlers roster",
+        topic_phrase="professional wrestlers",
+        context_templates=(
+            "Roster of professional wrestlers with ring names and debut years.",
+            "Professional wrestling champions through the decades.",
+        ),
+        attributes=(
+            _attr("wrestler", ("Wrestler", "Ring name", "Professional wrestler"), ("Name",)),
+            _attr("real_name", ("Real name", "Birth name"), (), presence=0.6),
+            _attr("debut", ("Debut year", "Debut"), (), presence=0.6),
+        ),
+        rows=tuple(
+            (f"{pick(rng, ADJECTIVES)} {pick(rng, NOUNS)}", person_name(rng),
+             year(rng, 1970, 2010))
+            for _ in range(34)
+        ),
+        num_pages=30,
+    ))
+
+    add(Domain(
+        key="moon_phases",
+        page_title="Phases of the Moon explained",
+        topic_phrase="phases of the moon",
+        context_templates=(
+            "The phases of the moon and their illumination percentages.",
+            "Lunar calendar guide describing each moon phase.",
+        ),
+        attributes=(
+            _attr("phase", ("Moon phase", "Phase", "Phase name"), ("Name",)),
+            _attr("illumination", ("Illumination", "Percent illuminated"), (), presence=0.8),
+        ),
+        rows=tuple(real.MOON_PHASES),
+        num_pages=10,
+    ))
+
+    add(Domain(
+        key="pm_england",
+        page_title="Prime Ministers of England and the United Kingdom",
+        topic_phrase="prime ministers of england",
+        context_templates=(
+            "Chronological list of prime ministers of england and britain.",
+        ),
+        attributes=(
+            _attr("pm", ("Prime Minister", "Prime ministers of England"), ("Name",)),
+            _attr("term", ("Term of office", "Years"), (), presence=0.8),
+            _attr("party", ("Party", "Political party"), (), presence=0.6),
+        ),
+        rows=tuple(
+            (f"{person_name(rng)}", f"{1721 + 9 * i}-{1721 + 9 * i + rng.randint(2, 9)}",
+             pick(rng, ["Whig", "Tory", "Conservative", "Labour", "Liberal"]))
+            for i in range(28)
+        ),
+        num_pages=3,
+    ))
+
+    add(Domain(
+        key="banks",
+        page_title="Bank interest rates comparison",
+        topic_phrase="banks interest rates",
+        context_templates=(
+            "Compare banks and their savings interest rates updated monthly.",
+            "Current deposit interest rates across major banks.",
+        ),
+        attributes=(
+            _attr("bank", ("Bank", "Bank name"), ("Name", "Institution")),
+            _attr("rate", ("Interest rate", "Savings rate", "Rate percent"),
+                  ("Rate",), presence=0.92),
+            _attr("branches", ("Branches", "Branch count"), (), presence=0.4),
+        ),
+        rows=tuple(
+            (f"{pick(rng, ['First', 'United', 'National', 'Pacific', 'Liberty', 'Summit', 'Pioneer', 'Capital'])} "
+             f"{pick(rng, ['Trust', 'Savings', 'Federal', 'Commerce', 'Mutual'])} Bank",
+             f"{rng.uniform(0.2, 6.5):.2f}%", count(rng, 5, 4000))
+            for _ in range(26)
+        ),
+        num_pages=22,
+    ))
+
+    add(Domain(
+        key="metal_bands",
+        page_title="Metal bands encyclopedia",
+        topic_phrase="black metal bands",
+        context_templates=(
+            "Encyclopedia of metal bands from around the world.",
+            "Band listing with country and genre information.",
+        ),
+        attributes=(
+            # The paper's body-evidence case: headers say "Band name", only
+            # the genre column's *content* says "Black metal".
+            _attr("band", ("Band name", "Band"), ("Name",)),
+            _attr("country", ("Country", "Country of origin"), (), presence=0.9),
+            _attr("genre", ("Genre", "Style"), (), presence=0.75),
+        ),
+        rows=tuple(
+            (phrase(rng), pick(rng, ["Norway", "Sweden", "Finland", "United States",
+                                     "Germany", "Poland", "United Kingdom", "Brazil"]),
+             pick(rng, _METAL_GENRES))
+            for _ in range(40)
+        ),
+        num_pages=13,
+        headerless=0.25,
+    ))
+
+    add(Domain(
+        key="books_us",
+        page_title="Bestselling books in United States",
+        topic_phrase="books in united states",
+        context_templates=(
+            "Bestselling books in United States bookstores this decade.",
+        ),
+        attributes=(
+            _attr("book", ("Book title", "Title", "Books"), ("Name",)),
+            _attr("author", ("Author", "Written by"), (), presence=0.95),
+            _attr("year", ("Year", "Published"), (), presence=0.5),
+        ),
+        rows=tuple(
+            (f"The {pick(rng, ADJECTIVES)} {pick(rng, NOUNS)}", person_name(rng),
+             year(rng, 1980, 2011))
+            for _ in range(24)
+        ),
+        num_pages=2,
+    ))
+
+    add(Domain(
+        key="car_accidents",
+        page_title="Major car accidents records",
+        topic_phrase="car accidents location",
+        context_templates=(
+            "Records of major car accidents by location and year.",
+            "Traffic accident statistics and crash locations.",
+        ),
+        attributes=(
+            _attr("location", ("Accident location", "Location", "Crash site"), ("Place",)),
+            _attr("year", ("Year", "Accident year"), (), presence=0.9),
+            _attr("fatalities", ("Fatalities", "Deaths"), (), presence=0.5),
+        ),
+        rows=tuple(
+            (f"{city_name(rng)} highway", year(rng, 1980, 2011), count(rng, 1, 90))
+            for _ in range(26)
+        ),
+        num_pages=6,
+    ))
+
+    add(Domain(
+        key="sun_composition",
+        page_title="Composition of the Sun",
+        topic_phrase="composition of the sun",
+        context_templates=(
+            "Chemical composition of the sun by mass percentage.",
+            "What the sun is made of: element abundances.",
+        ),
+        attributes=(
+            _attr("component", ("Element", "Component", "Composition"), ("Name",)),
+            _attr("percentage", ("Percentage", "Percent by mass", "Abundance"),
+                  ("Value",), presence=0.95),
+        ),
+        rows=tuple(real.SUN_COMPOSITION),
+        num_pages=8,
+    ))
+
+    add(Domain(
+        key="fifa",
+        page_title="FIFA World Cup winners history",
+        topic_phrase="fifa world cup winners",
+        context_templates=(
+            "Every fifa worlds cup winner since the first tournament.",
+            "World cup champions by year.",
+        ),
+        attributes=(
+            _attr("winner", ("World cup winner", "Winners", "Champion"), ("Country",)),
+            _attr("year", ("Year", "Tournament year"), (), presence=0.95),
+        ),
+        rows=tuple(_FIFA),
+        num_pages=7,
+    ))
+
+    add(Domain(
+        key="golden_globe",
+        page_title="Golden Globe award winners",
+        topic_phrase="golden globe award winners",
+        context_templates=(
+            "Golden Globe award winners by ceremony year.",
+        ),
+        attributes=(
+            _attr("winner", ("Golden Globe winner", "Award winner", "Winner"), ("Name",)),
+            _attr("year", ("Year", "Ceremony year"), (), presence=0.9),
+            _attr("film", ("Film", "Movie"), (), presence=0.6),
+        ),
+        rows=tuple(
+            (celebrity(rng), year(rng, 1970, 2011), phrase(rng))
+            for _ in range(30)
+        ),
+        num_pages=13,
+    ))
+
+    add(Domain(
+        key="ibanez",
+        page_title="Ibanez guitar catalog",
+        topic_phrase="ibanez guitar series",
+        context_templates=(
+            "Catalog of Ibanez guitar series and their models.",
+        ),
+        attributes=(
+            _attr("series", ("Guitar series", "Ibanez series", "Series"), ("Line",)),
+            _attr("model", ("Models", "Model number"), (), presence=0.9),
+        ),
+        rows=tuple(
+            (pick(rng, _GUITAR_SERIES),
+             f"{pick(rng, ['RG', 'S', 'JEM', 'SR', 'AR'])}{rng.randint(100, 999)}")
+            for _ in range(28)
+        ),
+        num_pages=3,
+    ))
+
+    add(Domain(
+        key="internet_domains",
+        page_title="Internet top-level domains",
+        topic_phrase="internet domains",
+        context_templates=(
+            "Internet domains and the entity each one serves.",
+        ),
+        attributes=(
+            _attr("domain", ("Internet domain", "Domain", "TLD"), ("Name",)),
+            _attr("entity", ("Entity", "Intended use"), (), presence=0.95),
+        ),
+        rows=tuple(_INTERNET_DOMAINS),
+        num_pages=4,
+    ))
+
+    add(Domain(
+        key="bond_films",
+        page_title="James Bond films list",
+        topic_phrase="james bond films",
+        context_templates=(
+            "All james bond films in release order.",
+        ),
+        attributes=(
+            _attr("film", ("James Bond film", "Film", "Film title"), ("Title",)),
+            _attr("year", ("Year", "Release year"), (), presence=0.95),
+        ),
+        rows=tuple(real.JAMES_BOND_FILMS),
+        num_pages=7,
+    ))
+
+    add(Domain(
+        key="windows",
+        page_title="Microsoft Windows release history",
+        topic_phrase="microsoft windows products",
+        context_templates=(
+            "Microsoft Windows products and their release dates.",
+        ),
+        attributes=(
+            _attr("product", ("Windows product", "Product", "Version"), ("Name",)),
+            _attr("release_date", ("Release date", "Released"), (), presence=0.95),
+        ),
+        rows=tuple(real.WINDOWS_PRODUCTS),
+        num_pages=8,
+    ))
+
+    add(Domain(
+        key="mlb",
+        page_title="MLB World Series results",
+        topic_phrase="mlb world series winners",
+        context_templates=(
+            "MLB world series winners by season.",
+        ),
+        attributes=(
+            _attr("winner", ("World series winner", "Winning team", "Champion"), ("Team",)),
+            _attr("year", ("Year", "Season"), (), presence=0.95),
+        ),
+        rows=tuple(
+            (f"{pick(rng, real.US_CITIES)} {pick(rng, NOUNS)}s", year(rng, 1950, 2011))
+            for _ in range(30)
+        ),
+        num_pages=4,
+    ))
+
+    add(Domain(
+        key="movies",
+        page_title="Box office gross records",
+        topic_phrase="movies gross collection",
+        context_templates=(
+            "Movies ranked by worldwide gross collection.",
+            "Highest grossing films of all time.",
+        ),
+        attributes=(
+            _attr("movie", ("Movie", "Film", "Movie title"), ("Title",)),
+            _attr("gross", ("Gross collection", "Worldwide gross", "Box office"),
+                  ("Total",), presence=0.95),
+            _attr("year", ("Year",), (), presence=0.5),
+        ),
+        rows=tuple(
+            (f"{pick(rng, ADJECTIVES)} {pick(rng, NOUNS)}",
+             money(rng, 40_000_000, 2_000_000_000), year(rng, 1975, 2011))
+            for _ in range(40)
+        ),
+        num_pages=34,
+    ))
+
+    add(Domain(
+        key="parrots",
+        page_title="Parrot species guide",
+        topic_phrase="name of parrot",
+        context_templates=(
+            "Guide to parrot species with scientific names.",
+        ),
+        attributes=(
+            _attr("parrot", ("Parrot", "Parrot name", "Common name"), ("Name",)),
+            _attr("binomial", ("Binomial name", "Scientific name"), (), presence=0.9),
+        ),
+        rows=tuple(real.PARROTS),
+        num_pages=6,
+    ))
+
+    add(Domain(
+        key="mountains",
+        page_title="Mountains of North America",
+        topic_phrase="north american mountains",
+        context_templates=(
+            "The tallest north american mountains with elevations.",
+            "Mountain peaks of North America ranked by height.",
+        ),
+        attributes=(
+            _attr("mountain", ("Mountain", "Peak", "Mountain name"), ("Name",)),
+            _attr("height", ("Height", "Elevation", "Height metres"), ("Value",),
+                  presence=0.9),
+            _attr("country", ("Country",), (), presence=0.5),
+        ),
+        rows=tuple((m, str(h), c) for m, h, c in real.MOUNTAINS),
+        num_pages=17,
+    ))
+
+    add(Domain(
+        key="painkillers",
+        page_title="Pain relief medication reference",
+        topic_phrase="pain killers",
+        context_templates=(
+            "Common pain killers and the company producing each.",
+        ),
+        attributes=(
+            _attr("drug", ("Pain killer", "Medication", "Drug"), ("Name",)),
+            _attr("company", ("Company", "Manufacturer"), (), presence=0.95),
+            _attr("side_effects", ("Side effects",), (), presence=0.5),
+        ),
+        rows=tuple(
+            (f"{pick(rng, ['Ibu', 'Para', 'Napro', 'Keto', 'Diclo', 'Aceta'])}"
+             f"{pick(rng, ['profen', 'cetamol', 'xen', 'fenac', 'rolac', 'minophen'])}",
+             company_name(rng), pick(rng, ["Nausea", "Dizziness", "Drowsiness", "Headache"]))
+            for _ in range(16)
+        ),
+        num_pages=1,
+    ))
+
+    add(Domain(
+        key="pga",
+        page_title="PGA tour leaderboard archive",
+        topic_phrase="pga players",
+        context_templates=(
+            "PGA players and total score from the championship leaderboard.",
+        ),
+        attributes=(
+            _attr("player", ("PGA player", "Player", "Golfer"), ("Name",)),
+            _attr("score", ("Total score", "Score", "Final score"), ("Total",),
+                  presence=0.9),
+            _attr("country", ("Country",), (), presence=0.4),
+        ),
+        rows=tuple(
+            (celebrity(rng), f"{rng.randint(-18, 6):+d}",
+             pick(rng, [c for c, _x in real.COUNTRIES[:20]]))
+            for _ in range(32)
+        ),
+        num_pages=19,
+    ))
+
+    add(Domain(
+        key="running_shoes",
+        page_title="Running shoe reviews",
+        topic_phrase="running shoes model",
+        context_templates=(
+            "Running shoes model comparison with brand companies.",
+        ),
+        attributes=(
+            _attr("model", ("Shoe model", "Running shoe", "Model"), ("Name",)),
+            _attr("company", ("Company", "Brand"), (), presence=0.9),
+            _attr("price", ("Price",), (), presence=0.6),
+        ),
+        rows=tuple(
+            (f"{pick(rng, _SHOE_BRANDS)} {pick(rng, NOUNS)} {rng.randint(2, 12)}",
+             pick(rng, _SHOE_BRANDS), money(rng, 60, 180))
+            for _ in range(24)
+        ),
+        num_pages=4,
+    ))
+
+    add(Domain(
+        key="discoveries",
+        page_title="Great science discoveries",
+        topic_phrase="science discoveries",
+        context_templates=(
+            "Major science discoveries and their discoverers.",
+            "Timeline of scientific discovery.",
+        ),
+        attributes=(
+            _attr("discovery", ("Discovery", "Science discovery"), ("Name",)),
+            _attr("discoverer", ("Discoverer", "Discovered by", "Scientist"),
+                  (), presence=0.92),
+            _attr("year", ("Year",), (), presence=0.5),
+        ),
+        rows=tuple(
+            (d, p, year(rng, 1600, 1980)) for d, p in _DISCOVERIES
+        ),
+        num_pages=22,
+    ))
+
+    add(Domain(
+        key="universities",
+        page_title="University mottos",
+        topic_phrase="university motto",
+        context_templates=(
+            "Universities and the motto each institution bears.",
+        ),
+        attributes=(
+            _attr("university", ("University", "Institution"), ("Name",)),
+            _attr("motto", ("Motto", "University motto"), (), presence=0.92),
+        ),
+        rows=tuple(
+            (f"University of {pick(rng, real.US_CITIES)}",
+             f"{pick(rng, ['Lux', 'Veritas', 'Scientia', 'Fides', 'Libertas'])} et "
+             f"{pick(rng, ['veritas', 'labor', 'sapientia', 'virtus', 'humanitas'])}")
+            for _ in range(18)
+        ),
+        num_pages=4,
+    ))
+
+    add(Domain(
+        key="us_cities",
+        page_title="US cities by population",
+        topic_phrase="us cities",
+        context_templates=(
+            "Population figures for the largest us cities.",
+        ),
+        attributes=(
+            _attr("city", ("US city", "City"), ("Name",)),
+            _attr("population", ("Population", "Population 2010"), ("Total",),
+                  presence=0.92),
+            _attr("state", ("State",), (), presence=0.5),
+        ),
+        rows=tuple(
+            (c, count(rng, 380_000, 8_200_000),
+             pick(rng, [s for s, _c, _l in real.US_STATES]))
+            for c in real.US_CITIES
+        ),
+        num_pages=21,
+    ))
+
+    add(Domain(
+        key="pizza_stores",
+        page_title="Pizza franchise business report",
+        topic_phrase="us pizza store",
+        context_templates=(
+            "Annual sales figures for each us pizza store chain.",
+        ),
+        attributes=(
+            _attr("store", ("Pizza store", "Pizza chain", "Store"), ("Name",)),
+            _attr("sales", ("Annual sales", "Sales millions", "Yearly sales"),
+                  ("Total",), presence=0.9),
+        ),
+        rows=tuple(
+            (f"{pick(rng, ADJECTIVES)} Pizza {pick(rng, ['Kitchen', 'Express', 'House', 'Hut'])}",
+             money(rng, 1_000_000, 900_000_000))
+            for _ in range(18)
+        ),
+        num_pages=1,
+    ))
+
+    add(Domain(
+        key="video_games",
+        page_title="Video game releases database",
+        topic_phrase="video games",
+        context_templates=(
+            "Database of video games with developer company and year.",
+        ),
+        attributes=(
+            _attr("game", ("Video game", "Game title", "Game"), ("Title",)),
+            _attr("company", ("Company", "Developer", "Publisher"), (), presence=0.9),
+            _attr("year", ("Year",), (), presence=0.6),
+        ),
+        rows=tuple(
+            (f"{pick(rng, ADJECTIVES)} {pick(rng, NOUNS)} {pick(rng, ['II', 'III', 'IV', 'Online', 'Zero', ''])}".strip(),
+             company_name(rng), year(rng, 1985, 2011))
+            for _ in range(36)
+        ),
+        num_pages=18,
+    ))
+
+    add(Domain(
+        key="wimbledon",
+        page_title="Wimbledon champions roll",
+        topic_phrase="wimbledon champions",
+        context_templates=(
+            "Wimbledon champions year by year.",
+        ),
+        attributes=(
+            _attr("champion", ("Wimbledon champion", "Champion", "Winner"), ("Name",)),
+            _attr("year", ("Year",), (), presence=0.95),
+            _attr("country", ("Country",), (), presence=0.4),
+        ),
+        rows=tuple(
+            (celebrity(rng), str(1968 + i),
+             pick(rng, [c for c, _x in real.COUNTRIES[:15]]))
+            for i in range(42)
+        ),
+        num_pages=16,
+    ))
+
+    add(Domain(
+        key="buildings",
+        page_title="World's tallest buildings",
+        topic_phrase="world tallest buildings",
+        context_templates=(
+            "The world tallest buildings ranked by structural height.",
+        ),
+        attributes=(
+            _attr("building", ("Building", "Building name", "Tower"), ("Name",)),
+            _attr("height", ("Height", "Height m", "Structural height"), ("Value",),
+                  presence=0.9),
+            _attr("city", ("City",), (), presence=0.6),
+        ),
+        rows=tuple(_BUILDINGS),
+        num_pages=9,
+    ))
+
+    add(Domain(
+        key="academy_awards",
+        page_title="Academy Awards winners archive",
+        topic_phrase="academy award category",
+        context_templates=(
+            "Academy award winners by category and ceremony year.",
+        ),
+        attributes=(
+            _attr("category", ("Academy award category", "Award category", "Category"),
+                  (), presence=1.0),
+            _attr("winner", ("Winner", "Award winner"), ("Name",), presence=0.92),
+            _attr("year", ("Year", "Ceremony"), (), presence=0.85),
+        ),
+        rows=tuple(
+            (pick(rng, _ACADEMY_CATEGORIES), celebrity(rng), year(rng, 1960, 2011))
+            for _ in range(40)
+        ),
+        num_pages=14,
+    ))
+
+    add(Domain(
+        key="elements",
+        page_title="Periodic table of the elements",
+        topic_phrase="chemical element",
+        context_templates=(
+            "Periodic table listing each chemical element with atomic data.",
+        ),
+        attributes=(
+            _attr("element", ("Chemical element", "Element", "Element name"), ("Name",)),
+            _attr("atomic_number", ("Atomic number", "Number", "Z"), (), presence=0.9),
+            _attr("atomic_weight", ("Atomic weight", "Atomic mass", "Weight"),
+                  (), presence=0.85),
+        ),
+        rows=tuple((e, str(z), w) for e, z, w in real.ELEMENTS),
+        num_pages=19,
+    ))
+
+    add(Domain(
+        key="stocks",
+        page_title="Stock market quotes",
+        topic_phrase="company stock ticker",
+        context_templates=(
+            "Live company stock ticker symbols and share prices.",
+        ),
+        attributes=(
+            _attr("company", ("Company", "Company name"), ("Name",)),
+            _attr("ticker", ("Stock ticker", "Ticker", "Symbol"), (), presence=0.95),
+            _attr("price", ("Price", "Share price", "Last price"), ("Value",),
+                  presence=0.9),
+        ),
+        rows=tuple(
+            (company_name(rng),
+             "".join(picks(rng, list("ABCDEFGHIJKLMNOPQRSTUVWXYZ"), rng.randint(2, 4))),
+             money(rng, 2, 900))
+            for _ in range(40)
+        ),
+        num_pages=32,
+    ))
+
+    add(Domain(
+        key="edu_exchange",
+        page_title="International educational exchange report",
+        topic_phrase="educational exchange discipline",
+        context_templates=(
+            "Educational exchange discipline enrollment in US universities.",
+        ),
+        attributes=(
+            _attr("discipline", ("Discipline", "Field of study", "Exchange discipline"),
+                  ("Name",)),
+            _attr("students", ("Number of students", "Students", "Enrollment"),
+                  ("Total",), presence=0.9),
+            _attr("year", ("Year",), (), presence=0.85),
+        ),
+        rows=tuple(
+            (d, count(rng, 500, 90_000), year(rng, 2000, 2011))
+            for d in ["Engineering", "Business and Management", "Mathematics",
+                      "Computer Science", "Physical Sciences", "Social Sciences",
+                      "Fine Arts", "Health Professions", "Education", "Humanities",
+                      "Agriculture", "Law"]
+        ),
+        num_pages=2,
+    ))
+
+    add(Domain(
+        key="fast_cars",
+        page_title="Fastest production cars",
+        topic_phrase="fast cars",
+        context_templates=(
+            "The world's fast cars with manufacturer and top speed.",
+        ),
+        attributes=(
+            _attr("car", ("Car", "Car model", "Fast car"), ("Name", "Model")),
+            _attr("company", ("Company", "Manufacturer", "Maker"), (), presence=0.9),
+            _attr("top_speed", ("Top speed", "Max speed", "Top speed kmh"), (),
+                  presence=0.9),
+        ),
+        rows=tuple(
+            (f"{pick(rng, _CAR_BRANDS)} {pick(rng, NOUNS)} {pick(rng, ['GT', 'SS', 'RS', 'Veloce'])}",
+             pick(rng, _CAR_BRANDS), f"{rng.randint(290, 431)} km/h")
+            for _ in range(30)
+        ),
+        num_pages=17,
+    ))
+
+    add(Domain(
+        key="food_nutrition",
+        page_title="Food nutrition facts",
+        topic_phrase="food fat protein",
+        context_templates=(
+            "Nutrition facts: food items with fat and protein per 100 grams.",
+        ),
+        attributes=(
+            _attr("food", ("Food", "Food item"), ("Name", "Item")),
+            _attr("fat", ("Fat", "Fat g", "Total fat"), (), presence=0.9),
+            _attr("protein", ("Protein", "Protein g"), (), presence=0.9),
+        ),
+        rows=tuple(real.FOODS),
+        num_pages=26,
+    ))
+
+    add(Domain(
+        key="ipods",
+        page_title="iPod model history",
+        topic_phrase="ipod models",
+        context_templates=(
+            "Every ipod model with release date and launch price.",
+        ),
+        attributes=(
+            _attr("model", ("iPod model", "Model", "iPod"), ("Name",)),
+            _attr("release_date", ("Release date", "Released"), (), presence=0.85),
+            _attr("price", ("Price", "Launch price"), ("Value",), presence=0.8),
+        ),
+        rows=tuple(real.IPOD_MODELS),
+        num_pages=11,
+    ))
+
+    add(Domain(
+        key="explorers",
+        page_title="List of explorers",
+        topic_phrase="name of explorers",
+        context_templates=(
+            "This article lists the explorations in history with each explorer.",
+            "Famous explorers, their nationality and the areas they explored.",
+        ),
+        attributes=(
+            _attr("explorer", ("Name of Explorers", "Explorer", "Who explorer"),
+                  ("Name",)),
+            _attr("nationality", ("Nationality",), (), presence=0.85),
+            _attr("areas", ("Areas Explored", "Main areas explored", "Exploration"),
+                  (), presence=0.85),
+        ),
+        rows=tuple(real.EXPLORERS),
+        num_pages=9,
+        two_header=0.3,
+    ))
+
+    add(Domain(
+        key="nba",
+        page_title="NBA match results",
+        topic_phrase="nba match",
+        context_templates=(
+            "NBA match results with date and winner.",
+        ),
+        attributes=(
+            _attr("match", ("NBA match", "Match", "Game"), ("Name",)),
+            _attr("date", ("Date", "Game date"), (), presence=0.9),
+            _attr("winner", ("Winner", "Winning team"), (), presence=0.9),
+        ),
+        rows=tuple(
+            (lambda a, b: (f"{a} vs {b}",
+                           f"{pick(rng, ['Jan', 'Feb', 'Mar', 'Apr', 'Nov', 'Dec'])} "
+                           f"{rng.randint(1, 28)}, {year(rng, 2005, 2011)}",
+                           pick(rng, [a, b])))(
+                f"{pick(rng, real.US_CITIES)} {pick(rng, NOUNS)}s",
+                f"{pick(rng, real.US_CITIES)} {pick(rng, NOUNS)}s")
+            for _ in range(36)
+        ),
+        num_pages=21,
+    ))
+
+    add(Domain(
+        key="jedi_novels",
+        page_title="New Jedi Order novels",
+        topic_phrase="new jedi order novels",
+        context_templates=(
+            "The new jedi order novels with authors and release years.",
+        ),
+        attributes=(
+            _attr("novel", ("Novel", "Novel title", "Jedi Order novel"), ("Title",)),
+            _attr("author", ("Authors", "Author", "Written by"), (), presence=0.92),
+            _attr("year", ("Year", "Published"), (), presence=0.85),
+        ),
+        rows=tuple(
+            (f"{pick(rng, ['Vector', 'Dark', 'Edge', 'Star', 'Balance', 'Force'])} "
+             f"{pick(rng, ['Prime', 'Tide', 'of Victory', 'Journey', 'Point', 'Heretic'])}",
+             person_name(rng), year(rng, 1999, 2004))
+            for _ in range(25)
+        ),
+        num_pages=15,
+    ))
+
+    add(Domain(
+        key="nobel",
+        page_title="Nobel laureates list",
+        topic_phrase="nobel prize winners",
+        context_templates=(
+            "Nobel prize winners with field and award year.",
+            "Laureates honored by the Nobel committee.",
+        ),
+        attributes=(
+            # The split-header/context case: pages often label the column
+            # just "Winner" and mention "Nobel prize" only in the context.
+            _attr("winner", ("Winner", "Laureate", "Prize winner"), ("Name",)),
+            _attr("field", ("Field", "Category"), (), presence=0.9),
+            _attr("year", ("Year",), (), presence=0.9),
+        ),
+        rows=tuple(
+            (celebrity(rng), pick(rng, _NOBEL_FIELDS), year(rng, 1950, 2011))
+            for _ in range(34)
+        ),
+        num_pages=7,
+    ))
+
+    add(Domain(
+        key="olympus",
+        page_title="Olympus digital SLR lineup",
+        topic_phrase="olympus digital slr models",
+        context_templates=(
+            "Olympus digital SLR models with sensor resolution and price.",
+        ),
+        attributes=(
+            _attr("model", ("SLR model", "Camera model", "Olympus model"), ("Name",)),
+            _attr("resolution", ("Resolution", "Megapixels"), (), presence=0.9),
+            _attr("price", ("Price",), ("Value",), presence=0.85),
+        ),
+        rows=tuple(
+            (f"Olympus E-{rng.randint(1, 620)}", f"{rng.randint(5, 16)} MP",
+             money(rng, 350, 1800))
+            for _ in range(16)
+        ),
+        num_pages=3,
+    ))
+
+    add(Domain(
+        key="pres_library",
+        page_title="Presidential libraries directory",
+        topic_phrase="president library name",
+        context_templates=(
+            "Each president with library name and location.",
+        ),
+        attributes=(
+            _attr("president", ("President", "US president"), ("Name",)),
+            _attr("library", ("Library name", "Presidential library"), (), presence=0.9),
+            _attr("location", ("Location", "City"), (), presence=0.9),
+        ),
+        rows=tuple(_PRESIDENT_LIBRARIES),
+        num_pages=2,
+    ))
+
+    add(Domain(
+        key="religions",
+        page_title="World religions overview",
+        topic_phrase="religion number of followers",
+        context_templates=(
+            "Major world religions with number of followers and origins.",
+        ),
+        attributes=(
+            _attr("religion", ("Religion", "Faith"), ("Name",)),
+            _attr("followers", ("Number of followers", "Followers", "Adherents"),
+                  ("Total",), presence=0.9),
+            _attr("origin", ("Country of origin", "Origin", "Birthplace"), (),
+                  presence=0.85),
+        ),
+        rows=tuple(
+            (r, count(rng, 1_000_000, 2_300_000_000), o)
+            for r, o in real.RELIGIONS
+        ),
+        num_pages=20,
+    ))
+
+    add(Domain(
+        key="star_trek",
+        page_title="Star Trek novel releases",
+        topic_phrase="star trek novels",
+        context_templates=(
+            "Star trek novels with authors and release dates.",
+        ),
+        attributes=(
+            _attr("novel", ("Star Trek novel", "Novel", "Title"), ("Name",)),
+            _attr("author", ("Authors", "Author"), (), presence=0.92),
+            _attr("release_date", ("Release date", "Published"), (), presence=0.9),
+        ),
+        rows=tuple(
+            (f"Star Trek {pick(rng, ['Destiny', 'Titan', 'Vanguard', 'Legacy', 'Frontier'])} "
+             f"{pick(rng, NOUNS)}", person_name(rng), year(rng, 1985, 2011))
+            for _ in range(22)
+        ),
+        num_pages=5,
+    ))
+
+    add(Domain(
+        key="aus_cities",
+        page_title="Australian cities statistical areas",
+        topic_phrase="australian cities",
+        context_templates=(
+            "Australian cities with their greater statistical area.",
+        ),
+        attributes=(
+            _attr("city", ("Australian city", "City"), ("Name",)),
+            _attr("area", ("Area", "Area km2", "Land area"), ("Value",), presence=0.9),
+        ),
+        rows=tuple(real.AUSTRALIAN_CITIES),
+        num_pages=4,
+    ))
+
+    # -- distractor domains ---------------------------------------------------
+    # Pages that share query keywords without holding the queried relation.
+
+    def keyword_distractor(key, title, topic, headers, row_maker, pages,
+                           templates=None):
+        rows = tuple(row_maker(rng) for _ in range(rng.randint(10, 22)))
+        return Domain(
+            key=key,
+            page_title=title,
+            topic_phrase=topic,
+            context_templates=tuple(
+                templates or (f"All about {topic} and related offers.",)
+            ),
+            attributes=tuple(
+                _attr(f"col{i}", (h,), ()) for i, h in enumerate(headers)
+            ),
+            rows=rows,
+            num_pages=pages,
+            is_distractor=True,
+        )
+
+    add(keyword_distractor(
+        "d_kings_africa", "King size beds sale - Africa imports",
+        "kings of africa king size africa",
+        ("Product", "Price"),
+        lambda r: (f"King size {pick(r, ['bed', 'mattress', 'frame', 'duvet'])} "
+                   f"{pick(r, ADJECTIVES)}", money(r, 150, 2200)),
+        8,
+    ))
+    add(keyword_distractor(
+        "d_safari", "African safari tour packages",
+        "africa safari kings wildlife",
+        ("Tour", "Cost"),
+        lambda r: (f"{pick(r, ['Serengeti', 'Kruger', 'Masai Mara', 'Okavango'])} "
+                   f"{pick(r, ['safari', 'lodge', 'camp'])}", money(r, 900, 9000)),
+        8,
+    ))
+    add(keyword_distractor(
+        "d_moon_project", "Project management phases guide",
+        "phases of project moon shot",
+        ("Phase", "Deadline"),
+        lambda r: (f"{pick(r, ['Planning', 'Design', 'Build', 'Test', 'Launch'])} phase",
+                   f"Q{r.randint(1, 4)} {year(r, 2005, 2011)}"),
+        12,
+    ))
+    add(keyword_distractor(
+        "d_moon_astrology", "Moon sign astrology tables",
+        "moon sign astrology phases",
+        ("Sign", "Dates"),
+        lambda r: (pick(r, ["Aries", "Taurus", "Gemini", "Cancer", "Leo", "Virgo",
+                            "Libra", "Scorpio"]),
+                   f"{pick(r, ['Jan', 'Feb', 'Mar', 'Apr'])} {r.randint(1, 28)}"),
+        12,
+    ))
+    add(keyword_distractor(
+        "d_pm_football", "England football managers",
+        "england managers prime form",
+        ("Manager", "Club"),
+        lambda r: (person_name(r), f"{city_name(r)} FC"),
+        16,
+    ))
+    add(keyword_distractor(
+        "d_olympics", "2008 Beijing Olympics news archive",
+        "2008 beijing olympic events winners gold medal sports event",
+        ("Article", "Date"),
+        lambda r: (f"Olympic {pick(r, ['preview', 'recap', 'feature', 'interview'])}: "
+                   f"{phrase(r)}", f"Aug {r.randint(8, 24)}, 2008"),
+        18,
+        templates=("News coverage of the 2008 beijing olympic events and winners.",),
+    ))
+    add(keyword_distractor(
+        "d_clothing", "Clothing care symbols guide",
+        "clothing sizes symbols care",
+        ("Symbol", "Meaning"),
+        lambda r: (f"{pick(r, ['Circle', 'Square', 'Triangle', 'Cross'])} "
+                   f"{pick(r, ['icon', 'mark'])}",
+                   pick(r, ["Dry clean", "No bleach", "Tumble dry", "Hand wash"])),
+        12,
+        templates=("Care label symbols explained for all clothing sizes.",),
+    ))
+    add(keyword_distractor(
+        "d_banks_river", "River banks fishing spots",
+        "river banks fishing rates",
+        ("Spot", "Rating"),
+        lambda r: (f"{city_name(r)} river bank", f"{r.randint(1, 5)} stars"),
+        10,
+    ))
+    add(keyword_distractor(
+        "d_car_rentals", "Car rental accident coverage",
+        "car accidents insurance location",
+        ("Plan", "Premium"),
+        lambda r: (f"{pick(r, ADJECTIVES)} coverage plan", money(r, 9, 60)),
+        20,
+        templates=("Insurance plans covering car accidents at any location.",),
+    ))
+    add(keyword_distractor(
+        "d_sun_horoscope", "Sun sign compatibility",
+        "sun sign composition percentage",
+        ("Sign", "Compatibility"),
+        lambda r: (pick(r, ["Aries", "Leo", "Sagittarius", "Gemini", "Libra"]),
+                   f"{r.randint(40, 99)}%"),
+        22,
+        templates=("Compatibility percentage for each sun sign pairing.",),
+    ))
+    add(keyword_distractor(
+        "d_fifa_tickets", "FIFA world cup ticket resale",
+        "fifa world cup tickets winners",
+        ("Match", "Ticket price"),
+        lambda r: (f"{pick(r, [c for c, _x in real.COUNTRIES[:20]])} vs "
+                   f"{pick(r, [c for c, _x in real.COUNTRIES[:20]])}", money(r, 40, 900)),
+        20,
+        templates=("Buy fifa worlds cup tickets; winners announced weekly.",),
+    ))
+    add(keyword_distractor(
+        "d_guitar_lessons", "Guitar lessons pricing",
+        "ibanez guitar lessons series models",
+        ("Lesson", "Fee"),
+        lambda r: (f"{pick(r, ['Beginner', 'Blues', 'Metal', 'Jazz'])} guitar course",
+                   money(r, 20, 90)),
+        10,
+    ))
+    add(keyword_distractor(
+        "d_ev_concepts", "Electric vehicle concept news",
+        "pre-production electric vehicle release",
+        ("Story", "Posted"),
+        lambda r: (f"Concept EV {phrase(r)}", year(r, 2008, 2011)),
+        3,
+        templates=("Rumors on every pre-production electric vehicle release date.",),
+    ))
+    add(keyword_distractor(
+        "d_cellphones", "Used cellphones buying guide",
+        "used cellphones price guide",
+        ("Tip", "Detail"),
+        lambda r: (f"Check the {pick(r, ['battery', 'screen', 'charger', 'IMEI'])}",
+                   pick(r, ["before buying", "at the store", "online"])),
+        16,
+        templates=("How to judge a used cellphones price before you buy.",),
+    ))
+    add(keyword_distractor(
+        "d_pizza_recipes", "Pizza recipes collection",
+        "pizza store style annual recipes",
+        ("Recipe", "Bake time"),
+        lambda r: (f"{pick(r, ['Neapolitan', 'Chicago', 'New York', 'Sicilian'])} pizza",
+                   f"{r.randint(8, 25)} min"),
+        18,
+        templates=("Recipes inspired by every us pizza store style; sales of books annual.",),
+    ))
+    add(keyword_distractor(
+        "d_buildings_codes", "Building permit fee schedule",
+        "building permits height fees world",
+        ("Permit", "Fee"),
+        lambda r: (f"{pick(r, ['Residential', 'Commercial', 'Industrial'])} permit "
+                   f"class {r.randint(1, 5)}", money(r, 100, 4000)),
+        20,
+        templates=("Fee schedule by building height for the world permit office.",),
+    ))
+    add(keyword_distractor(
+        "d_forest_reserves", "Other Formal Reserves 1.3 Forest Reserves",
+        "forest reserves exploration mining areas",
+        ("ID", "Name", "Area"),
+        lambda r: (str(r.randint(1, 99)),
+                   f"{pick(r, ['Shakespeare', 'Plains', 'Welcome', 'Harlequin', 'Maydena'])} "
+                   f"{pick(r, ['Hills', 'Creek', 'Swamp', 'Ridge'])}",
+                   str(r.randint(50, 4000))),
+        4,
+        templates=(
+            "Other Formal Reserves 1.3 Forest Reserves under the Forestry Act 1920.",
+            "All areas will be available for mineral exploration and mining.",
+        ),
+    ))
+    add(keyword_distractor(
+        "d_wrestling_moves", "Wrestling moves glossary",
+        "wrestling moves professional holds",
+        ("Move", "Type"),
+        lambda r: (f"{pick(r, ADJECTIVES)} {pick(r, ['suplex', 'slam', 'lock', 'drop'])}",
+                   pick(r, ["Aerial", "Submission", "Strike", "Throw"])),
+        2,
+    ))
+    add(keyword_distractor(
+        "d_academy_schools", "Academy school admissions",
+        "academy admissions category year",
+        ("Program", "Seats"),
+        lambda r: (f"{pick(r, ADJECTIVES)} academy {pick(r, ['science', 'arts'])} track",
+                   str(r.randint(20, 200))),
+        18,
+        templates=("Admissions by award category for each academy year.",),
+    ))
+    add(keyword_distractor(
+        "d_mountain_gear", "Mountain climbing gear shop",
+        "mountains climbing gear height north",
+        ("Gear", "Price"),
+        lambda r: (f"{pick(r, ADJECTIVES)} {pick(r, ['rope', 'harness', 'crampon', 'tent'])}",
+                   money(r, 25, 700)),
+        11,
+        templates=("Gear for north american mountains expeditions at any height.",),
+    ))
+    add(keyword_distractor(
+        "d_wimbledon_tickets", "Wimbledon hospitality packages",
+        "wimbledon tickets champions hospitality",
+        ("Package", "Price"),
+        lambda r: (f"{pick(r, ['Centre Court', 'Court One', 'Debenture'])} package",
+                   money(r, 200, 4000)),
+        9,
+        templates=("Hospitality near the wimbledon champions walk, year round.",),
+    ))
+    add(keyword_distractor(
+        "d_golf_courses", "Golf course directory",
+        "golf pga courses players score",
+        ("Course", "Par"),
+        lambda r: (f"{city_name(r)} golf club", str(r.randint(68, 73))),
+        7,
+        templates=("Courses where pga players post a total score daily.",),
+    ))
+    add(keyword_distractor(
+        "d_ipod_accessories", "iPod accessories store",
+        "ipod accessories price models",
+        ("Accessory", "Price"),
+        lambda r: (f"{pick(r, ADJECTIVES)} {pick(r, ['case', 'dock', 'cable', 'charger'])}",
+                   money(r, 5, 80)),
+        15,
+        templates=("Accessories fitting all ipod models at a fair price; new release date weekly.",),
+    ))
+    add(keyword_distractor(
+        "d_camera_reviews", "Camera lens review blog",
+        "camera lens olympus review price resolution",
+        ("Lens", "Rating"),
+        lambda r: (f"{r.randint(14, 300)}mm f/{pick(r, ['1.8', '2.8', '4.0'])} lens",
+                   f"{r.randint(60, 99)}/100"),
+        5,
+        templates=("Reviews of lenses for olympus digital slr models and others.",),
+    ))
+    add(keyword_distractor(
+        "d_books_clubs", "Book club reading lists",
+        "books reading united states clubs author",
+        ("Meeting", "Theme"),
+        lambda r: (f"{pick(r, ['January', 'March', 'June', 'October'])} meeting",
+                   phrase(r)),
+        4,
+        templates=("Book clubs across the united states pick an author monthly.",),
+    ))
+    add(keyword_distractor(
+        "d_exchange_programs", "Student exchange visa forms",
+        "educational exchange students visa year",
+        ("Form", "Processing"),
+        lambda r: (f"Form DS-{r.randint(100, 999)}", f"{r.randint(2, 12)} weeks"),
+        8,
+        templates=("Visa forms for educational exchange students filed by year.",),
+    ))
+    add(keyword_distractor(
+        "d_presidents_trivia", "Presidents trivia quiz",
+        "president trivia library location quiz",
+        ("Question", "Points"),
+        lambda r: (f"Which president {pick(r, ['signed', 'vetoed', 'founded'])} "
+                   f"the {phrase(r)}?", str(r.randint(5, 50))),
+        5,
+        templates=("Trivia night at the public library; location varies by president themes.",),
+    ))
+    add(keyword_distractor(
+        "d_windows_repair", "Window repair services",
+        "windows repair products glass release",
+        ("Service", "Cost"),
+        lambda r: (f"{pick(r, ['Pane', 'Frame', 'Seal', 'Glass'])} replacement",
+                   money(r, 40, 600)),
+        8,
+        templates=("Microsoft of window repair: products for every release date of glass.",),
+    ))
+    add(keyword_distractor(
+        "d_nba_fantasy", "Fantasy basketball advice",
+        "nba fantasy match winner date",
+        ("Pick", "Confidence"),
+        lambda r: (person_name(r), f"{r.randint(50, 99)}%"),
+        6,
+        templates=("Fantasy nba match picks: the winner by date every week.",),
+    ))
+    add(keyword_distractor(
+        "d_currency_converter", "Currency converter widgets",
+        "currency converter country exchange widgets",
+        ("Widget", "Downloads"),
+        lambda r: (f"{pick(r, ADJECTIVES)} converter v{r.randint(1, 9)}",
+                   count(r, 100, 90_000)),
+        6,
+        templates=("Convert any country currency with a us dollar exchange rate widget.",),
+    ))
+    add(keyword_distractor(
+        "d_metal_reviews", "Metal album reviews",
+        "metal album reviews bands country black",
+        ("Album", "Score"),
+        lambda r: (f"{phrase(r)} LP", f"{r.randint(4, 10)}/10"),
+        11,
+        templates=("Reviews of black metal bands albums from every country.",),
+    ))
+    add(keyword_distractor(
+        "d_shoes_coupons", "Shoe store coupon codes",
+        "running shoes coupons model company",
+        ("Coupon", "Discount"),
+        lambda r: (f"{pick(r, ['SAVE', 'RUN', 'FLEX'])}{r.randint(10, 99)}",
+                   f"{r.randint(5, 40)}% off"),
+        4,
+        templates=("Coupons for every running shoes model from any company.",),
+    ))
+    add(keyword_distractor(
+        "d_food_recipes", "Low fat recipes blog",
+        "food recipes fat protein low",
+        ("Recipe", "Calories"),
+        lambda r: (f"{pick(r, ADJECTIVES)} {pick(r, ['salad', 'bowl', 'stew', 'bake'])}",
+                   str(r.randint(150, 900))),
+        3,
+        templates=("Low fat high protein food recipes for the week.",),
+    ))
+    add(keyword_distractor(
+        "d_movie_tickets", "Movie showtimes portal",
+        "movies showtimes gross tickets",
+        ("Showtime", "Screen"),
+        lambda r: (f"{r.randint(1, 12)}:{pick(r, ['00', '15', '30', '45'])} PM",
+                   f"Screen {r.randint(1, 16)}"),
+        2,
+        templates=("Movies showtimes; weekend gross collection reports monthly.",),
+    ))
+    add(keyword_distractor(
+        "d_dog_food", "Dog food ratings",
+        "dog food ratings breed",
+        ("Brand", "Rating"),
+        lambda r: (f"{pick(r, ADJECTIVES)} {pick(r, ['Paw', 'Tail', 'Bone'])} kibble",
+                   f"{r.randint(1, 5)} stars"),
+        2,
+        templates=("Best dog food by breed ratings.",),
+    ))
+    add(keyword_distractor(
+        "d_games_forum", "Video game forum hot threads",
+        "video games forum company threads",
+        ("Thread", "Replies"),
+        lambda r: (f"Is {phrase(r)} worth it?", count(r, 3, 4000)),
+        2,
+        templates=("Video games forum; which company wins this gen?",),
+    ))
+    add(keyword_distractor(
+        "d_stocks_tips", "Penny stock newsletter",
+        "stock tips ticker price company",
+        ("Tip", "Target"),
+        lambda r: (f"Watch {pick(r, ADJECTIVES)} sector", money(r, 1, 40)),
+        2,
+        templates=("Newsletter with company stock ticker price targets.",),
+    ))
+    add(keyword_distractor(
+        "d_parrot_care", "Parrot care handbook",
+        "parrot care name feeding",
+        ("Topic", "Pages"),
+        lambda r: (f"{pick(r, ['Feeding', 'Housing', 'Training'])} your parrot",
+                   str(r.randint(2, 30))),
+        2,
+        templates=("Care handbook for any name of parrot; binomial feeding charts.",),
+    ))
+    add(keyword_distractor(
+        "d_aus_travel", "Australia travel deals",
+        "australian cities travel area deals",
+        ("Deal", "Price"),
+        lambda r: (f"{pick(r, ['Sydney', 'Melbourne', 'Perth', 'Cairns'])} getaway",
+                   money(r, 200, 3000)),
+        14,
+        templates=("Travel deals across australian cities and the outback area.",),
+    ))
+    add(keyword_distractor(
+        "d_religion_essays", "Comparative religion essays",
+        "religion essays followers origin country",
+        ("Essay", "Author"),
+        lambda r: (f"On {pick(r, ['faith', 'ritual', 'doctrine', 'origin'])} and "
+                   f"{pick(r, ['modernity', 'history', 'culture'])}", person_name(r)),
+        4,
+        templates=("Essays on each religion, its number of followers and country of origin.",),
+    ))
+    add(keyword_distractor(
+        "d_uni_rankings", "University fee schedules",
+        "university fees tuition motto",
+        ("Fee", "Amount"),
+        lambda r: (f"{pick(r, ['Tuition', 'Housing', 'Lab', 'Library'])} fee",
+                   money(r, 200, 40_000)),
+        1,
+        templates=("University fee schedule; our motto is transparency.",),
+    ))
+    add(keyword_distractor(
+        "d_city_guides", "US city visitor guides",
+        "us cities visitor guides population",
+        ("Guide", "Pages"),
+        lambda r: (f"{pick(r, real.US_CITIES)} visitor guide", str(r.randint(8, 120))),
+        2,
+        templates=("Visitor guides for popular us cities; population of attractions inside.",),
+    ))
+    add(keyword_distractor(
+        "d_states_quiz", "US states quiz night",
+        "usa states quiz capitals population",
+        ("Round", "Theme"),
+        lambda r: (f"Round {r.randint(1, 8)}",
+                   pick(r, ["Capitals", "Flags", "Borders", "Rivers"])),
+        6,
+        templates=("Quiz on usa states, capitals and largest cities; population bonus round.",),
+    ))
+    add(keyword_distractor(
+        "d_bond_trivia", "James Bond gadget wiki",
+        "james bond gadget films",
+        ("Gadget", "Film appearance"),
+        lambda r: (f"{pick(r, ADJECTIVES)} {pick(r, ['watch', 'car', 'pen', 'laser'])}",
+                   pick(r, [f for f, _y in real.JAMES_BOND_FILMS])),
+        3,
+        templates=("Gadgets from james bond films by year of appearance.",),
+    ))
+    add(keyword_distractor(
+        "d_globe_travel", "Golden Globe travel agency",
+        "golden globe travel award winning",
+        ("Trip", "Price"),
+        lambda r: (f"{pick(r, ['Bali', 'Paris', 'Tokyo', 'Cairo'])} escape",
+                   money(r, 500, 8000)),
+        3,
+        templates=("Golden Globe travel: award winners of service year after year.",),
+    ))
+    add(keyword_distractor(
+        "d_science_fair", "School science fair projects",
+        "science fair projects discoveries",
+        ("Project", "Grade"),
+        lambda r: (f"{pick(r, ADJECTIVES)} {pick(r, ['volcano', 'circuit', 'crystal'])}",
+                   pick(r, ["A", "A-", "B+", "B"])),
+        3,
+        templates=("Science fair discoveries by young discoverers.",),
+    ))
+    add(keyword_distractor(
+        "d_elements_design", "Elements of design course",
+        "elements design atomic course",
+        ("Module", "Hours"),
+        lambda r: (f"{pick(r, ['Color', 'Line', 'Shape', 'Texture'])} module",
+                   str(r.randint(2, 12))),
+        2,
+        templates=("Course on the chemical free elements of design; atomic layouts.",),
+    ))
+    add(keyword_distractor(
+        "d_trek_conventions", "Sci-fi convention schedule",
+        "star trek convention novels authors",
+        ("Event", "Date"),
+        lambda r: (f"{pick(r, ['Galaxy', 'Nebula', 'Warp'])} con {year(r, 2009, 2011)}",
+                   f"{pick(r, ['Mar', 'Jul', 'Sep'])} {r.randint(1, 28)}"),
+        1,
+        templates=("Conventions where star trek novels authors sign; release date news.",),
+    ))
+    add(keyword_distractor(
+        "d_jedi_fan", "Jedi fan fiction archive",
+        "jedi order fan fiction novels",
+        ("Story", "Chapters"),
+        lambda r: (f"{pick(r, ADJECTIVES)} {pick(r, ['Padawan', 'Master', 'Order'])}",
+                   str(r.randint(1, 40))),
+        1,
+        templates=("Fan fiction set after the new jedi order novels; authors wanted by year.",),
+    ))
+    add(keyword_distractor(
+        "d_nobel_schools", "Nobel high school honor roll",
+        "nobel school honor roll winners",
+        ("Student", "GPA"),
+        lambda r: (person_name(r), f"{r.uniform(3.0, 4.0):.2f}"),
+        2,
+        templates=("Nobel high school prize winners honor roll by field and year.",),
+    ))
+    add(keyword_distractor(
+        "d_painkiller_forum", "Chronic pain support forum",
+        "pain relief forum killers side",
+        ("Thread", "Posts"),
+        lambda r: (f"Coping with {pick(r, ['back', 'knee', 'joint'])} pain",
+                   count(r, 2, 900)),
+        1,
+        templates=("Forum threads about pain killers and side effects; company news.",),
+    ))
+
+    registry = {}
+    for domain in domains:
+        if domain.key in registry:
+            raise ValueError(f"duplicate domain key {domain.key!r}")
+        registry[domain.key] = domain
+    return registry
+
+
+#: The default registry used by the generator and the query workload.
+REGISTRY: Dict[str, Domain] = build_registry()

@@ -1,0 +1,298 @@
+"""Rendering domain specifications into noisy HTML pages.
+
+Each page carries exactly one *data* table (the relation sample) plus the
+junk real pages have — navigation tables, footers, verbose asides — which the
+extractor must reject.  The noise profile reproduces the paper's corpus
+statistics: ~18% of data tables get no header row, ~17% two header rows,
+~5% more than two, ~20% use the ``<th>`` tag (the rest mark headers with
+bold/background), and some pages carry a spanning title row.
+
+The renderer records the attribute key of every emitted column so the
+generator can derive exact ground truth after extraction.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from html import escape
+from typing import List, Optional, Sequence, Tuple
+
+from .domains import Domain
+from .wordbanks import ADJECTIVES, NOUNS, pick
+
+__all__ = ["GeneratedPage", "render_page"]
+
+_JUNK_SECOND_HEADERS = [
+    "(Chronological order)", "(alphabetical)", "2010 data", "updated weekly",
+    "(partial list)", "source: archive",
+]
+
+_FILLER_SENTENCES = [
+    "Our editors update this resource every month with community submissions.",
+    "Sign up for the newsletter to receive weekly highlights and offers.",
+    "For the documentary series powered by Duracell, see the media section.",
+    "This material is licensed for personal and classroom use only.",
+    "Browse the archive for older revisions of this page and its sources.",
+    "Advertisement: premium members browse without any banners.",
+]
+
+
+@dataclass
+class GeneratedPage:
+    """One synthetic web page plus its ground-truth provenance."""
+
+    page_id: str
+    html: str
+    domain_key: str
+    column_attrs: Tuple[str, ...]  # attribute key per table column, in order
+    is_distractor: bool
+    num_header_rows_written: int
+    has_title_row: bool
+    url: str = ""
+
+
+def _choose_columns(domain: Domain, rng: random.Random) -> List[int]:
+    """Pick attribute indices for this page's table (subject always kept)."""
+    chosen = [0]
+    for i, attr in enumerate(domain.attributes[1:], start=1):
+        if rng.random() < attr.presence:
+            chosen.append(i)
+    if len(chosen) < 2:
+        # Extractor rejects single-column tables; force one attribute in.
+        extras = [i for i in range(1, len(domain.attributes)) if i not in chosen]
+        if extras:
+            chosen.append(pick(rng, extras))
+    if rng.random() < 0.4 and len(chosen) > 1:
+        # Subject is not always the first column on real pages.
+        rng.shuffle(chosen)
+    return chosen
+
+
+def _header_text(domain: Domain, attr_idx: int, rng: random.Random) -> str:
+    attr = domain.attributes[attr_idx]
+    if attr.vague_headers and rng.random() < domain.vague_prob:
+        return pick(rng, attr.vague_headers)
+    # Real pages mostly use the canonical attribute name; synonyms are the
+    # minority.  The first variant is the canonical one.
+    if rng.random() < 0.6 or len(attr.headers) == 1:
+        return attr.headers[0]
+    return pick(rng, attr.headers[1:])
+
+
+def _split_header(text: str, rng: random.Random) -> Tuple[str, str]:
+    """Split a multi-word header across two rows ("Main areas" / "explored")."""
+    words = text.split()
+    if len(words) < 2:
+        return text, ""
+    cut = rng.randint(1, len(words) - 1)
+    return " ".join(words[:cut]), " ".join(words[cut:])
+
+
+def _render_header_rows(
+    headers: Sequence[str], domain: Domain, rng: random.Random
+) -> Tuple[List[str], int]:
+    """Emit the header-row HTML; returns (rows, count)."""
+    use_th = rng.random() < domain.th_usage
+    style = "" if use_th else pick(
+        rng, [' style="font-weight:bold"', ' bgcolor="#d8d8e8"', ' class="hdr"']
+    )
+    tag = "th" if use_th else "td"
+
+    def cell(text: str) -> str:
+        body = escape(text)
+        if not use_th and "bold" in style:
+            body = f"<b>{body}</b>"
+        return f"<{tag}{style if tag == 'td' else ''}>{body}</{tag}>"
+
+    roll = rng.random()
+    rows: List[str] = []
+    if roll < domain.multi_header:
+        # Three header rows: split + junk annotation row.
+        tops, bottoms = zip(*(_split_header(h, rng) for h in headers))
+        rows.append("<tr>" + "".join(cell(t) for t in tops) + "</tr>")
+        rows.append("<tr>" + "".join(cell(b) for b in bottoms) + "</tr>")
+        junk = [pick(rng, _JUNK_SECOND_HEADERS)] + [""] * (len(headers) - 1)
+        rng.shuffle(junk)
+        rows.append("<tr>" + "".join(cell(j) for j in junk) + "</tr>")
+    elif roll < domain.multi_header + domain.two_header:
+        if rng.random() < 0.5:
+            # True split headers (Figure 1, Table 1 style).
+            tops, bottoms = zip(*(_split_header(h, rng) for h in headers))
+            rows.append("<tr>" + "".join(cell(t) for t in tops) + "</tr>")
+            rows.append("<tr>" + "".join(cell(b) for b in bottoms) + "</tr>")
+        else:
+            # Informative first row + junk second row (Figure 1, Table 2 style).
+            rows.append("<tr>" + "".join(cell(h) for h in headers) + "</tr>")
+            junk = [pick(rng, _JUNK_SECOND_HEADERS)] + [""] * (len(headers) - 1)
+            rng.shuffle(junk)
+            rows.append("<tr>" + "".join(cell(j) for j in junk) + "</tr>")
+    else:
+        rows.append("<tr>" + "".join(cell(h) for h in headers) + "</tr>")
+    return rows, len(rows)
+
+
+def _nav_junk_table(rng: random.Random) -> str:
+    """A layout table the extractor must reject (single row of links)."""
+    links = " ".join(
+        f'<td><a href="/{w.lower()}">{w}</a></td>'
+        for w in ("Home", "About", "Archive", "Contact")
+    )
+    return f'<table class="nav"><tr>{links}</tr></table>'
+
+
+def _context_block(
+    domain: Domain,
+    headers: Sequence[str],
+    rng: random.Random,
+    related_topics: Sequence[str] = (),
+    headerless: bool = False,
+) -> str:
+    # Some pages are "bare": no topical prose at all (forum dumps, data
+    # exports).  Bare context correlates with missing headers — and a
+    # headerless, bare table is unreachable by the keyword probe; only the
+    # second, content-overlap probe finds it (Section 2.2.1's motivation).
+    bare_prob = 0.55 if headerless else 0.12
+    if rng.random() < bare_prob:
+        return f"<p>{escape(pick(rng, _FILLER_SENTENCES))}</p>"
+    parts = [f"<h2>{escape(domain.topic_phrase.title())}</h2>"]
+    n_templates = min(len(domain.context_templates), rng.randint(1, 2))
+    for template in rng.sample(list(domain.context_templates), n_templates):
+        parts.append(f"<p>{escape(template)}</p>")
+    # Web pages carry sidebars and "related articles" mentioning unrelated
+    # topics — the "unrelated verbosity" the paper says misleads table-level
+    # relevance decisions (Section 3).
+    if related_topics and rng.random() < 0.6:
+        picked = [pick(rng, related_topics) for _ in range(rng.randint(2, 4))]
+        links = "; ".join(f"read about {t}" for t in picked)
+        parts.append(f"<p>Related articles: {escape(links)}.</p>")
+    # Real pages describe their tables: a page about fuel consumption says
+    # "fuel consumption" in its prose.  This is what makes the paper's
+    # split-header/context segmentation signal exist at all.
+    if headers and rng.random() < 0.75:
+        named = [h for h in headers if h][:3]
+        if named:
+            sentence = (
+                f"The table below lists {', '.join(n.lower() for n in named)} "
+                f"for each entry."
+            )
+            parts.append(f"<p>{escape(sentence)}</p>")
+    if rng.random() < domain.verbose_context:
+        noise = " ".join(
+            pick(rng, _FILLER_SENTENCES) for _ in range(rng.randint(1, 3))
+        )
+        parts.append(f"<p>{escape(noise)}</p>")
+    return "\n".join(parts)
+
+
+_NUMERIC_RE = __import__("re").compile(r"^[\$]?[\d,]+(\.\d+)?%?$")
+
+
+def _jitter_numeric(value: str, rng: random.Random) -> str:
+    """Apply a small multiplicative drift to measurement-like numbers.
+
+    Real pages snapshot figures (population, GDP, prices) at different
+    times, so the same entity's numbers differ slightly across pages —
+    which is why content overlap lives in *entity* columns, not numeric
+    ones.  Years and small numbers are left alone (they are identities,
+    not measurements).
+    """
+    if not _NUMERIC_RE.match(value.strip()):
+        return value
+    raw = value.strip()
+    prefix = "$" if raw.startswith("$") else ""
+    suffix = "%" if raw.endswith("%") else ""
+    core = raw.strip("$%").replace(",", "")
+    try:
+        number = float(core)
+    except ValueError:
+        return value
+    if number < 150 or 1800 <= number <= 2100:  # small values and years
+        return value
+    drifted = number * rng.uniform(0.97, 1.03)
+    if "." in core:
+        text = f"{drifted:,.2f}"
+    else:
+        text = f"{round(drifted):,}"
+    return f"{prefix}{text}{suffix}"
+
+
+def render_page(
+    domain: Domain,
+    page_idx: int,
+    rng: random.Random,
+    max_rows: int = 24,
+    related_topics: Sequence[str] = (),
+) -> GeneratedPage:
+    """Render one noisy page for ``domain``.
+
+    The page contains exactly one extractable data table; all other tables on
+    the page are layout junk that :func:`repro.tables.extractor.is_data_table`
+    rejects.  ``related_topics`` feeds the cross-topic sidebar noise.
+    """
+    col_indices = _choose_columns(domain, rng)
+    headers = [_header_text(domain, i, rng) for i in col_indices]
+    attrs = tuple(domain.attributes[i].key for i in col_indices)
+
+    n_rows = rng.randint(min(6, len(domain.rows)), min(len(domain.rows), max_rows))
+    row_pool = list(domain.rows)
+    rng.shuffle(row_pool)
+    data_rows = row_pool[:n_rows]
+
+    headerless = rng.random() < domain.headerless
+
+    table_rows: List[str] = []
+    has_title = rng.random() < domain.title_row
+    if has_title:
+        title = pick(
+            rng,
+            [domain.topic_phrase.title(),
+             f"{pick(rng, ADJECTIVES)} {domain.topic_phrase}",
+             domain.page_title],
+        )
+        table_rows.append(
+            f'<tr><td colspan="{len(col_indices)}"><b>{escape(title)}</b></td></tr>'
+        )
+
+    n_header_rows = 0
+    if not headerless:
+        header_html, n_header_rows = _render_header_rows(headers, domain, rng)
+        table_rows.extend(header_html)
+
+    for row in data_rows:
+        cells = "".join(
+            f"<td>{escape(_jitter_numeric(row[i], rng))}</td>"
+            for i in col_indices
+        )
+        table_rows.append(f"<tr>{cells}</tr>")
+
+    table_html = "<table>\n" + "\n".join(table_rows) + "\n</table>"
+
+    after = pick(rng, _FILLER_SENTENCES)
+    html = (
+        "<html><head><title>{title}</title></head><body>\n"
+        "{nav}\n{context}\n{table}\n<p>{after}</p>\n"
+        "<div class='footer'><small>generated corpus page</small></div>\n"
+        "</body></html>"
+    ).format(
+        title=escape(domain.page_title),
+        nav=_nav_junk_table(rng),
+        # Attribute names reach the prose even for headerless tables — the
+        # page still *describes* its table, which is exactly the case the
+        # paper's out-of-header matching exploits.
+        context=_context_block(domain, headers, rng, related_topics, headerless),
+        table=table_html,
+        after=escape(after),
+    )
+
+    page_id = f"{domain.key}_p{page_idx}"
+    return GeneratedPage(
+        page_id=page_id,
+        html=html,
+        domain_key=domain.key,
+        column_attrs=attrs,
+        is_distractor=domain.is_distractor,
+        num_header_rows_written=n_header_rows,
+        has_title_row=has_title,
+        url=f"http://corpus.example/{domain.key}/{page_idx}",
+    )

@@ -1,0 +1,129 @@
+"""Word banks for the synthetic web corpus.
+
+The paper's corpus is 25 million organically authored web tables.  We cannot
+ship that, so the generator synthesizes pages whose *term statistics* behave
+like real pages: entity names reuse a realistic vocabulary, numeric columns
+look like real measurements, and boilerplate text shares words across
+domains the way real web pages do.  These banks feed
+:mod:`repro.corpus.domains`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+__all__ = [
+    "FIRST_NAMES", "LAST_NAMES", "CITY_WORDS", "ADJECTIVES", "NOUNS",
+    "COMPANY_SUFFIXES", "person_name", "company_name", "phrase",
+    "year", "money", "count", "pick", "picks",
+]
+
+FIRST_NAMES = [
+    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael",
+    "Linda", "David", "Elizabeth", "William", "Barbara", "Richard", "Susan",
+    "Joseph", "Jessica", "Thomas", "Sarah", "Carlos", "Karen", "Christopher",
+    "Nancy", "Daniel", "Lisa", "Matthew", "Betty", "Anthony", "Margaret",
+    "Marco", "Sandra", "Andre", "Ashley", "Steven", "Kimberly", "Paul",
+    "Emily", "Andrew", "Donna", "Joshua", "Michelle", "Kenneth", "Dorothy",
+    "Kevin", "Carol", "Brian", "Amanda", "George", "Melissa", "Edward",
+    "Deborah", "Ronald", "Stephanie", "Timothy", "Rebecca", "Jason", "Sharon",
+    "Jeffrey", "Laura", "Ryan", "Cynthia", "Jacob", "Kathleen", "Gary",
+    "Amy", "Nicholas", "Shirley", "Eric", "Angela", "Jonathan", "Helen",
+    "Stephen", "Anna", "Larry", "Brenda", "Justin", "Pamela", "Scott",
+    "Nicole", "Brandon", "Emma", "Benjamin", "Samantha", "Samuel", "Katherine",
+    "Gregory", "Christine", "Frank", "Debra", "Alexander", "Rachel",
+    "Raymond", "Catherine", "Patrick", "Carolyn", "Jack", "Janet", "Dennis",
+    "Ruth", "Jerry", "Maria",
+]
+
+LAST_NAMES = [
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+    "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+    "Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+    "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark",
+    "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King",
+    "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green",
+    "Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell",
+    "Carter", "Roberts", "Gomez", "Phillips", "Evans", "Turner", "Diaz",
+    "Parker", "Cruz", "Edwards", "Collins", "Reyes", "Stewart", "Morris",
+    "Morales", "Murphy", "Cook", "Rogers", "Gutierrez", "Ortiz", "Morgan",
+    "Cooper", "Peterson", "Bailey", "Reed", "Kelly", "Howard", "Ramos",
+    "Kim", "Cox", "Ward", "Richardson", "Watson", "Brooks", "Chavez",
+    "Wood", "James", "Bennett", "Gray", "Mendoza", "Ruiz", "Hughes",
+    "Price", "Alvarez", "Castillo", "Sanders", "Patel", "Myers", "Long",
+    "Ross", "Foster", "Jimenez",
+]
+
+CITY_WORDS = [
+    "Spring", "River", "Lake", "Hill", "Oak", "Maple", "Cedar", "Pine",
+    "Fair", "Green", "Clear", "Stone", "Bridge", "Mill", "Forest", "Glen",
+    "North", "South", "East", "West", "Grand", "High", "Silver", "Golden",
+]
+CITY_SUFFIXES = ["field", "ton", "ville", "burg", "port", "wood", "dale", "view", "ford", "haven"]
+
+ADJECTIVES = [
+    "Crimson", "Silent", "Eternal", "Frozen", "Burning", "Shadow", "Iron",
+    "Golden", "Wild", "Ancient", "Dark", "Bright", "Savage", "Mystic",
+    "Thunder", "Velvet", "Broken", "Electric", "Hollow", "Rising",
+]
+NOUNS = [
+    "Throne", "Ember", "Horizon", "Serpent", "Raven", "Tempest", "Citadel",
+    "Echo", "Phantom", "Forge", "Abyss", "Crown", "Voyage", "Omen",
+    "Monolith", "Specter", "Reckoning", "Dominion", "Requiem", "Vanguard",
+]
+
+COMPANY_SUFFIXES = ["Corp", "Inc", "Industries", "Systems", "Group", "Labs", "Holdings", "Works"]
+
+
+def pick(rng: random.Random, items: Sequence[str]) -> str:
+    """One uniform choice."""
+    return items[rng.randrange(len(items))]
+
+
+def picks(rng: random.Random, items: Sequence[str], n: int) -> List[str]:
+    """``n`` distinct choices (or all items when fewer)."""
+    pool = list(items)
+    rng.shuffle(pool)
+    return pool[: min(n, len(pool))]
+
+
+def person_name(rng: random.Random) -> str:
+    """A synthetic person name."""
+    return f"{pick(rng, FIRST_NAMES)} {pick(rng, LAST_NAMES)}"
+
+
+def company_name(rng: random.Random) -> str:
+    """A synthetic company name."""
+    return f"{pick(rng, ADJECTIVES)}{pick(rng, NOUNS).lower()} {pick(rng, COMPANY_SUFFIXES)}"
+
+
+def city_name(rng: random.Random) -> str:
+    """A synthetic town name."""
+    return f"{pick(rng, CITY_WORDS)}{pick(rng, CITY_SUFFIXES)}"
+
+
+def phrase(rng: random.Random, n_words: int = 2) -> str:
+    """An adjective-noun phrase (band names, novel titles, ...)."""
+    words = [pick(rng, ADJECTIVES)]
+    for _ in range(n_words - 1):
+        words.append(pick(rng, NOUNS))
+    return " ".join(words)
+
+
+def year(rng: random.Random, lo: int = 1950, hi: int = 2011) -> str:
+    """A year within [lo, hi] — the corpus predates the paper (2012)."""
+    return str(rng.randint(lo, hi))
+
+
+def money(rng: random.Random, lo: float, hi: float, unit: str = "$") -> str:
+    """A currency amount with thousands separators."""
+    value = rng.uniform(lo, hi)
+    if value >= 100:
+        return f"{unit}{value:,.0f}"
+    return f"{unit}{value:,.2f}"
+
+
+def count(rng: random.Random, lo: int, hi: int) -> str:
+    """An integer count with separators."""
+    return f"{rng.randint(lo, hi):,}"

@@ -1,0 +1,67 @@
+"""Answer-row quality (Figure 6).
+
+Measures the impact of column mapping errors on the final search result:
+consolidate the answer twice — once from the predicted mapping, once from
+the ground-truth mapping — and compare their row sets with an F1 error over
+normalized rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence, Set, Tuple
+
+from ..consolidate.merge import consolidate
+from ..core.labels import LabelSpace
+from ..query.model import Query
+from ..tables.table import WebTable
+from ..text.tokenize import normalize_cell
+
+__all__ = ["answer_rows", "answer_row_error"]
+
+
+def _mappings_from_labels(
+    labels: Mapping[Tuple[int, int], int],
+    tables: Sequence[WebTable],
+    space: LabelSpace,
+) -> Dict[int, Dict[int, int]]:
+    """Dense labeling -> per-table {column -> 1-based query column}."""
+    out: Dict[int, Dict[int, int]] = {}
+    for ti, table in enumerate(tables):
+        mapping: Dict[int, int] = {}
+        for ci in range(table.num_cols):
+            label = labels.get((ti, ci), space.nr)
+            if space.is_query(label):
+                mapping[ci] = space.to_query_column(label)
+        if mapping:
+            out[ti] = mapping
+    return out
+
+
+def answer_rows(
+    query: Query,
+    tables: Sequence[WebTable],
+    labels: Mapping[Tuple[int, int], int],
+) -> Set[Tuple[str, ...]]:
+    """The normalized row set of the consolidated answer for a labeling."""
+    space = LabelSpace(query.q)
+    mappings = _mappings_from_labels(labels, tables, space)
+    answer = consolidate(query, tables, mappings)
+    return {
+        tuple(normalize_cell(c) for c in row.cells) for row in answer.rows
+    }
+
+
+def answer_row_error(
+    query: Query,
+    tables: Sequence[WebTable],
+    predicted: Mapping[Tuple[int, int], int],
+    gold: Mapping[Tuple[int, int], int],
+) -> float:
+    """F1 error (percent) between predicted-mapping and gold-mapping rows."""
+    pred_rows = answer_rows(query, tables, predicted)
+    gold_rows = answer_rows(query, tables, gold)
+    if not pred_rows and not gold_rows:
+        return 0.0
+    inter = len(pred_rows & gold_rows)
+    denom = len(pred_rows) + len(gold_rows)
+    return (1.0 - (2.0 * inter) / denom) * 100.0 if denom else 0.0

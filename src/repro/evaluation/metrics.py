@@ -1,0 +1,76 @@
+"""The F1 error measure of Section 5.
+
+    error(y, y*) = 1 - (2 * #correct query-column labels) /
+                       (#predicted query labels + #gold query labels)
+
+expressed as a percentage.  Only query-column labels count: na/nr decisions
+matter exactly insofar as they suppress or enable query-column predictions,
+which matches how the paper scores relevance mistakes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence, Tuple
+
+from ..core.labels import LabelSpace
+from ..corpus.groundtruth import GroundTruth, TableLabel
+from ..tables.table import WebTable
+
+__all__ = ["f1_error", "gold_assignment", "count_stats"]
+
+
+def gold_assignment(
+    truth: GroundTruth,
+    query_id: str,
+    tables: Sequence[WebTable],
+    labels: LabelSpace,
+) -> Dict[Tuple[int, int], int]:
+    """Dense gold labels for the retrieved candidate ``tables``."""
+    out: Dict[Tuple[int, int], int] = {}
+    for ti, table in enumerate(tables):
+        gold: TableLabel = truth.label(query_id, table.table_id)
+        for ci in range(table.num_cols):
+            if not gold.relevant:
+                out[(ti, ci)] = labels.nr
+            elif ci in gold.mapping:
+                out[(ti, ci)] = labels.from_query_column(gold.mapping[ci])
+            else:
+                out[(ti, ci)] = labels.na
+    return out
+
+
+def count_stats(
+    predicted: Mapping[Tuple[int, int], int],
+    gold: Mapping[Tuple[int, int], int],
+    labels: LabelSpace,
+) -> Tuple[int, int, int]:
+    """(correct, #predicted query labels, #gold query labels)."""
+    correct = 0
+    n_pred = 0
+    n_gold = 0
+    for tc, gold_label in gold.items():
+        pred_label = predicted.get(tc, labels.nr)
+        if labels.is_query(pred_label):
+            n_pred += 1
+            if pred_label == gold_label:
+                correct += 1
+        if labels.is_query(gold_label):
+            n_gold += 1
+    return correct, n_pred, n_gold
+
+
+def f1_error(
+    predicted: Mapping[Tuple[int, int], int],
+    gold: Mapping[Tuple[int, int], int],
+    labels: LabelSpace,
+) -> float:
+    """F1 error percentage (0 = perfect, 100 = nothing right).
+
+    When neither side assigns any query label there is nothing to get wrong
+    and the error is 0 — this covers the paper's zero-relevant queries.
+    """
+    correct, n_pred, n_gold = count_stats(predicted, gold, labels)
+    denominator = n_pred + n_gold
+    if denominator == 0:
+        return 0.0
+    return (1.0 - (2.0 * correct) / denominator) * 100.0

@@ -1,0 +1,116 @@
+"""The constrained minimum s-t cut of Section 4.3 (Fig. 4).
+
+Given a weighted directed graph whose vertices are partitioned into disjoint
+groups ``V_1..V_T`` (the columns of each table), find a minimum s-t cut such
+that **at most one vertex per group lies on the t side**.  The unconstrained
+problem is polynomial; this variant is NP-hard, and the paper gives the
+greedy repair loop implemented here:
+
+1. solve the unconstrained min cut;
+2. while some group has two or more t-side vertices, try — for every violated
+   group ``V_i`` and every member ``v`` — forcing all of ``V_i - {v}`` to the
+   s side (infinite source capacity) and measure the *additional* flow that
+   forcing costs; commit the cheapest ``(i, v)`` choice and repeat.
+
+The trial flows are computed on clones of the residual network so the
+committed state stays incremental (max-flow resumes from the current flow).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from .network import EPS, FlowNetwork
+
+__all__ = ["constrained_min_cut"]
+
+INF = float("inf")
+
+
+def _source_edge_ids(net: FlowNetwork, s: int) -> Dict[int, int]:
+    """Map node -> id of the edge s -> node (first one found)."""
+    out: Dict[int, int] = {}
+    for eid in net.adj[s]:
+        if eid % 2 == 0:  # forward edges only
+            out.setdefault(net.to[eid], eid)
+    return out
+
+
+def constrained_min_cut(
+    net: FlowNetwork,
+    s: int,
+    t: int,
+    groups: Sequence[Sequence[int]],
+) -> Tuple[Set[int], float]:
+    """Run Fig. 4's constrained min s-t cut on ``net`` (mutated in place).
+
+    Parameters
+    ----------
+    net:
+        Flow network with capacities set; flow state is consumed/modified.
+    groups:
+        Disjoint vertex groups; at most one member of each may end on the
+        t side.
+    Returns
+    -------
+    (t_side, total_flow):
+        The t-side vertex set of the final cut and the total flow pushed.
+    """
+    seen: Set[int] = set()
+    for group in groups:
+        for v in group:
+            if v in seen:
+                raise ValueError("groups must be disjoint")
+            seen.add(v)
+
+    total_flow = net.max_flow(s, t)
+    s_side = net.source_side(s)
+    t_side = set(range(net.num_nodes)) - s_side
+
+    source_edges = _source_edge_ids(net, s)
+
+    def force_and_flow(network: FlowNetwork, members: Sequence[int]) -> float:
+        """Raise cap(s, u) to infinity for ``members`` and push more flow."""
+        for u in members:
+            eid = source_edges.get(u)
+            if eid is None:
+                # No existing s->u edge: add one (recorded only on clones;
+                # the committed network adds it permanently below).
+                eid = network.add_edge(s, u, INF, 0.0)
+            else:
+                network.set_capacity(eid, INF)
+        return network.max_flow(s, t)
+
+    max_iterations = sum(len(g) for g in groups) + 1
+    for _ in range(max_iterations):
+        violated = [
+            (gi, [v for v in group if v in t_side])
+            for gi, group in enumerate(groups)
+        ]
+        violated = [(gi, members) for gi, members in violated if len(members) > 1]
+        if not violated:
+            break
+
+        best: Tuple[float, int, int] = (INF, -1, -1)  # (added flow, group, keep v)
+        for gi, members in violated:
+            for v in members:
+                trial = net.clone()
+                added = force_and_flow(trial, [u for u in members if u != v])
+                if added < best[0] - EPS:
+                    best = (added, gi, v)
+
+        _, gi, keep = best
+        members = [v for v in groups[gi] if v in t_side and v != keep]
+        # Commit: force the losers to the s side on the real network.
+        for u in members:
+            eid = source_edges.get(u)
+            if eid is None:
+                eid = net.add_edge(s, u, INF, 0.0)
+                source_edges[u] = eid
+            else:
+                net.set_capacity(eid, INF)
+        total_flow += net.max_flow(s, t)
+        s_side = net.source_side(s)
+        t_side = set(range(net.num_nodes)) - s_side
+
+    return t_side, total_flow

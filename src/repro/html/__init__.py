@@ -1,0 +1,16 @@
+"""HTML substrate: DOM model and forgiving parser for crawled pages."""
+
+from .dom import FORMAT_TAGS, VOID_ELEMENTS, DomNode, ElementNode, TextNode
+from .parser import DomBuilder, find_tables, outermost_tables, parse_html
+
+__all__ = [
+    "FORMAT_TAGS",
+    "VOID_ELEMENTS",
+    "DomBuilder",
+    "DomNode",
+    "ElementNode",
+    "TextNode",
+    "find_tables",
+    "outermost_tables",
+    "parse_html",
+]

@@ -1,0 +1,14 @@
+"""Index substrate: fielded inverted index, table store, corpus builder."""
+
+from .builder import IndexedCorpus, build_corpus_index
+from .inverted import FIELD_BOOSTS, InvertedIndex, SearchHit
+from .store import TableStore
+
+__all__ = [
+    "FIELD_BOOSTS",
+    "IndexedCorpus",
+    "InvertedIndex",
+    "SearchHit",
+    "TableStore",
+    "build_corpus_index",
+]

@@ -1,0 +1,176 @@
+"""A fielded inverted index with Lucene-classic scoring.
+
+WWT indexes every extracted table as a document with three text fields —
+``header``, ``context``, ``content`` — boosted 2.0 / 1.5 / 1.0 respectively
+(Section 2.1).  Query-time candidate retrieval is a disjunctive keyword
+probe over all fields (Section 2.2.1); the PMI² feature needs conjunctive
+containment probes over specific fields (Section 3.2.3).  This module
+provides both on one posting structure.
+
+Scoring follows Lucene's classic TF-IDF similarity:
+``score(d) = sum_f boost_f * sum_t sqrt(tf) * idf(t)^2 * norm_f(d)`` with
+``idf(t) = 1 + ln(N / (df+1))`` and ``norm_f(d) = 1/sqrt(len_f(d))`` —
+close enough to Lucene 3.x (which the paper would have used in 2012) that
+ranking behaviour is preserved.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..text.tfidf import TermStatistics
+from ..text.tokenize import tokenize
+
+__all__ = ["FIELD_BOOSTS", "SearchHit", "InvertedIndex"]
+
+#: Field boosts from Section 2.1.
+FIELD_BOOSTS: Dict[str, float] = {"header": 2.0, "context": 1.5, "content": 1.0}
+
+
+class SearchHit:
+    """One ranked retrieval result."""
+
+    __slots__ = ("doc_id", "score", "field_scores")
+
+    def __init__(self, doc_id: str, score: float, field_scores: Dict[str, float]):
+        self.doc_id = doc_id
+        self.score = score
+        self.field_scores = field_scores
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SearchHit({self.doc_id!r}, {self.score:.3f})"
+
+
+class InvertedIndex:
+    """In-memory fielded inverted index over token streams."""
+
+    def __init__(self, boosts: Optional[Mapping[str, float]] = None) -> None:
+        self.boosts: Dict[str, float] = dict(boosts or FIELD_BOOSTS)
+        # postings[field][term] -> {doc_id: term frequency}
+        self._postings: Dict[str, Dict[str, Dict[str, int]]] = {
+            f: defaultdict(dict) for f in self.boosts
+        }
+        self._field_lengths: Dict[str, Dict[str, int]] = {f: {} for f in self.boosts}
+        self._doc_ids: Set[str] = set()
+
+    # -- construction -----------------------------------------------------------
+
+    def add_document(self, doc_id: str, fields: Mapping[str, Sequence[str]]) -> None:
+        """Index one document given pre-tokenized field token lists."""
+        if doc_id in self._doc_ids:
+            raise ValueError(f"duplicate document id {doc_id!r}")
+        self._doc_ids.add(doc_id)
+        for field, tokens in fields.items():
+            if field not in self._postings:
+                continue
+            counts = Counter(tokens)
+            for term, tf in counts.items():
+                self._postings[field][term][doc_id] = tf
+            self._field_lengths[field][doc_id] = len(tokens)
+
+    def add_text_document(self, doc_id: str, fields: Mapping[str, str]) -> None:
+        """Index one document given raw field text (tokenized here)."""
+        self.add_document(doc_id, {f: tokenize(t) for f, t in fields.items()})
+
+    # -- statistics -----------------------------------------------------------
+
+    @property
+    def num_docs(self) -> int:
+        """Number of indexed documents."""
+        return len(self._doc_ids)
+
+    def document_frequency(self, term: str, fields: Optional[Iterable[str]] = None) -> int:
+        """Number of documents containing ``term`` in any of ``fields``."""
+        docs: Set[str] = set()
+        for field in fields or self._postings:
+            docs.update(self._postings[field].get(term, ()))
+        return len(docs)
+
+    def idf(self, term: str) -> float:
+        """Lucene-classic idf across all fields."""
+        return 1.0 + math.log(self.num_docs / (self.document_frequency(term) + 1.0))
+
+    def term_statistics(self) -> TermStatistics:
+        """Export corpus-wide document frequencies as :class:`TermStatistics`.
+
+        Every downstream TF-IDF similarity (SegSim, Cover, column content)
+        draws its IDF weights from this one table so scores are comparable.
+        """
+        df: Dict[str, Set[str]] = defaultdict(set)
+        for field, terms in self._postings.items():
+            for term, postings in terms.items():
+                df[term].update(postings)
+        stats = TermStatistics()
+        # Reconstruct through the public API: one synthetic doc per real doc
+        # would be wasteful; instead fill internals via from_dict for exactness.
+        return TermStatistics.from_dict(
+            {"num_docs": self.num_docs, "df": {t: len(d) for t, d in df.items()}}
+        )
+
+    # -- retrieval -----------------------------------------------------------
+
+    def search(
+        self,
+        terms: Sequence[str],
+        limit: int = 100,
+        fields: Optional[Iterable[str]] = None,
+    ) -> List[SearchHit]:
+        """Disjunctive (OR) boosted TF-IDF retrieval.
+
+        ``terms`` should already be analyzed (lower-case tokens); duplicates
+        are collapsed.  Returns at most ``limit`` hits, best first, ties
+        broken by doc id for determinism.
+        """
+        if self.num_docs == 0:
+            return []
+        wanted = list(dict.fromkeys(terms))
+        scores: Dict[str, float] = defaultdict(float)
+        per_field: Dict[str, Dict[str, float]] = defaultdict(lambda: defaultdict(float))
+        for field in fields or self._postings:
+            boost = self.boosts.get(field, 1.0)
+            lengths = self._field_lengths[field]
+            for term in wanted:
+                postings = self._postings[field].get(term)
+                if not postings:
+                    continue
+                idf = self.idf(term)
+                for doc_id, tf in postings.items():
+                    norm = 1.0 / math.sqrt(max(lengths.get(doc_id, 1), 1))
+                    contrib = boost * math.sqrt(tf) * idf * idf * norm
+                    scores[doc_id] += contrib
+                    per_field[doc_id][field] += contrib
+        ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))[:limit]
+        return [
+            SearchHit(doc_id, score, dict(per_field[doc_id]))
+            for doc_id, score in ranked
+        ]
+
+    def docs_containing_all(
+        self, terms: Sequence[str], fields: Iterable[str]
+    ) -> Set[str]:
+        """Documents containing *every* term in at least one of ``fields``.
+
+        This is the containment probe PMI² needs: ``H(Q_l)`` uses
+        ``fields=("header", "context")``; ``B(cell)`` uses
+        ``fields=("content",)``.  An empty term list yields the empty set
+        (a contentless probe matches nothing useful).
+        """
+        wanted = list(dict.fromkeys(terms))
+        if not wanted:
+            return set()
+        field_list = list(fields)
+        result: Optional[Set[str]] = None
+        for term in wanted:
+            docs: Set[str] = set()
+            for field in field_list:
+                docs.update(self._postings.get(field, {}).get(term, ()))
+            result = docs if result is None else (result & docs)
+            if not result:
+                return set()
+        return result or set()
+
+    def postings(self, field: str, term: str) -> Dict[str, int]:
+        """Raw posting list (doc -> tf) for inspection and tests."""
+        return dict(self._postings.get(field, {}).get(term, {}))

@@ -1,0 +1,77 @@
+"""Table store: persistence for the extracted table corpus.
+
+The offline pipeline extracts tables once and stores them on disk; query
+time reads raw tables back by id (the "Table Read" slices of Figure 7).
+Storage is JSON-lines — one table per line — which keeps the store
+greppable and append-friendly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Union
+
+from ..tables.table import WebTable
+
+__all__ = ["TableStore"]
+
+
+class TableStore:
+    """An id-addressable collection of :class:`WebTable` objects."""
+
+    def __init__(self, tables: Optional[Iterable[WebTable]] = None) -> None:
+        self._tables: Dict[str, WebTable] = {}
+        for table in tables or ():
+            self.add(table)
+
+    def add(self, table: WebTable) -> None:
+        """Add a table; ids must be unique."""
+        if not table.table_id:
+            raise ValueError("table must have a table_id")
+        if table.table_id in self._tables:
+            raise ValueError(f"duplicate table id {table.table_id!r}")
+        self._tables[table.table_id] = table
+
+    def get(self, table_id: str) -> WebTable:
+        """Fetch a table by id (KeyError if absent)."""
+        return self._tables[table_id]
+
+    def get_many(self, table_ids: Iterable[str]) -> List[WebTable]:
+        """Fetch several tables, preserving input order, skipping unknowns."""
+        return [self._tables[i] for i in table_ids if i in self._tables]
+
+    def __contains__(self, table_id: str) -> bool:
+        return table_id in self._tables
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __iter__(self) -> Iterator[WebTable]:
+        return iter(self._tables.values())
+
+    def ids(self) -> List[str]:
+        """All table ids in insertion order."""
+        return list(self._tables)
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the store as JSON-lines."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as fh:
+            for table in self._tables.values():
+                fh.write(json.dumps(table.to_dict(), ensure_ascii=False))
+                fh.write("\n")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "TableStore":
+        """Read a store written by :meth:`save`."""
+        store = cls()
+        with Path(path).open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    store.add(WebTable.from_dict(json.loads(line)))
+        return store

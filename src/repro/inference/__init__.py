@@ -1,0 +1,49 @@
+"""Inference algorithms for the column mapping task (Section 4).
+
+``independent`` solves tables in isolation (the "None" baseline of
+Table 2); ``table_centric`` is the paper's best collective algorithm;
+``alpha_expansion`` the constrained graph-cut alternative; ``bp`` and
+``trws`` the message-passing comparisons; ``exhaustive`` the brute-force
+test oracle.
+"""
+
+from typing import Callable, Dict
+
+from ..core.model import ColumnMappingProblem
+from .alpha_expansion import alpha_expansion_inference
+from .base import MappingResult, column_distributions, confident_map, softmax
+from .belief_propagation import belief_propagation_inference
+from .exhaustive import exhaustive_inference
+from .independent import independent_inference, solve_table
+from .max_marginals import all_max_marginals, table_max_marginals
+from .repair import repair_assignment, table_violates_constraints
+from .table_centric import table_centric_inference
+from .trws import trws_inference
+
+#: Registry of the collective-inference algorithms compared in Table 2.
+ALGORITHMS: Dict[str, Callable[[ColumnMappingProblem], MappingResult]] = {
+    "none": independent_inference,
+    "alpha-expansion": alpha_expansion_inference,
+    "bp": belief_propagation_inference,
+    "trws": trws_inference,
+    "table-centric": table_centric_inference,
+}
+
+__all__ = [
+    "ALGORITHMS",
+    "MappingResult",
+    "all_max_marginals",
+    "alpha_expansion_inference",
+    "belief_propagation_inference",
+    "column_distributions",
+    "confident_map",
+    "exhaustive_inference",
+    "independent_inference",
+    "repair_assignment",
+    "softmax",
+    "solve_table",
+    "table_centric_inference",
+    "table_max_marginals",
+    "table_violates_constraints",
+    "trws_inference",
+]

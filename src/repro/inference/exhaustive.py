@@ -1,0 +1,47 @@
+"""Brute-force exact inference — the test oracle.
+
+Enumerates every labeling of every column and maximizes Eq. 9 exactly.
+Exponential, so only usable on tiny problems; the unit tests compare every
+approximate algorithm against this on small instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..core.model import ColumnMappingProblem
+from .base import MappingResult
+
+__all__ = ["exhaustive_inference"]
+
+
+def exhaustive_inference(
+    problem: ColumnMappingProblem,
+    confident: Optional[Mapping[Tuple[int, int], bool]] = None,
+    max_columns: int = 10,
+) -> MappingResult:
+    """Exact maximization of Eq. 9 by enumeration.
+
+    Raises ``ValueError`` beyond ``max_columns`` total columns — the label
+    space grows as ``(q+2)^n``.
+    """
+    columns = list(problem.columns())
+    if len(columns) > max_columns:
+        raise ValueError(
+            f"{len(columns)} columns is too many for exhaustive inference"
+        )
+    label_range = list(problem.labels.all_labels())
+
+    best_y: Optional[Dict[Tuple[int, int], int]] = None
+    best_score = float("-inf")
+    for assignment in itertools.product(label_range, repeat=len(columns)):
+        y = dict(zip(columns, assignment))
+        score = problem.score(y, confident)
+        if score > best_score:
+            best_score = score
+            best_y = y
+
+    if best_y is None:  # every labeling violated constraints: all-nr is safe
+        best_y = problem.all_nr_labeling()
+    return MappingResult(problem=problem, labels=best_y, algorithm="exhaustive")

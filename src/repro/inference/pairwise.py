@@ -1,0 +1,128 @@
+"""Shared pairwise-energy view of the problem for edge-centric algorithms.
+
+α-expansion, loopy BP and TRW-S (Section 4.3 / 5.3) all operate on a model
+with only node and edge terms.  This module lowers the problem to that form:
+
+* node energies ``E_i(l) = -θ(tc, l)``;
+* cross-table edges: the potts-except-nr reward of Eq. 4 (gated by the
+  independent-inference confidences), negated into an energy;
+* the all-Irr constraint as the pairwise energy of Eq. 11 over every
+  same-table column pair (``BIG`` when exactly one endpoint is nr);
+* optionally the mutex constraint as a dissociative pairwise energy
+  (``BIG`` when two same-table columns share a query label) — used by BP
+  and TRW-S; α-expansion enforces mutex with the constrained cut instead.
+
+must-match and min-match cannot be lowered to pairwise terms; they are
+repaired post hoc (see :mod:`repro.inference.repair`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..core.model import ColumnMappingProblem
+from .base import column_distributions, confident_map
+from .max_marginals import all_max_marginals
+
+__all__ = ["BIG", "PairwiseTerm", "PairwiseModel", "build_pairwise_model"]
+
+#: Finite stand-in for the constraints' -inf; dominates any real potential.
+BIG = 1.0e7
+
+
+@dataclass(frozen=True)
+class PairwiseTerm:
+    """One pairwise energy term between nodes ``a`` and ``b``.
+
+    ``kind``: 'potts' (cross-table reward, carries ``weight``), 'allirr'
+    (Eq. 11), or 'mutex' (same-query-label exclusion).
+    """
+
+    a: int
+    b: int
+    kind: str
+    weight: float = 0.0
+
+
+class PairwiseModel:
+    """Node/edge energy model over dense node ids."""
+
+    def __init__(
+        self,
+        problem: ColumnMappingProblem,
+        include_mutex_edges: bool,
+    ) -> None:
+        self.problem = problem
+        self.labels = problem.labels
+        self.nodes: List[Tuple[int, int]] = list(problem.columns())
+        self.node_id: Dict[Tuple[int, int], int] = {
+            tc: i for i, tc in enumerate(self.nodes)
+        }
+        self.unary: List[List[float]] = [
+            [-problem.node_potentials[tc][l] for l in self.labels.all_labels()]
+            for tc in self.nodes
+        ]
+
+        mm = all_max_marginals(problem)
+        self.distributions = column_distributions(problem, mm)
+        confident = confident_map(problem, self.distributions)
+
+        self.terms: List[PairwiseTerm] = []
+        for edge in problem.edges:
+            weight = problem.params.we * (
+                (edge.nsim_ab if confident.get(edge.b, False) else 0.0)
+                + (edge.nsim_ba if confident.get(edge.a, False) else 0.0)
+            )
+            if weight > 0:
+                self.terms.append(
+                    PairwiseTerm(
+                        self.node_id[edge.a], self.node_id[edge.b], "potts", weight
+                    )
+                )
+        for ti in range(len(problem.tables)):
+            cols = problem.table_columns(ti)
+            for i in range(len(cols)):
+                for j in range(i + 1, len(cols)):
+                    a, b = self.node_id[cols[i]], self.node_id[cols[j]]
+                    self.terms.append(PairwiseTerm(a, b, "allirr"))
+                    if include_mutex_edges:
+                        self.terms.append(PairwiseTerm(a, b, "mutex"))
+
+        self.neighbors: List[List[Tuple[int, PairwiseTerm]]] = [
+            [] for _ in self.nodes
+        ]
+        for term in self.terms:
+            self.neighbors[term.a].append((term.b, term))
+            self.neighbors[term.b].append((term.a, term))
+
+    # -- energies ----------------------------------------------------------------
+
+    def pair_energy(self, term: PairwiseTerm, la: int, lb: int) -> float:
+        """E(l_a, l_b) of one pairwise term."""
+        nr = self.labels.nr
+        if term.kind == "potts":
+            return -term.weight if (la == lb and la != nr) else 0.0
+        if term.kind == "allirr":
+            return BIG if (la == nr) != (lb == nr) else 0.0
+        if term.kind == "mutex":
+            return BIG if (la == lb and self.labels.is_query(la)) else 0.0
+        raise ValueError(term.kind)
+
+    def energy(self, labeling: Sequence[int]) -> float:
+        """Total energy of a dense labeling (lower = better)."""
+        total = sum(self.unary[i][l] for i, l in enumerate(labeling))
+        for term in self.terms:
+            total += self.pair_energy(term, labeling[term.a], labeling[term.b])
+        return total
+
+    def to_assignment(self, labeling: Sequence[int]) -> Dict[Tuple[int, int], int]:
+        """Dense labeling -> (table, col) assignment map."""
+        return {tc: labeling[i] for i, tc in enumerate(self.nodes)}
+
+
+def build_pairwise_model(
+    problem: ColumnMappingProblem, include_mutex_edges: bool
+) -> PairwiseModel:
+    """Lower the problem to a pairwise energy model."""
+    return PairwiseModel(problem, include_mutex_edges)

@@ -1,0 +1,53 @@
+"""Post-processing repair of table constraints (Section 4.3).
+
+must-match and min-match cannot be expressed as pairwise energies, so the
+edge-centric algorithms fix them after the fact: any table whose labeling
+violates a constraint is re-labeled by the table-independent algorithm of
+Section 4.1 ("we greedily fix its labels").  Mutex/all-Irr violations from
+approximate decoding are repaired the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..core.model import ColumnMappingProblem
+from .independent import solve_table
+
+__all__ = ["table_violates_constraints", "repair_assignment"]
+
+
+def table_violates_constraints(
+    problem: ColumnMappingProblem,
+    assignment: Dict[Tuple[int, int], int],
+    ti: int,
+) -> bool:
+    """Does table ``ti``'s labeling violate any of the four constraints?"""
+    labels = problem.labels
+    cols = problem.table_columns(ti)
+    assigned = [assignment[tc] for tc in cols]
+    n_nr = sum(1 for l in assigned if l == labels.nr)
+    if n_nr not in (0, len(assigned)):
+        return True  # all-Irr
+    if n_nr == len(assigned):
+        return False  # fully irrelevant: nothing else applies
+    query_labels = [l for l in assigned if labels.is_query(l)]
+    if len(set(query_labels)) != len(query_labels):
+        return True  # mutex
+    if 0 not in query_labels:
+        return True  # must-match
+    if len(query_labels) < problem.min_match(ti):
+        return True  # min-match
+    return False
+
+
+def repair_assignment(
+    problem: ColumnMappingProblem,
+    assignment: Dict[Tuple[int, int], int],
+) -> Dict[Tuple[int, int], int]:
+    """Re-label every violating table with the Section 4.1 algorithm."""
+    repaired = dict(assignment)
+    for ti in range(len(problem.tables)):
+        if table_violates_constraints(problem, repaired, ti):
+            repaired.update(solve_table(problem, ti))
+    return repaired

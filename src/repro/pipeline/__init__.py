@@ -1,0 +1,13 @@
+"""End-to-end query pipeline: probe, mapping, consolidation."""
+
+from .probe import ProbeConfig, ProbeResult, two_stage_probe
+from .wwt import QueryTiming, WWTAnswer, WWTEngine
+
+__all__ = [
+    "ProbeConfig",
+    "ProbeResult",
+    "QueryTiming",
+    "WWTAnswer",
+    "WWTEngine",
+    "two_stage_probe",
+]

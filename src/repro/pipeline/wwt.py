@@ -1,0 +1,131 @@
+"""The end-to-end WWT engine (Figure 2, query-time half).
+
+``WWTEngine.answer`` runs the full pipeline for one query: two-stage index
+probe, column mapping with a chosen inference algorithm, consolidation, and
+ranking — recording the per-stage timing breakdown of Figure 7.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..consolidate.merge import AnswerTable, consolidate
+from ..consolidate.ranker import rank_answer
+from ..core.model import ColumnMappingProblem, build_problem
+from ..core.params import DEFAULT_PARAMS, ModelParams
+from ..index.builder import IndexedCorpus
+from ..inference import ALGORITHMS, MappingResult
+from ..query.model import Query
+from .probe import ProbeConfig, ProbeResult, two_stage_probe
+
+__all__ = ["QueryTiming", "WWTAnswer", "WWTEngine"]
+
+
+@dataclass
+class QueryTiming:
+    """Per-stage wall-clock seconds for one query (Figure 7's slices)."""
+
+    index1: float = 0.0
+    read1: float = 0.0
+    confidence: float = 0.0
+    index2: float = 0.0
+    read2: float = 0.0
+    column_map: float = 0.0
+    consolidate: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Total query latency."""
+        return (
+            self.index1 + self.read1 + self.confidence + self.index2
+            + self.read2 + self.column_map + self.consolidate
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Stage name -> seconds, in Figure 7's stacking order."""
+        return {
+            "1st Index": self.index1,
+            "1st Table Read": self.read1,
+            "2nd Index": self.confidence + self.index2,
+            "2nd Table Read": self.read2,
+            "Column Map": self.column_map,
+            "Consolidate": self.consolidate,
+        }
+
+
+@dataclass
+class WWTAnswer:
+    """Everything the engine produced for one query."""
+
+    query: Query
+    answer: AnswerTable
+    mapping: MappingResult
+    probe: ProbeResult
+    timing: QueryTiming
+    problem: ColumnMappingProblem
+
+
+class WWTEngine:
+    """Query engine over an indexed corpus."""
+
+    def __init__(
+        self,
+        corpus: IndexedCorpus,
+        params: ModelParams = DEFAULT_PARAMS,
+        inference: str = "table-centric",
+        probe_config: ProbeConfig = ProbeConfig(),
+    ) -> None:
+        if inference not in ALGORITHMS:
+            raise ValueError(
+                f"unknown inference {inference!r}; options: {sorted(ALGORITHMS)}"
+            )
+        self.corpus = corpus
+        self.params = params
+        self.inference_name = inference
+        self.probe_config = probe_config
+
+    @property
+    def _inference(self) -> Callable[[ColumnMappingProblem], MappingResult]:
+        return ALGORITHMS[self.inference_name]
+
+    def answer(self, query: Query) -> WWTAnswer:
+        """Run the full pipeline for one query."""
+        timing = QueryTiming()
+        raw_timings: Dict[str, float] = {}
+
+        probe = two_stage_probe(
+            query, self.corpus, self.probe_config, self.params, timings=raw_timings
+        )
+        timing.index1 = raw_timings.get("index1", 0.0)
+        timing.read1 = raw_timings.get("read1", 0.0)
+        timing.confidence = raw_timings.get("confidence", 0.0)
+        timing.index2 = raw_timings.get("index2", 0.0)
+        timing.read2 = raw_timings.get("read2", 0.0)
+
+        t0 = time.perf_counter()
+        problem = build_problem(query, probe.tables, self.corpus.stats, self.params)
+        mapping = self._inference(problem)
+        timing.column_map = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        mappings = {
+            ti: mapping.table_mapping(ti) for ti in mapping.relevant_tables()
+        }
+        relevance = {
+            ti: mapping.table_relevance_score(ti) for ti in mappings
+        }
+        answer = rank_answer(
+            consolidate(query, probe.tables, mappings, relevance)
+        )
+        timing.consolidate = time.perf_counter() - t0
+
+        return WWTAnswer(
+            query=query,
+            answer=answer,
+            mapping=mapping,
+            probe=probe,
+            timing=timing,
+            problem=problem,
+        )

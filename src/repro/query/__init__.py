@@ -1,0 +1,6 @@
+"""Query model and the paper's 59-query workload (Table 1)."""
+
+from .model import Query, WorkloadQuery
+from .workload import WORKLOAD, load_workload, query_by_id
+
+__all__ = ["Query", "WORKLOAD", "WorkloadQuery", "load_workload", "query_by_id"]

@@ -1,0 +1,145 @@
+"""The 59-query workload of Table 1.
+
+Query strings are verbatim from the paper (5 single-, 37 two-, 17
+three-column queries; AMT topic queries given attributes plus twelve
+Wikipedia-sourced ones).  Each is bound to a synthetic-corpus domain and
+attribute keys for ground truth; queries the paper found zero relevant
+tables for are bound to no domain — only distractor pages carry their
+keywords.  ``paper_total``/``paper_relevant`` columns mirror Table 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .model import Query, WorkloadQuery
+
+__all__ = ["WORKLOAD", "load_workload", "query_by_id"]
+
+
+def _wq(
+    text: str,
+    domain: Optional[str],
+    attrs: Tuple[str, ...],
+    total: int,
+    relevant: int,
+) -> WorkloadQuery:
+    return WorkloadQuery(
+        query=Query.parse(text),
+        domain_key=domain,
+        attr_keys=attrs,
+        paper_total=total,
+        paper_relevant=relevant,
+    )
+
+
+def load_workload() -> List[WorkloadQuery]:
+    """Build the full 59-query workload."""
+    w: List[WorkloadQuery] = []
+
+    # -- single column queries (5) --------------------------------------------
+    w.append(_wq("dog breed", "dogs", ("breed",), 68, 66))
+    w.append(_wq("kings of africa", None, (), 26, 0))
+    w.append(_wq("phases of moon", "moon_phases", ("phase",), 56, 17))
+    w.append(_wq("prime ministers of england", "pm_england", ("pm",), 35, 3))
+    w.append(_wq("professional wrestlers", "wrestlers", ("wrestler",), 52, 52))
+
+    # -- two column queries (37) ----------------------------------------------
+    w.append(_wq("2008 beijing Olympic events | winners", None, (), 29, 0))
+    w.append(_wq("2008 olympic gold medal winners | sports event", None, (), 26, 0))
+    w.append(_wq("australian cities | area", "aus_cities", ("city", "area"), 30, 4))
+    w.append(_wq("banks | interest rates", "banks", ("bank", "rate"), 51, 34))
+    w.append(_wq("black metal bands | country", "metal_bands", ("band", "country"), 39, 19))
+    w.append(_wq("books in United States | author", "books_us", ("book", "author"), 6, 2))
+    w.append(_wq("car accidents location | year", "car_accidents", ("location", "year"), 46, 8))
+    w.append(_wq("clothing sizes | symbols", None, (), 20, 0))
+    w.append(_wq("composition of the sun | percentage", "sun_composition",
+                 ("component", "percentage"), 50, 12))
+    w.append(_wq("country | currency", "countries", ("name", "currency"), 56, 53))
+    w.append(_wq("country | daily fuel consumption", "countries", ("name", "fuel"), 38, 14))
+    w.append(_wq("country | gdp", "countries", ("name", "gdp"), 58, 56))
+    w.append(_wq("country | population", "countries", ("name", "population"), 58, 55))
+    w.append(_wq("country | us dollar exchange rate", "countries",
+                 ("name", "exchange_rate"), 52, 43))
+    w.append(_wq("fifa worlds cup winners | year", "fifa", ("winner", "year"), 49, 9))
+    w.append(_wq("Golden Globe award winners | year", "golden_globe",
+                 ("winner", "year"), 23, 19))
+    w.append(_wq("Ibanez guitar series | models", "ibanez", ("series", "model"), 21, 3))
+    w.append(_wq("Internet domains | entity", "internet_domains",
+                 ("domain", "entity"), 10, 4))
+    w.append(_wq("James Bond films | year", "bond_films", ("film", "year"), 16, 11))
+    w.append(_wq("Microsoft Windows products | release date", "windows",
+                 ("product", "release_date"), 25, 12))
+    w.append(_wq("MLB world series winners | year", "mlb", ("winner", "year"), 13, 3))
+    w.append(_wq("movies | gross collection", "movies", ("movie", "gross"), 57, 57))
+    w.append(_wq("name of parrot | binomial name", "parrots",
+                 ("parrot", "binomial"), 11, 8))
+    w.append(_wq("north american mountains | height", "mountains",
+                 ("mountain", "height"), 47, 28))
+    w.append(_wq("pain killers | company", "painkillers", ("drug", "company"), 1, 1))
+    w.append(_wq("pga players | total score", "pga", ("player", "score"), 40, 29))
+    w.append(_wq("pre-production electric vehicle | release date", None, (), 3, 0))
+    w.append(_wq("running shoes model | company", "running_shoes",
+                 ("model", "company"), 11, 5))
+    w.append(_wq("science discoveries | discoverers", "discoveries",
+                 ("discovery", "discoverer"), 41, 37))
+    w.append(_wq("university | motto", "universities", ("university", "motto"), 7, 5))
+    w.append(_wq("us cities | population", "us_cities", ("city", "population"), 34, 32))
+    w.append(_wq("us pizza store | annual sales", "pizza_stores",
+                 ("store", "sales"), 35, 1))
+    w.append(_wq("usa states | population", "us_states", ("name", "population"), 41, 37))
+    w.append(_wq("used cellphones | price", None, (), 29, 0))
+    w.append(_wq("video games | company", "video_games", ("game", "company"), 30, 28))
+    w.append(_wq("wimbledon champions | year", "wimbledon", ("champion", "year"), 38, 24))
+    w.append(_wq("world tallest buildings | height", "buildings",
+                 ("building", "height"), 51, 12))
+
+    # -- three column queries (17) ----------------------------------------------
+    w.append(_wq("academy award category | winner | year", "academy_awards",
+                 ("category", "winner", "year"), 56, 22))
+    w.append(_wq("bittorrent clients | license | cost", None, (), 0, 0))
+    w.append(_wq("chemical element | atomic number | atomic weight", "elements",
+                 ("element", "atomic_number", "atomic_weight"), 33, 30))
+    w.append(_wq("company | stock ticker | price", "stocks",
+                 ("company", "ticker", "price"), 53, 53))
+    w.append(_wq("educational exchange discipline in US | number of students | year",
+                 "edu_exchange", ("discipline", "students", "year"), 13, 2))
+    w.append(_wq("fast cars | company | top speed", "fast_cars",
+                 ("car", "company", "top_speed"), 34, 29))
+    w.append(_wq("food | fat | protein", "food_nutrition",
+                 ("food", "fat", "protein"), 47, 43))
+    w.append(_wq("ipod models | release date | price", "ipods",
+                 ("model", "release_date", "price"), 44, 16))
+    w.append(_wq("name of explorers | nationality | areas explored", "explorers",
+                 ("explorer", "nationality", "areas"), 19, 13))
+    w.append(_wq("NBA Match | date | winner", "nba", ("match", "date", "winner"), 44, 34))
+    w.append(_wq("new Jedi Order novels | authors | year", "jedi_novels",
+                 ("novel", "author", "year"), 25, 24))
+    w.append(_wq("Nobel prize winners | field | year", "nobel",
+                 ("winner", "field", "year"), 12, 10))
+    w.append(_wq("Olympus digital SLR Models | resolution | price", "olympus",
+                 ("model", "resolution", "price"), 11, 3))
+    w.append(_wq("president | library name | location", "pres_library",
+                 ("president", "library", "location"), 8, 1))
+    w.append(_wq("religion | number of followers | country of origin", "religions",
+                 ("religion", "followers", "origin"), 37, 32))
+    w.append(_wq("Star Trek novels | authors | release date", "star_trek",
+                 ("novel", "author", "release_date"), 8, 8))
+    w.append(_wq("us states | capitals | largest cities", "us_states",
+                 ("name", "capital", "largest_city"), 32, 30))
+
+    if len(w) != 59:
+        raise AssertionError(f"workload must have 59 queries, got {len(w)}")
+    return w
+
+
+#: The workload, built once at import.
+WORKLOAD: List[WorkloadQuery] = load_workload()
+
+
+def query_by_id(query_id: str) -> WorkloadQuery:
+    """Look up a workload query by its id (the query string)."""
+    for wq in WORKLOAD:
+        if wq.query_id == query_id:
+            return wq
+    raise KeyError(query_id)

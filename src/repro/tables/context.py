@@ -1,0 +1,122 @@
+"""Context extraction (Section 2.1.2).
+
+The *context* of a table is the text in its parent document that says what
+the table is about.  The paper is generous about inclusion and instead
+attaches a score to each snippet:
+
+* candidate snippets are the text nodes that are **siblings of nodes on the
+  path** from the table node to the document root;
+* the score combines (1) the tree edge distance between the snippet and the
+  table plus whether the snippet precedes (left sibling) or follows (right
+  sibling) the table, and (2) the relative frequency of formatting tags
+  (headings, bold, ...) attached to the snippet — a bolded heading right
+  above the table is the strongest context there is.
+
+The exact combination formula is unspecified in the paper ("we skip
+details"); we use a product of a distance decay, a side factor, and a
+format boost, normalized to [0, 1] — the downstream features only consume
+the *relative* ordering of snippet scores.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..html.dom import DomNode, ElementNode, FORMAT_TAGS, TextNode
+from .table import ContextSnippet
+
+__all__ = ["extract_context", "MAX_SNIPPET_CHARS"]
+
+#: Snippets longer than this are truncated; contexts are clue text, not body.
+MAX_SNIPPET_CHARS = 400
+
+#: Left siblings (text before the table) tend to be captions/introductions;
+#: right siblings are more often unrelated trailing matter.
+_LEFT_FACTOR = 1.0
+_RIGHT_FACTOR = 0.7
+
+
+def _format_tag_count(node: DomNode) -> int:
+    """Number of formatting tags on/inside the subtree holding ``node``."""
+    if isinstance(node, ElementNode):
+        count = 1 if node.tag in FORMAT_TAGS else 0
+        count += sum(
+            1
+            for d in node.iter_descendants()
+            if isinstance(d, ElementNode) and d.tag in FORMAT_TAGS
+        )
+        return count
+    parent = node.parent
+    if parent is not None and parent.tag in FORMAT_TAGS:
+        return 1
+    return 0
+
+
+def _snippet_text(node: DomNode) -> str:
+    """Visible text of a candidate sibling node."""
+    if isinstance(node, TextNode):
+        return node.text.strip()
+    if isinstance(node, ElementNode):
+        if node.tag in ("script", "style", "table"):
+            return ""
+        return node.text_content().strip()
+    return ""
+
+
+def extract_context(
+    root: ElementNode, table_el: ElementNode, max_snippets: int = 12
+) -> List[ContextSnippet]:
+    """Extract scored context snippets for ``table_el`` inside ``root``.
+
+    Snippets are returned ordered by decreasing score, at most
+    ``max_snippets`` of them.
+    """
+    total_format_tags = max(
+        1,
+        sum(
+            1
+            for d in root.iter_descendants()
+            if isinstance(d, ElementNode) and d.tag in FORMAT_TAGS
+        ),
+    )
+
+    candidates: List[ContextSnippet] = []
+    seen_texts = set()
+
+    path = table_el.path_to_root()
+    for distance_up, path_node in enumerate(path[:-1]):  # exclude root itself
+        parent = path_node.parent
+        if parent is None:
+            break
+        try:
+            position = parent.children.index(path_node)
+        except ValueError:  # pragma: no cover - defensive
+            continue
+        for sibling_idx, sibling in enumerate(parent.children):
+            if sibling is path_node:
+                continue
+            if isinstance(sibling, ElementNode) and (
+                sibling.tag == "table" or sibling.find_first("table") is not None
+            ):
+                continue  # other tables are candidates themselves, not context
+            text = _snippet_text(sibling)
+            if not text or text in seen_texts:
+                continue
+            seen_texts.add(text)
+
+            # (1) distance + side: one edge up per path level, one sideways.
+            edge_distance = distance_up + 1 + abs(sibling_idx - position) * 0
+            side = _LEFT_FACTOR if sibling_idx < position else _RIGHT_FACTOR
+            distance_decay = 1.0 / (1.0 + edge_distance)
+
+            # (2) formatting boost relative to the document's tag usage.
+            fmt = _format_tag_count(sibling)
+            fmt_boost = 1.0 + min(1.0, 4.0 * fmt / total_format_tags)
+
+            score = min(1.0, distance_decay * side * fmt_boost)
+            candidates.append(
+                ContextSnippet(text=text[:MAX_SNIPPET_CHARS], score=score)
+            )
+
+    candidates.sort(key=lambda s: -s.score)
+    return candidates[:max_snippets]

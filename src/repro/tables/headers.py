@@ -1,0 +1,162 @@
+"""Title/header/body row detection (Section 2.1.1).
+
+Only 20% of web tables use the ``<th>`` tag; the rest mark headers with
+visual cues.  The paper's heuristic scans rows from the top: rows that are
+*different* from most of the rows below them — in formatting (bold, italics,
+underline, capitalization, code, header tags), layout (background color, CSS
+classes) or content (textual row over a numeric body, character counts) —
+form the title/header prefix.  A different row whose text is concentrated in
+a single cell is a *title*; otherwise it is a *header*.  Subsequent rows stay
+headers while they resemble the first header row and keep differing from the
+rows below.  The scan stops at the first row that fails the test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .table import Cell
+
+__all__ = ["RowSignature", "row_signature", "detect_header_rows", "MAX_HEADER_ROWS"]
+
+#: Safety cap; the paper reports 5% of tables with more than two header rows,
+#: and nothing meaningful beyond four.
+MAX_HEADER_ROWS = 4
+
+
+@dataclass(frozen=True)
+class RowSignature:
+    """Per-row aggregate of the formatting/layout/content cues."""
+
+    frac_th: float
+    frac_emphasis: float  # bold/italic/underline/code/header-tag
+    frac_capitalized: float
+    frac_numeric: float
+    frac_empty: float
+    has_layout: bool  # background color or css class on any cell
+    avg_chars: float
+    non_empty_cells: int
+
+
+def row_signature(row: Sequence[Cell]) -> RowSignature:
+    """Compute the :class:`RowSignature` of one row.
+
+    Emphasis/markup fractions are taken over *non-empty* cells so that a
+    single-cell title row (all other cells empty, e.g. via colspan padding)
+    still registers as fully emphasized.
+    """
+    n = max(len(row), 1)
+    non_empty = [c for c in row if not c.is_empty()]
+    denom = max(len(non_empty), 1)
+    return RowSignature(
+        frac_th=sum(c.fmt.is_th for c in non_empty) / denom,
+        frac_emphasis=sum(
+            (c.fmt.bold or c.fmt.italic or c.fmt.underline or c.fmt.code
+             or c.fmt.header_tag)
+            for c in non_empty
+        ) / denom,
+        frac_capitalized=sum(c.is_capitalized() for c in non_empty) / denom,
+        frac_numeric=sum(c.is_numeric() for c in non_empty) / denom,
+        frac_empty=sum(c.is_empty() for c in row) / n,
+        has_layout=any(c.fmt.background or c.fmt.css_class for c in row),
+        avg_chars=sum(len(c.text) for c in non_empty) / denom,
+        non_empty_cells=len(non_empty),
+    )
+
+
+def _majority(values: Sequence[float], threshold: float) -> bool:
+    """True when more than half of ``values`` exceed ``threshold``."""
+    if not values:
+        return False
+    return sum(v > threshold for v in values) * 2 > len(values)
+
+
+def _differs_from_below(sig: RowSignature, below: Sequence[RowSignature]) -> bool:
+    """Does this row look different from *most* rows below it?
+
+    Mirrors the three cue families of Section 2.1.1: formatting, layout,
+    content.
+    """
+    if not below:
+        return False
+    # Formatting: th cells or emphasis present here but not in the majority
+    # of body rows.
+    if sig.frac_th >= 0.5 and not _majority([b.frac_th for b in below], 0.49):
+        return True
+    if sig.frac_emphasis >= 0.5 and not _majority(
+        [b.frac_emphasis for b in below], 0.49
+    ):
+        return True
+    # Layout: a colored/classed band over an unstyled body.
+    if sig.has_layout and sum(b.has_layout for b in below) * 2 <= len(below):
+        return True
+    # Content: textual header over a numeric body ...
+    if sig.frac_numeric < 0.25 and _majority([b.frac_numeric for b in below], 0.5):
+        return True
+    # ... or a much shorter/sparser banner row.
+    below_chars = sorted(b.avg_chars for b in below)
+    median_chars = below_chars[len(below_chars) // 2]
+    if median_chars > 0 and sig.avg_chars < 0.34 * median_chars and sig.frac_capitalized >= 0.99:
+        return True
+    return False
+
+
+def _is_title_row(row: Sequence[Cell]) -> bool:
+    """A *different* row is a title when its text sits in a single cell.
+
+    (Figure 1's Table 3 — "Forest reserves" spanning the full width — is the
+    canonical example.)
+    """
+    non_empty = [c for c in row if not c.is_empty()]
+    return len(non_empty) <= 1
+
+
+def _similar_headers(a: RowSignature, b: RowSignature) -> bool:
+    """Are two candidate header rows alike enough to be one multi-row header?"""
+    return (
+        abs(a.frac_th - b.frac_th) <= 0.5
+        and abs(a.frac_emphasis - b.frac_emphasis) <= 0.5
+        and a.has_layout == b.has_layout
+        and abs(a.frac_numeric - b.frac_numeric) <= 0.5
+    )
+
+
+def detect_header_rows(grid: Sequence[Sequence[Cell]]) -> Tuple[int, int]:
+    """Classify the leading rows of ``grid``.
+
+    Returns ``(num_title_rows, num_header_rows)``.  Tables with a single row
+    get ``(0, 0)`` — a lone row cannot be distinguished from a body.
+    """
+    n = len(grid)
+    if n <= 1:
+        return 0, 0
+
+    sigs: List[RowSignature] = [row_signature(row) for row in grid]
+
+    num_title = 0
+    i = 0
+    # Title rows: different from below AND text concentrated in one cell.
+    while i < n - 1 and num_title < 2:
+        if _differs_from_below(sigs[i], sigs[i + 1 :]) and _is_title_row(grid[i]):
+            num_title += 1
+            i += 1
+        else:
+            break
+
+    num_header = 0
+    first_header_sig = None
+    while i < n - 1 and num_header < MAX_HEADER_ROWS:
+        sig = sigs[i]
+        if not _differs_from_below(sig, sigs[i + 1 :]):
+            break
+        if _is_title_row(grid[i]) and num_header == 0:
+            break  # a second banner row after titles, not a header
+        if first_header_sig is None:
+            first_header_sig = sig
+        elif not _similar_headers(first_header_sig, sig):
+            break
+        num_header += 1
+        i += 1
+
+    return num_title, num_header

@@ -1,0 +1,33 @@
+"""Text analysis substrate: tokenization, TF-IDF, and similarity measures."""
+
+from .similarity import (
+    column_content_similarity,
+    column_similarity,
+    header_similarity,
+    jaccard,
+    weighted_jaccard,
+)
+from .tfidf import TermStatistics, TfIdfVector, cosine
+from .tokenize import (
+    STOP_WORDS,
+    ngrams,
+    normalize_cell,
+    tokenize,
+    tokenize_keep_stopwords,
+)
+
+__all__ = [
+    "STOP_WORDS",
+    "TermStatistics",
+    "TfIdfVector",
+    "column_content_similarity",
+    "column_similarity",
+    "cosine",
+    "header_similarity",
+    "jaccard",
+    "ngrams",
+    "normalize_cell",
+    "tokenize",
+    "tokenize_keep_stopwords",
+    "weighted_jaccard",
+]

@@ -1,0 +1,69 @@
+"""Shared fixtures and factories for the test suite."""
+
+from typing import Dict, List, Sequence, Tuple
+
+import pytest
+
+from repro.core.edges import MappingEdge
+from repro.core.model import ColumnFeatures, ColumnMappingProblem
+from repro.core.params import DEFAULT_PARAMS, ModelParams
+from repro.query.model import Query
+from repro.tables.table import WebTable
+
+
+def make_problem(
+    query_text: str,
+    table_widths: Sequence[int],
+    potentials: Dict[Tuple[int, int], Sequence[float]],
+    edges: Sequence[Tuple[Tuple[int, int], Tuple[int, int], float]] = (),
+    params: ModelParams = DEFAULT_PARAMS,
+    table_relevance: Sequence[float] = (),
+) -> ColumnMappingProblem:
+    """Build a mapping problem with hand-set potentials.
+
+    ``potentials[(ti, ci)]`` is the dense per-label list (q query labels,
+    na, nr).  ``edges`` holds (a, b, nsim) triples; nsim is used in both
+    directions.
+    """
+    query = Query.parse(query_text)
+    q = query.q
+    tables = []
+    for ti, width in enumerate(table_widths):
+        rows = [[f"t{ti}r{r}c{c}" for c in range(width)] for r in range(3)]
+        header = [f"h{c}" for c in range(width)]
+        tables.append(
+            WebTable.from_rows(rows, header=header, table_id=f"t{ti}")
+        )
+    node_potentials = {}
+    features = {}
+    for ti, width in enumerate(table_widths):
+        for ci in range(width):
+            theta = list(potentials[(ti, ci)])
+            if len(theta) != q + 2:
+                raise ValueError("potential vector must have q+2 entries")
+            node_potentials[(ti, ci)] = theta
+            features[(ti, ci)] = ColumnFeatures(
+                segsim=tuple([0.0] * q), cover=tuple([0.0] * q), pmi=tuple([0.0] * q)
+            )
+    relevance = list(table_relevance) or [0.0] * len(table_widths)
+    mapping_edges = [
+        MappingEdge(a=a, b=b, sim=nsim, nsim_ab=nsim, nsim_ba=nsim)
+        for a, b, nsim in edges
+    ]
+    return ColumnMappingProblem(
+        query=query,
+        tables=tables,
+        params=params,
+        node_potentials=node_potentials,
+        features=features,
+        table_relevance=relevance,
+        edges=mapping_edges,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_env():
+    """A small shared workload environment (expensive; built once)."""
+    from repro.evaluation.harness import build_environment
+
+    return build_environment(scale=0.25, seed=11)

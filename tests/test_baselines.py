@@ -1,0 +1,178 @@
+"""Tests for the Basic / NbrText / PMI² baselines."""
+
+import pytest
+
+from repro.baselines.basic import (
+    BasicParams,
+    assign_columns,
+    basic_method,
+    column_header_similarity,
+    table_relevance_similarity,
+)
+from repro.baselines.nbrtext import nbrtext_method
+from repro.baselines.pmi_baseline import pmi_method
+from repro.core.labels import LabelSpace
+from repro.core.pmi import PmiScorer
+from repro.index.inverted import InvertedIndex
+from repro.query.model import Query
+from repro.tables.table import ContextSnippet, WebTable
+
+
+def explorer_table(table_id="t0"):
+    t = WebTable.from_rows(
+        [
+            ["Abel Tasman", "Dutch", "Oceania"],
+            ["Vasco da Gama", "Portuguese", "Sea route to India"],
+        ],
+        header=["Explorer", "Nationality", "Areas explored"],
+        table_id=table_id,
+    )
+    t.context.append(ContextSnippet("List of explorers in history", 0.9))
+    return t
+
+
+def offtopic_table(table_id="t1"):
+    return WebTable.from_rows(
+        [["7", "Shakespeare Hills", "2236"]],
+        header=["ID", "Name", "Area"],
+        table_id=table_id,
+    )
+
+
+class TestBasic:
+    def test_maps_matching_table(self):
+        query = Query.parse("explorer | nationality")
+        result = basic_method(query, [explorer_table()])
+        assert result.labels[(0, 0)] == 0
+        assert result.labels[(0, 1)] == 1
+        assert result.labels[(0, 2)] == result.label_space.na
+
+    def test_rejects_offtopic_table(self):
+        query = Query.parse("explorer | nationality")
+        result = basic_method(query, [offtopic_table()])
+        nr = result.label_space.nr
+        assert all(l == nr for l in result.labels.values())
+
+    def test_relevance_threshold_gates(self):
+        query = Query.parse("explorer | nationality")
+        strict = BasicParams(relevance_threshold=0.99, column_threshold=0.1)
+        result = basic_method(query, [explorer_table()], params=strict)
+        nr = result.label_space.nr
+        assert all(l == nr for l in result.labels.values())
+
+    def test_column_threshold_gates(self):
+        # An exact header match scores cosine 1.0, so the gate must sit
+        # above that to suppress everything.
+        query = Query.parse("explorer | nationality")
+        strict = BasicParams(relevance_threshold=0.01, column_threshold=1.01)
+        result = basic_method(query, [explorer_table()], params=strict)
+        nr = result.label_space.nr
+        assert all(l == nr for l in result.labels.values())
+
+    def test_table_relevance_similarity_positive_for_match(self):
+        query = Query.parse("explorer | nationality")
+        assert table_relevance_similarity(query, explorer_table(), None) > 0.2
+        assert (
+            table_relevance_similarity(query, offtopic_table(), None) < 0.1
+        )
+
+    def test_assign_columns_respects_mutex(self):
+        query = Query.parse("a | b")
+        sims = [[0.9, 0.8], [0.85, 0.2]]
+        mapped = assign_columns(query, sims, 0.1, LabelSpace(2))
+        assert sorted(mapped.values()) == [0, 1]
+        assert len(set(mapped.values())) == 2
+
+    def test_column_header_similarity_shape(self):
+        query = Query.parse("explorer | nationality")
+        sims = column_header_similarity(query, explorer_table(), 0, None)
+        assert len(sims) == 2
+        assert sims[0] > sims[1]
+
+
+class TestNbrText:
+    def test_import_rescues_vague_header(self):
+        query = Query.parse("explorer | nationality")
+        good = explorer_table()
+        vague = WebTable.from_rows(
+            [
+                ["Abel Tasman", "Dutch"],
+                ["Vasco da Gama", "Portuguese"],
+            ],
+            header=["Name", "Info"],
+            table_id="v",
+        )
+        vague.context.append(ContextSnippet("List of explorers", 0.9))
+        base = basic_method(query, [good, vague])
+        boosted = nbrtext_method(query, [good, vague])
+        space = boosted.label_space
+        # Basic cannot map the vague column; NbrText imports "Explorer".
+        assert base.labels[(1, 0)] != 0
+        assert boosted.labels[(1, 0)] == 0
+
+    def test_no_import_without_content_overlap(self):
+        query = Query.parse("explorer | nationality")
+        good = explorer_table()
+        unrelated = WebTable.from_rows(
+            [["Rex", "Boxer"], ["Fido", "Beagle"]],
+            header=["Name", "Info"],
+            table_id="u",
+        )
+        result = nbrtext_method(query, [good, unrelated])
+        nr = result.label_space.nr
+        assert all(
+            result.labels[(1, ci)] == nr for ci in range(unrelated.num_cols)
+        )
+
+
+class TestPmi:
+    def make_index(self):
+        index = InvertedIndex()
+        index.add_text_document(
+            "e1",
+            {
+                "header": "explorer nationality",
+                "context": "list of explorers",
+                "content": "abel tasman dutch vasco da gama portuguese",
+            },
+        )
+        index.add_text_document(
+            "e2",
+            {
+                "header": "explorer areas",
+                "context": "famous explorers",
+                "content": "abel tasman oceania james cook pacific",
+            },
+        )
+        index.add_text_document(
+            "m1",
+            {
+                "header": "movie year",
+                "context": "films",
+                "content": "alien 1979 blade runner 1982",
+            },
+        )
+        return index
+
+    def test_scorer_prefers_associated_column(self):
+        index = self.make_index()
+        scorer = PmiScorer(index)
+        table = explorer_table()
+        explorer_score = scorer.score("explorer", table, 0)
+        nationality_score = scorer.score("explorer", table, 1)
+        assert explorer_score > nationality_score
+
+    def test_scorer_zero_when_query_unknown(self):
+        scorer = PmiScorer(self.make_index())
+        assert scorer.score("zebra stripes", explorer_table(), 0) == 0.0
+
+    def test_scorer_caches(self):
+        scorer = PmiScorer(self.make_index())
+        scorer.score("explorer", explorer_table(), 0)
+        assert "explorer" in scorer._h_cache
+
+    def test_pmi_method_runs(self):
+        query = Query.parse("explorer | nationality")
+        index = self.make_index()
+        result = pmi_method(query, [explorer_table()], index)
+        assert result.labels[(0, 0)] == 0

@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_query_defaults(self):
+        args = build_parser().parse_args(["query", "country | currency"])
+        assert args.text == "country | currency"
+        assert args.inference == "table-centric"
+        assert args.scale == 0.4
+
+    def test_eval_method_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["eval", "--methods", "bogus"])
+
+    def test_workload_command(self):
+        args = build_parser().parse_args(["workload"])
+        assert args.command == "workload"
+
+
+class TestCommands:
+    def test_workload_lists_queries(self):
+        out = io.StringIO()
+        assert main(["workload"], out=out) == 0
+        text = out.getvalue()
+        assert "dog breed" in text
+        assert "us states | capitals | largest cities" in text
+        assert text.count("\n") >= 60
+
+    def test_query_end_to_end(self):
+        out = io.StringIO()
+        code = main(
+            ["query", "country | currency", "--scale", "0.15", "--rows", "3"],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "candidates:" in text
+        assert "country | currency" in text
+
+    def test_corpus_census_and_save(self, tmp_path):
+        out = io.StringIO()
+        path = tmp_path / "store.jsonl"
+        code = main(
+            ["corpus", "--scale", "0.05", "--save", str(path)], out=out
+        )
+        assert code == 0
+        assert path.exists()
+        assert "data tables:" in out.getvalue()
+        from repro.index.store import TableStore
+
+        store = TableStore.load(path)
+        assert len(store) > 10

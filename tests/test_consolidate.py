@@ -1,0 +1,146 @@
+"""Tests for dedup, consolidation, and ranking (Section 2.2.3)."""
+
+import pytest
+
+from repro.consolidate.dedup import cells_compatible, rows_duplicate, subject_key
+from repro.consolidate.merge import AnswerRow, consolidate
+from repro.consolidate.ranker import rank_answer, rank_rows
+from repro.query.model import Query
+from repro.tables.table import WebTable
+
+
+class TestDedup:
+    def test_subject_key_normalizes(self):
+        assert subject_key(" Vasco  da Gama ") == subject_key("vasco da gama")
+
+    def test_cells_compatible_empty_wildcard(self):
+        assert cells_compatible("", "anything")
+        assert cells_compatible("x", "")
+
+    def test_cells_compatible_exact(self):
+        assert cells_compatible("Dutch", "dutch")
+        assert not cells_compatible("Dutch", "Portuguese")
+
+    def test_cells_compatible_token_overlap(self):
+        assert cells_compatible("Sea route to India", "sea route india")
+
+    def test_rows_duplicate_same_subject(self):
+        a = ["Abel Tasman", "Dutch", "Oceania"]
+        b = ["abel tasman", "", "Oceania"]
+        assert rows_duplicate(a, b)
+
+    def test_rows_not_duplicate_different_subject(self):
+        a = ["Abel Tasman", "Dutch", "Oceania"]
+        b = ["James Cook", "Dutch", "Oceania"]
+        assert not rows_duplicate(a, b)
+
+    def test_rows_not_duplicate_conflicting_attributes(self):
+        a = ["Abel Tasman", "Dutch", "Oceania"]
+        b = ["Abel Tasman", "Portuguese", "Oceania"]
+        assert not rows_duplicate(a, b)
+
+    def test_width_mismatch(self):
+        assert not rows_duplicate(["a", "b"], ["a"])
+
+    def test_empty_subjects_never_duplicate(self):
+        assert not rows_duplicate(["", "x"], ["", "x"])
+
+
+class TestConsolidate:
+    def make_tables(self):
+        t0 = WebTable.from_rows(
+            [
+                ["Abel Tasman", "Dutch", "Oceania"],
+                ["Vasco da Gama", "Portuguese", "Sea route to India"],
+            ],
+            header=["Name", "Nationality", "Areas"],
+            table_id="t0",
+        )
+        t1 = WebTable.from_rows(
+            [
+                ["Sea route to India", "Vasco da Gama"],
+                ["Caribbean", "Christopher Columbus"],
+            ],
+            header=["Exploration", "Who"],
+            table_id="t1",
+        )
+        return [t0, t1]
+
+    def test_merges_duplicates_across_tables(self):
+        query = Query.parse("explorer | areas")
+        tables = self.make_tables()
+        mappings = {0: {0: 1, 2: 2}, 1: {1: 1, 0: 2}}
+        answer = consolidate(query, tables, mappings)
+        subjects = {row.cells[0] for row in answer.rows}
+        assert "Vasco da Gama" in subjects
+        assert "Christopher Columbus" in subjects
+        vasco = next(r for r in answer.rows if r.cells[0] == "Vasco da Gama")
+        assert vasco.support == 2
+        assert set(vasco.source_tables) == {"t0", "t1"}
+
+    def test_missing_query_columns_left_empty(self):
+        query = Query.parse("explorer | nationality | areas")
+        tables = self.make_tables()
+        answer = consolidate(query, tables, {1: {1: 1, 0: 3}})
+        row = answer.rows[0]
+        assert row.cells[1] == ""  # nationality absent from t1
+
+    def test_duplicate_fills_empty_cells(self):
+        query = Query.parse("explorer | nationality | areas")
+        tables = self.make_tables()
+        mappings = {1: {1: 1, 0: 3}, 0: {0: 1, 1: 2, 2: 3}}
+        answer = consolidate(query, tables, mappings)
+        vasco = next(r for r in answer.rows if "Vasco" in r.cells[0])
+        assert vasco.cells[1] == "Portuguese"  # filled from t0
+
+    def test_empty_mapping_ignored(self):
+        query = Query.parse("explorer")
+        answer = consolidate(query, self.make_tables(), {0: {}})
+        assert answer.num_rows == 0
+
+    def test_header_is_query_columns(self):
+        query = Query.parse("explorer | areas")
+        answer = consolidate(query, self.make_tables(), {})
+        assert answer.header() == ["explorer", "areas"]
+
+
+class TestRanker:
+    def test_support_dominates(self):
+        rows = [
+            AnswerRow(cells=["b", "1"], support=1, relevance=1.0),
+            AnswerRow(cells=["a", "2"], support=3, relevance=0.1),
+        ]
+        ranked = rank_rows(rows)
+        assert ranked[0].cells[0] == "a"
+
+    def test_relevance_breaks_support_ties(self):
+        rows = [
+            AnswerRow(cells=["low", "1"], support=2, relevance=0.2),
+            AnswerRow(cells=["high", "2"], support=2, relevance=0.9),
+        ]
+        assert rank_rows(rows)[0].cells[0] == "high"
+
+    def test_completeness_breaks_further_ties(self):
+        rows = [
+            AnswerRow(cells=["x", ""], support=1, relevance=0.5),
+            AnswerRow(cells=["y", "full"], support=1, relevance=0.5),
+        ]
+        assert rank_rows(rows)[0].cells[0] == "y"
+
+    def test_deterministic_final_tie_break(self):
+        rows = [
+            AnswerRow(cells=["zeta", "1"], support=1, relevance=0.5),
+            AnswerRow(cells=["alpha", "1"], support=1, relevance=0.5),
+        ]
+        assert [r.cells[0] for r in rank_rows(rows)] == ["alpha", "zeta"]
+
+    def test_rank_answer_in_place(self):
+        from repro.consolidate.merge import AnswerTable
+
+        answer = AnswerTable(query=Query.parse("a"))
+        answer.rows = [
+            AnswerRow(cells=["b"], support=1),
+            AnswerRow(cells=["a"], support=2),
+        ]
+        rank_answer(answer)
+        assert answer.rows[0].cells == ["a"]

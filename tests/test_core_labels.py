@@ -1,0 +1,42 @@
+"""Unit tests for the label space."""
+
+import pytest
+
+from repro.core.labels import LabelSpace
+
+
+class TestLabelSpace:
+    def test_size_and_special_labels(self):
+        space = LabelSpace(3)
+        assert space.size == 5
+        assert space.na == 3
+        assert space.nr == 4
+        assert list(space.query_labels()) == [0, 1, 2]
+
+    def test_is_query(self):
+        space = LabelSpace(2)
+        assert space.is_query(0) and space.is_query(1)
+        assert not space.is_query(space.na)
+        assert not space.is_query(space.nr)
+
+    def test_query_column_conversion_roundtrip(self):
+        space = LabelSpace(3)
+        for qc in (1, 2, 3):
+            assert space.to_query_column(space.from_query_column(qc)) == qc
+
+    def test_conversion_bounds(self):
+        space = LabelSpace(2)
+        with pytest.raises(ValueError):
+            space.to_query_column(space.na)
+        with pytest.raises(ValueError):
+            space.from_query_column(0)
+        with pytest.raises(ValueError):
+            space.from_query_column(3)
+
+    def test_names(self):
+        space = LabelSpace(2)
+        assert space.names() == ["1", "2", "na", "nr"]
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            LabelSpace(0)

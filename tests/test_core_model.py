@@ -1,0 +1,163 @@
+"""Tests for problem assembly: node potentials, R, objective scoring."""
+
+import math
+
+import pytest
+
+from repro.core.model import build_problem
+from repro.core.params import DEFAULT_PARAMS, UNSEGMENTED_PARAMS
+from repro.query.model import Query
+from repro.tables.table import Cell, CellFormat, ContextSnippet, WebTable
+
+from .conftest import make_problem
+
+
+def explorer_table(table_id="t0"):
+    return WebTable.from_rows(
+        [
+            ["Abel Tasman", "Dutch", "Oceania"],
+            ["Vasco da Gama", "Portuguese", "Sea route to India"],
+        ],
+        header=["Explorer", "Nationality", "Areas explored"],
+        table_id=table_id,
+    )
+
+
+def forest_table(table_id="t1"):
+    return WebTable.from_rows(
+        [["7", "Shakespeare Hills", "2236"], ["9", "Plains Creek", "880"]],
+        header=["ID", "Name", "Area"],
+        table_id=table_id,
+    )
+
+
+class TestBuildProblem:
+    def test_node_potentials_favor_matching_columns(self):
+        query = Query.parse("explorer | nationality | areas explored")
+        problem = build_problem(query, [explorer_table()])
+        # Column 0 should prefer label 1, column 1 label 2, column 2 label 3.
+        for ci, expected in ((0, 0), (1, 1), (2, 2)):
+            theta = problem.node_potentials[(0, ci)]
+            best_query_label = max(
+                problem.labels.query_labels(), key=lambda l: theta[l]
+            )
+            assert best_query_label == expected
+
+    def test_irrelevant_table_prefers_nr(self):
+        query = Query.parse("explorer | nationality | areas explored")
+        problem = build_problem(query, [forest_table()])
+        from repro.inference import independent_inference
+
+        result = independent_inference(problem)
+        assert not result.is_relevant(0)
+
+    def test_relevance_feature_in_range(self):
+        query = Query.parse("explorer | nationality")
+        problem = build_problem(query, [explorer_table(), forest_table()])
+        for r in problem.table_relevance:
+            assert 0.0 <= r <= 1.0
+
+    def test_na_potential_is_zero(self):
+        query = Query.parse("explorer | nationality")
+        problem = build_problem(query, [explorer_table()])
+        for tc in problem.columns():
+            assert problem.node_potentials[tc][problem.labels.na] == 0.0
+
+    def test_nr_potential_uses_width_scaling(self):
+        # Eq. 3: nr potential carries min(q, nt)/nt.
+        query = Query.parse("zzz | yyy")  # matches nothing: R = 0
+        wide = WebTable.from_rows(
+            [["a", "b", "c", "d"]], header=["w", "x", "y", "z"], table_id="w"
+        )
+        narrow = WebTable.from_rows([["a", "b"]], header=["w", "x"], table_id="n")
+        problem = build_problem(query, [wide, narrow])
+        p = problem.params
+        assert problem.node_potentials[(0, 0)][problem.labels.nr] == pytest.approx(
+            p.w4 * (2 / 4)
+        )
+        assert problem.node_potentials[(1, 0)][problem.labels.nr] == pytest.approx(
+            p.w4 * (2 / 2)
+        )
+
+    def test_unsegmented_params_change_features(self):
+        query = Query.parse("nobel prize winner")
+        table = WebTable.from_rows(
+            [["Marie Curie"], ["Albert Einstein"]],
+            header=["Winner"],
+            table_id="t",
+        )
+        table.context.append(ContextSnippet("Nobel prize laureates", 0.9))
+        seg = build_problem(query, [table], params=DEFAULT_PARAMS)
+        unseg = build_problem(query, [table], params=UNSEGMENTED_PARAMS)
+        # Segmented similarity exploits the context; unsegmented cannot.
+        assert seg.features[(0, 0)].segsim[0] > unseg.features[(0, 0)].segsim[0]
+
+
+class TestWithParams:
+    def test_reweighting_matches_rebuild(self):
+        query = Query.parse("explorer | nationality")
+        tables = [explorer_table(), forest_table()]
+        base = build_problem(query, tables, params=DEFAULT_PARAMS)
+        new_params = DEFAULT_PARAMS.with_values(w1=2.0, w4=1.0, w5=-0.5)
+        fast = base.with_params(new_params)
+        slow = build_problem(query, tables, params=new_params)
+        for tc in base.columns():
+            for l in base.labels.all_labels():
+                assert fast.node_potentials[tc][l] == pytest.approx(
+                    slow.node_potentials[tc][l]
+                )
+
+    def test_reweighting_shares_features(self):
+        problem = make_problem("a", [1], {(0, 0): [1.0, 0.0, 0.1]})
+        other = problem.with_params(problem.params.with_values(w4=2.0))
+        assert other.features is problem.features
+        assert other.edges is problem.edges
+
+
+class TestObjective:
+    def test_score_includes_edges_when_confident(self):
+        problem = make_problem(
+            "a",
+            [1, 1],
+            {(0, 0): [1.0, 0.0, 0.1], (1, 0): [1.0, 0.0, 0.1]},
+            edges=[((0, 0), (1, 0), 0.5)],
+        )
+        y_same = {(0, 0): 0, (1, 0): 0}
+        confident = {(0, 0): True, (1, 0): True}
+        with_edges = problem.score(y_same, confident)
+        expected = 2.0 + problem.params.we * (0.5 + 0.5)
+        assert with_edges == pytest.approx(expected)
+
+    def test_no_edge_reward_for_nr_agreement(self):
+        problem = make_problem(
+            "a",
+            [1, 1],
+            {(0, 0): [0.0, 0.0, 1.0], (1, 0): [0.0, 0.0, 1.0]},
+            edges=[((0, 0), (1, 0), 0.5)],
+        )
+        nr = problem.labels.nr
+        score = problem.score({(0, 0): nr, (1, 0): nr})
+        assert score == pytest.approx(2.0)  # node potentials only
+
+    def test_constraint_violations_score_neg_inf(self):
+        problem = make_problem(
+            "a | b",
+            [2],
+            {(0, 0): [1.0, 0.0, 0.0, 0.1], (0, 1): [0.0, 1.0, 0.0, 0.1]},
+        )
+        y_mutex = {(0, 0): 0, (0, 1): 0}
+        assert problem.score(y_mutex) == float("-inf")
+        nr = problem.labels.nr
+        y_half_nr = {(0, 0): nr, (0, 1): 1}
+        assert problem.score(y_half_nr) == float("-inf")
+
+    def test_min_match_clamped_for_narrow_tables(self):
+        problem = make_problem("a | b | c", [2], {
+            (0, 0): [1.0, 0.0, 0.0, 0.0, 0.1],
+            (0, 1): [0.0, 1.0, 0.0, 0.0, 0.1],
+        })
+        assert problem.min_match(0) == 2
+        narrow = make_problem("a | b | c", [1], {
+            (0, 0): [1.0, 0.0, 0.0, 0.0, 0.1],
+        })
+        assert narrow.min_match(0) == 1

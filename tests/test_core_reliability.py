@@ -1,0 +1,99 @@
+"""Tests for the empirical reliability estimation (Section 3.2.1)."""
+
+import math
+
+from repro.core.reliability import (
+    collect_part_observations,
+    estimate_from_environment,
+)
+from repro.core.segsim import DEFAULT_RELIABILITIES
+from repro.corpus.groundtruth import GroundTruth, TableLabel
+from repro.query.model import Query, WorkloadQuery
+from repro.tables.table import ContextSnippet, WebTable
+
+
+def make_wq():
+    return WorkloadQuery(
+        query=Query.parse("nobel prize winners | year"),
+        domain_key="nobel",
+        attr_keys=("winner", "year"),
+        paper_total=12,
+        paper_relevant=10,
+    )
+
+
+class TestCollectObservations:
+    def test_context_part_counted(self):
+        # Header "Winner" + context "Nobel prize": the context part (C) has
+        # the out-tokens; gold says the mapping is correct.
+        table = WebTable.from_rows(
+            [["Marie Curie", "1911"]],
+            header=["Winners", "Year"],
+            table_id="t1",
+        )
+        table.context.append(ContextSnippet("nobel prize laureates", 0.9))
+        truth = GroundTruth()
+        truth.set_label(
+            "nobel prize winners | year", "t1",
+            TableLabel(relevant=True, mapping={0: 1, 1: 2}),
+        )
+        obs = collect_part_observations(truth, make_wq(), [table])
+        correct, total = obs["C"]
+        assert total >= 1
+        assert correct == total  # the mapping was correct
+
+    def test_incorrect_mapping_counts_against(self):
+        # Same signal but gold maps column 0 elsewhere -> counted incorrect.
+        table = WebTable.from_rows(
+            [["Marie Curie", "1911"]],
+            header=["Winners", "Year"],
+            table_id="t1",
+        )
+        table.context.append(ContextSnippet("nobel prize laureates", 0.9))
+        truth = GroundTruth()
+        truth.set_label(
+            "nobel prize winners | year", "t1",
+            TableLabel(relevant=True, mapping={1: 2}),  # col 0 unmapped
+        )
+        obs = collect_part_observations(truth, make_wq(), [table])
+        correct, total = obs["C"]
+        assert total >= 1
+        assert correct < total
+
+    def test_irrelevant_tables_skipped(self):
+        table = WebTable.from_rows(
+            [["x", "1"]], header=["Winners", "Year"], table_id="t1"
+        )
+        truth = GroundTruth()  # no label -> irrelevant
+        obs = collect_part_observations(truth, make_wq(), [table])
+        assert all(total == 0 for _c, total in obs.values())
+
+    def test_headerless_tables_skipped(self):
+        table = WebTable(
+            grid=[[__import__("repro.tables.table", fromlist=["Cell"]).Cell("x"),
+                   __import__("repro.tables.table", fromlist=["Cell"]).Cell("1")]],
+            table_id="t1",
+        )
+        truth = GroundTruth()
+        truth.set_label(
+            "nobel prize winners | year", "t1",
+            TableLabel(relevant=True, mapping={0: 1}),
+        )
+        obs = collect_part_observations(truth, make_wq(), [table])
+        assert all(total == 0 for _c, total in obs.values())
+
+
+class TestEstimateFromEnvironment:
+    def test_estimates_are_probabilities(self, small_env):
+        estimated = estimate_from_environment(small_env)
+        for value in (
+            estimated.title, estimated.context, estimated.other_header_rows,
+            estimated.other_columns, estimated.body,
+        ):
+            assert 0.0 <= value <= 1.0
+
+    def test_context_reliability_reasonably_high(self, small_env):
+        # On a labeled workload the context part should be fairly reliable
+        # (the paper estimated 0.9).
+        estimated = estimate_from_environment(small_env)
+        assert estimated.context >= 0.5

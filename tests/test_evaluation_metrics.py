@@ -1,0 +1,84 @@
+"""Tests for the F1 error metric and gold assignment construction."""
+
+import pytest
+
+from repro.core.labels import LabelSpace
+from repro.corpus.groundtruth import GroundTruth, TableLabel
+from repro.evaluation.metrics import count_stats, f1_error, gold_assignment
+from repro.tables.table import WebTable
+
+
+class TestF1Error:
+    def setup_method(self):
+        self.space = LabelSpace(2)
+
+    def test_perfect_labeling(self):
+        gold = {(0, 0): 0, (0, 1): 1}
+        assert f1_error(dict(gold), gold, self.space) == 0.0
+
+    def test_total_miss(self):
+        gold = {(0, 0): 0, (0, 1): 1}
+        pred = {(0, 0): self.space.nr, (0, 1): self.space.nr}
+        assert f1_error(pred, gold, self.space) == 100.0
+
+    def test_nothing_to_find_and_nothing_predicted(self):
+        gold = {(0, 0): self.space.nr}
+        pred = {(0, 0): self.space.nr}
+        assert f1_error(pred, gold, self.space) == 0.0
+
+    def test_false_positive_only(self):
+        gold = {(0, 0): self.space.nr}
+        pred = {(0, 0): 0}
+        assert f1_error(pred, gold, self.space) == 100.0
+
+    def test_half_recall(self):
+        gold = {(0, 0): 0, (0, 1): 1}
+        pred = {(0, 0): 0, (0, 1): self.space.na}
+        # correct=1, pred=1, gold=2 -> F1 = 2/3 -> error 33.3%
+        assert f1_error(pred, gold, self.space) == pytest.approx(100 / 3)
+
+    def test_wrong_label_counts_against_both(self):
+        gold = {(0, 0): 0}
+        pred = {(0, 0): 1}
+        assert f1_error(pred, gold, self.space) == 100.0
+
+    def test_missing_prediction_defaults_nr(self):
+        gold = {(0, 0): 0}
+        assert f1_error({}, gold, self.space) == 100.0
+
+    def test_na_agreement_not_rewarded(self):
+        # na/na agreement contributes nothing to either denominator.
+        gold = {(0, 0): 0, (0, 1): self.space.na}
+        pred = {(0, 0): 0, (0, 1): self.space.na}
+        assert f1_error(pred, gold, self.space) == 0.0
+
+    def test_count_stats(self):
+        gold = {(0, 0): 0, (0, 1): 1, (1, 0): self.space.nr}
+        pred = {(0, 0): 0, (0, 1): self.space.na, (1, 0): 1}
+        correct, n_pred, n_gold = count_stats(pred, gold, self.space)
+        assert (correct, n_pred, n_gold) == (1, 2, 2)
+
+
+class TestGoldAssignment:
+    def test_dense_labels_from_truth(self):
+        truth = GroundTruth()
+        truth.set_label("q", "a", TableLabel(relevant=True, mapping={0: 1, 2: 2}))
+        truth.set_label("q", "b", TableLabel(relevant=False))
+        tables = [
+            WebTable.from_rows([["x", "y", "z"]], table_id="a"),
+            WebTable.from_rows([["x", "y"]], table_id="b"),
+        ]
+        space = LabelSpace(2)
+        gold = gold_assignment(truth, "q", tables, space)
+        assert gold[(0, 0)] == 0
+        assert gold[(0, 1)] == space.na
+        assert gold[(0, 2)] == 1
+        assert gold[(1, 0)] == space.nr
+        assert gold[(1, 1)] == space.nr
+
+    def test_unknown_table_is_irrelevant(self):
+        truth = GroundTruth()
+        tables = [WebTable.from_rows([["x"]], table_id="zz")]
+        space = LabelSpace(1)
+        gold = gold_assignment(truth, "q", tables, space)
+        assert gold[(0, 0)] == space.nr

@@ -1,0 +1,151 @@
+"""Bipartite matcher and max-marginals vs brute-force enumeration."""
+
+import itertools
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flow.bipartite import BipartiteMatcher
+
+NEG_INF = float("-inf")
+
+
+def brute_force_best(weights, right_caps, forced=None):
+    """Best max-cardinality assignment weight; left capacities all one.
+
+    ``forced`` optionally pins left node i to right node j.  Returns -inf
+    when infeasible.
+    """
+    n_left = len(weights)
+    n_right = len(right_caps)
+    total_right = sum(right_caps)
+    target = min(n_left, total_right)
+    best = NEG_INF
+    options = [None] + list(range(n_right))
+    for assign in itertools.product(options, repeat=n_left):
+        if forced is not None and assign[forced[0]] != forced[1]:
+            continue
+        chosen = [a for a in assign if a is not None]
+        if len(chosen) != target:
+            continue
+        counts = Counter(chosen)
+        if any(counts[j] > right_caps[j] for j in counts):
+            continue
+        w = sum(weights[i][a] for i, a in enumerate(assign) if a is not None)
+        best = max(best, w)
+    return best
+
+
+weight_matrix = st.integers(1, 3).flatmap(
+    lambda n_left: st.integers(1, 3).flatmap(
+        lambda n_right: st.tuples(
+            st.lists(
+                st.lists(st.integers(-5, 9), min_size=n_right, max_size=n_right),
+                min_size=n_left,
+                max_size=n_left,
+            ),
+            st.lists(st.integers(0, 2), min_size=n_right, max_size=n_right),
+        )
+    )
+)
+
+
+class TestMatcherBasics:
+    def test_simple_diagonal(self):
+        m = BipartiteMatcher([[5, 1], [1, 5]], [1, 1], [1, 1])
+        r = m.solve()
+        assert r.pairs == [(0, 0), (1, 1)]
+        assert r.total_weight == 10.0
+
+    def test_negative_weights_still_saturate(self):
+        # Flow maximization precedes cost: both columns must be matched even
+        # though one weight is negative (paper Section 4.1 semantics).
+        m = BipartiteMatcher([[-1.0, -5.0], [-5.0, -1.0]], [1, 1], [1, 1])
+        r = m.solve()
+        assert len(r.pairs) == 2
+        assert r.total_weight == -2.0
+
+    def test_capacity_sharing(self):
+        # One right node with capacity 2 absorbs both left nodes.
+        m = BipartiteMatcher([[3.0], [2.0]], [1, 1], [2])
+        r = m.solve()
+        assert r.pairs == [(0, 0), (1, 0)]
+        assert r.total_weight == 5.0
+
+    def test_right_surplus_uses_best(self):
+        m = BipartiteMatcher([[1.0, 9.0, 2.0]], [1], [1, 1, 1])
+        r = m.solve()
+        assert r.pairs == [(0, 1)]
+
+    def test_zero_capacity_right_unused(self):
+        m = BipartiteMatcher([[100.0, 1.0]], [1], [0, 1])
+        r = m.solve()
+        assert r.pairs == [(0, 1)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BipartiteMatcher([[1.0]], [1, 2], [1])
+        with pytest.raises(ValueError):
+            BipartiteMatcher([[1.0, 2.0]], [1], [1])
+        with pytest.raises(ValueError):
+            BipartiteMatcher([[1.0]], [-1], [1])
+
+    def test_right_of(self):
+        m = BipartiteMatcher([[5, 1], [1, 5]], [1, 1], [1, 1])
+        r = m.solve()
+        assert r.right_of(0) == 0
+        assert r.right_of(7) is None
+
+    def test_network_requires_solve(self):
+        m = BipartiteMatcher([[1.0]], [1], [1])
+        with pytest.raises(RuntimeError):
+            _ = m.network
+        with pytest.raises(RuntimeError):
+            m.max_marginals()
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=80, deadline=None)
+    @given(weight_matrix)
+    def test_optimal_weight(self, data):
+        weights, right_caps = data
+        expected = brute_force_best(weights, right_caps)
+        m = BipartiteMatcher(weights, [1] * len(weights), right_caps)
+        r = m.solve()
+        if expected == NEG_INF:
+            assert r.pairs == []
+        else:
+            assert abs(r.total_weight - expected) < 1e-6
+
+    @settings(max_examples=50, deadline=None)
+    @given(weight_matrix)
+    def test_max_marginals_match_brute_force(self, data):
+        weights, right_caps = data
+        m = BipartiteMatcher(weights, [1] * len(weights), right_caps)
+        m.solve()
+        mm = m.max_marginals()
+        for i in range(len(weights)):
+            for j in range(len(right_caps)):
+                expected = brute_force_best(weights, right_caps, forced=(i, j))
+                got = mm[i][j]
+                if expected == NEG_INF:
+                    assert got == NEG_INF
+                else:
+                    assert abs(got - expected) < 1e-6, (
+                        f"mm[{i}][{j}]: got {got}, want {expected}, "
+                        f"weights={weights}, caps={right_caps}"
+                    )
+
+    @settings(max_examples=40, deadline=None)
+    @given(weight_matrix)
+    def test_matching_respects_capacities(self, data):
+        weights, right_caps = data
+        m = BipartiteMatcher(weights, [1] * len(weights), right_caps)
+        r = m.solve()
+        counts = Counter(j for _, j in r.pairs)
+        for j, c in counts.items():
+            assert c <= right_caps[j]
+        lefts = [i for i, _ in r.pairs]
+        assert len(lefts) == len(set(lefts))

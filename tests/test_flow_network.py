@@ -1,0 +1,181 @@
+"""Tests for the flow network: max-flow vs networkx, min-cost-flow sanity."""
+
+import itertools
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flow.network import EPS, FlowNetwork
+
+
+def random_digraph_strategy():
+    """Small random capacitated digraphs as edge lists."""
+    return st.lists(
+        st.tuples(
+            st.integers(0, 5), st.integers(0, 5), st.integers(1, 10)
+        ).filter(lambda e: e[0] != e[1]),
+        min_size=1,
+        max_size=12,
+    )
+
+
+class TestMaxFlow:
+    def test_single_edge(self):
+        net = FlowNetwork(2)
+        net.add_edge(0, 1, 5.0)
+        assert net.max_flow(0, 1) == 5.0
+
+    def test_two_disjoint_paths(self):
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 3.0)
+        net.add_edge(1, 3, 3.0)
+        net.add_edge(0, 2, 4.0)
+        net.add_edge(2, 3, 2.0)
+        assert net.max_flow(0, 3) == 5.0
+
+    def test_bottleneck(self):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, 10.0)
+        net.add_edge(1, 2, 1.0)
+        assert net.max_flow(0, 2) == 1.0
+
+    def test_no_path(self):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, 1.0)
+        assert net.max_flow(0, 2) == 0.0
+
+    def test_incremental_resume(self):
+        # Fig. 4 relies on resuming max-flow after raising capacities.
+        net = FlowNetwork(3)
+        eid = net.add_edge(0, 1, 1.0)
+        net.add_edge(1, 2, 10.0)
+        assert net.max_flow(0, 2) == 1.0
+        net.set_capacity(eid, 5.0)
+        assert net.max_flow(0, 2) == 4.0  # only the increment
+
+    def test_flow_limit(self):
+        net = FlowNetwork(2)
+        net.add_edge(0, 1, 10.0)
+        assert net.max_flow(0, 1, limit=3.0) == 3.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_digraph_strategy())
+    def test_against_networkx(self, edges):
+        net = FlowNetwork(6)
+        g = nx.DiGraph()
+        g.add_nodes_from(range(6))
+        merged = {}
+        for u, v, c in edges:
+            merged[(u, v)] = merged.get((u, v), 0) + c
+        for (u, v), c in merged.items():
+            net.add_edge(u, v, float(c))
+            g.add_edge(u, v, capacity=c)
+        ours = net.max_flow(0, 5)
+        theirs, _ = nx.maximum_flow(g, 0, 5)
+        assert abs(ours - theirs) < 1e-6
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_digraph_strategy())
+    def test_min_cut_matches_flow(self, edges):
+        net = FlowNetwork(6)
+        merged = {}
+        for u, v, c in edges:
+            merged[(u, v)] = merged.get((u, v), 0) + c
+        eids = {}
+        for (u, v), c in merged.items():
+            eids[(u, v)] = net.add_edge(u, v, float(c))
+        value, t_side = net.min_cut(0, 5)
+        # Cut capacity across the partition must equal the flow value.
+        crossing = sum(
+            c for (u, v), c in merged.items() if u not in t_side and v in t_side
+        )
+        assert abs(crossing - value) < 1e-6
+        assert 0 not in t_side and 5 in t_side
+
+
+class TestMinCostMaxFlow:
+    def test_prefers_cheap_path(self):
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 1.0, cost=1.0)
+        net.add_edge(1, 3, 1.0, cost=1.0)
+        net.add_edge(0, 2, 1.0, cost=5.0)
+        net.add_edge(2, 3, 1.0, cost=5.0)
+        flow, cost = net.min_cost_max_flow(0, 3)
+        assert flow == 2.0
+        assert cost == 12.0
+
+    def test_negative_costs_handled(self):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, 1.0, cost=-4.0)
+        net.add_edge(1, 2, 1.0, cost=1.0)
+        flow, cost = net.min_cost_max_flow(0, 2)
+        assert flow == 1.0
+        assert cost == -3.0
+
+    def test_matches_networkx_cost(self):
+        # Assignment-shaped instance with integer costs.
+        weights = [[4, 1, 3], [2, 0, 5], [3, 2, 2]]
+        net = FlowNetwork(8)  # s=0, t=1, left 2-4, right 5-7
+        for i in range(3):
+            net.add_edge(0, 2 + i, 1.0)
+            net.add_edge(5 + i, 1, 1.0)
+        for i in range(3):
+            for j in range(3):
+                net.add_edge(2 + i, 5 + j, 1.0, cost=float(weights[i][j]))
+        flow, cost = net.min_cost_max_flow(0, 1)
+        assert flow == 3.0
+
+        best = min(
+            sum(weights[i][p[i]] for i in range(3))
+            for p in itertools.permutations(range(3))
+        )
+        assert abs(cost - best) < 1e-9
+
+    def test_residual_no_negative_improvement(self):
+        # After SSP min-cost flow, Bellman-Ford from source must converge
+        # (no negative cycles in the residual graph).
+        net = FlowNetwork(5)
+        net.add_edge(0, 1, 2.0, cost=-1.0)
+        net.add_edge(1, 2, 1.0, cost=2.0)
+        net.add_edge(1, 3, 1.0, cost=-2.0)
+        net.add_edge(2, 4, 2.0, cost=0.0)
+        net.add_edge(3, 4, 1.0, cost=1.0)
+        net.min_cost_max_flow(0, 4)
+        dist = net.residual_shortest_paths(0)
+        for u in range(net.num_nodes):
+            if dist[u] == float("inf"):
+                continue
+            for eid in net.adj[u]:
+                if net.residual(eid) > EPS:
+                    assert dist[net.to[eid]] <= dist[u] + net.cost[eid] + 1e-6
+
+
+class TestNetworkBasics:
+    def test_invalid_edge_raises(self):
+        net = FlowNetwork(2)
+        with pytest.raises(IndexError):
+            net.add_edge(0, 5, 1.0)
+        with pytest.raises(ValueError):
+            net.add_edge(0, 1, -1.0)
+
+    def test_clone_is_independent(self):
+        net = FlowNetwork(2)
+        net.add_edge(0, 1, 1.0)
+        clone = net.clone()
+        clone.max_flow(0, 1)
+        assert net.flow[0] == 0.0
+        assert clone.flow[0] == 1.0
+
+    def test_edge_tail(self):
+        net = FlowNetwork(3)
+        eid = net.add_edge(1, 2, 1.0)
+        assert net.edge_tail(eid) == 1
+        assert net.edge_tail(eid ^ 1) == 2
+
+    def test_add_node(self):
+        net = FlowNetwork(1)
+        nid = net.add_node()
+        assert nid == 1
+        assert net.num_nodes == 2

@@ -1,0 +1,103 @@
+"""Unit tests for repro.html (DOM + parser)."""
+
+from repro.html import ElementNode, TextNode, find_tables, outermost_tables, parse_html
+
+
+class TestParseBasics:
+    def test_simple_document(self):
+        root = parse_html("<html><body><p>hello</p></body></html>")
+        p = root.find_first("p")
+        assert p is not None
+        assert p.text_content() == "hello"
+
+    def test_attributes_lowercased(self):
+        root = parse_html('<div CLASS="Nav" ID="x">y</div>')
+        div = root.find_first("div")
+        assert div.get_attr("class") == "Nav"
+        assert div.get_attr("id") == "x"
+
+    def test_void_elements_do_not_nest(self):
+        root = parse_html("<p>a<br>b</p>")
+        p = root.find_first("p")
+        assert p.text_content() == "a b"
+        assert p.find_first("br") is not None
+
+    def test_entities_decoded(self):
+        root = parse_html("<p>fish &amp; chips</p>")
+        assert "fish & chips" in root.find_first("p").text_content()
+
+    def test_unclosed_paragraphs(self):
+        root = parse_html("<p>one<p>two")
+        paragraphs = root.find_all("p")
+        assert [p.text_content() for p in paragraphs] == ["one", "two"]
+
+    def test_stray_close_tag_ignored(self):
+        root = parse_html("</div><p>ok</p>")
+        assert root.find_first("p").text_content() == "ok"
+
+    def test_whitespace_only_text_dropped(self):
+        root = parse_html("<div>   \n  </div>")
+        div = root.find_first("div")
+        assert div.children == []
+
+
+class TestTableParsing:
+    def test_unclosed_td_and_tr(self):
+        html = "<table><tr><td>a<td>b<tr><td>c<td>d</table>"
+        root = parse_html(html)
+        table = root.find_first("table")
+        rows = table.find_all("tr")
+        assert len(rows) == 2
+        assert [td.text_content() for td in rows[0].find_all("td")] == ["a", "b"]
+
+    def test_implicit_tbody_ok(self):
+        html = "<table><tbody><tr><td>x</td></tr></tbody></table>"
+        root = parse_html(html)
+        assert len(root.find_first("table").find_all("tr")) == 1
+
+    def test_find_tables_document_order(self):
+        html = "<table id='a'></table><div><table id='b'></table></div>"
+        tables = find_tables(parse_html(html))
+        assert [t.get_attr("id") for t in tables] == ["a", "b"]
+
+    def test_outermost_excludes_nested(self):
+        html = "<table id='outer'><tr><td><table id='inner'></table></td></tr></table>"
+        root = parse_html(html)
+        assert len(find_tables(root)) == 2
+        outer = outermost_tables(root)
+        assert len(outer) == 1
+        assert outer[0].get_attr("id") == "outer"
+
+
+class TestDomNavigation:
+    def test_path_to_root(self):
+        root = parse_html("<div><span>x</span></div>")
+        span = root.find_first("span")
+        path = span.path_to_root()
+        assert path[0] is span
+        assert path[-1] is root
+
+    def test_depth(self):
+        root = parse_html("<a><b><c>t</c></b></a>")
+        c = root.find_first("c")
+        assert c.depth() == 3  # document > a > b > c
+
+    def test_ancestors_order(self):
+        root = parse_html("<a><b><c>t</c></b></a>")
+        c = root.find_first("c")
+        tags = [n.tag for n in c.ancestors()]
+        assert tags == ["b", "a", "document"]
+
+    def test_iter_descendants_depth_first(self):
+        root = parse_html("<a><b>1</b><c>2</c></a>")
+        a = root.find_first("a")
+        tags = [n.tag for n in a.iter_descendants() if isinstance(n, ElementNode)]
+        assert tags == ["b", "c"]
+
+    def test_text_content_joins(self):
+        root = parse_html("<div><b>bold</b> and <i>italic</i></div>")
+        assert root.find_first("div").text_content() == "bold and italic"
+
+    def test_malformed_input_never_raises(self):
+        for bad in ["<", "<table><tr><", "<<<>>>", "<a href=>x", "&#xghij;"]:
+            parse_html(bad)  # must not raise

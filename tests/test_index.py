@@ -1,0 +1,131 @@
+"""Unit tests for the inverted index, table store, and corpus builder."""
+
+import pytest
+
+from repro.index import InvertedIndex, TableStore, build_corpus_index
+from repro.tables.table import WebTable
+
+
+def make_index():
+    idx = InvertedIndex()
+    idx.add_text_document(
+        "d1", {"header": "name country", "context": "mountains list", "content": "denali usa"}
+    )
+    idx.add_text_document(
+        "d2", {"header": "name height", "context": "mountains", "content": "logan canada"}
+    )
+    idx.add_text_document(
+        "d3", {"header": "movie year", "context": "films", "content": "alien 1979"}
+    )
+    return idx
+
+
+class TestInvertedIndex:
+    def test_search_finds_matching_docs(self):
+        # Search terms are pre-analyzed tokens (the analyzer stems plurals).
+        hits = make_index().search(["mountain"])
+        assert {h.doc_id for h in hits} == {"d1", "d2"}
+
+    def test_search_ranks_by_score(self):
+        hits = make_index().search(["mountains", "country"])
+        assert hits[0].doc_id == "d1"  # matches in two fields
+
+    def test_header_boost_beats_content(self):
+        idx = InvertedIndex()
+        idx.add_text_document("h", {"header": "winner", "context": "", "content": "x y"})
+        idx.add_text_document("c", {"header": "a b", "context": "", "content": "winner"})
+        hits = idx.search(["winner"])
+        assert hits[0].doc_id == "h"
+
+    def test_limit_respected(self):
+        hits = make_index().search(["name"], limit=1)
+        assert len(hits) == 1
+
+    def test_duplicate_doc_id_rejected(self):
+        idx = make_index()
+        with pytest.raises(ValueError):
+            idx.add_text_document("d1", {"header": "x"})
+
+    def test_empty_index_search(self):
+        assert InvertedIndex().search(["x"]) == []
+
+    def test_document_frequency_across_fields(self):
+        idx = make_index()
+        assert idx.document_frequency("mountain") == 2
+        assert idx.document_frequency("denali") == 1
+        assert idx.document_frequency("absent") == 0
+
+    def test_docs_containing_all_conjunctive(self):
+        idx = make_index()
+        assert idx.docs_containing_all(["name", "country"], ["header"]) == {"d1"}
+        assert idx.docs_containing_all(["name"], ["header"]) == {"d1", "d2"}
+        assert idx.docs_containing_all([], ["header"]) == set()
+        assert idx.docs_containing_all(["name", "alien"], ["header"]) == set()
+
+    def test_docs_containing_all_field_scoping(self):
+        idx = make_index()
+        assert idx.docs_containing_all(["denali"], ["header", "context"]) == set()
+        assert idx.docs_containing_all(["denali"], ["content"]) == {"d1"}
+
+    def test_term_statistics_export(self):
+        stats = make_index().term_statistics()
+        assert stats.num_docs == 3
+        assert stats.document_frequency("mountain") == 2
+
+    def test_deterministic_tie_break(self):
+        idx = InvertedIndex()
+        idx.add_text_document("b", {"header": "same", "context": "", "content": ""})
+        idx.add_text_document("a", {"header": "same", "context": "", "content": ""})
+        hits = idx.search(["same"])
+        assert [h.doc_id for h in hits] == ["a", "b"]
+
+
+class TestTableStore:
+    def test_add_get_roundtrip(self, tmp_path):
+        t1 = WebTable.from_rows([["a", "1"]], header=["n", "v"], table_id="x1")
+        t2 = WebTable.from_rows([["b", "2"]], header=["n", "v"], table_id="x2")
+        store = TableStore([t1, t2])
+        assert len(store) == 2
+        assert store.get("x1").column_values(0) == ["a"]
+
+        path = tmp_path / "tables.jsonl"
+        store.save(path)
+        loaded = TableStore.load(path)
+        assert len(loaded) == 2
+        assert loaded.get("x2").column_values(1) == ["2"]
+
+    def test_duplicate_id_rejected(self):
+        t = WebTable.from_rows([["a"]], table_id="dup")
+        store = TableStore([t])
+        with pytest.raises(ValueError):
+            store.add(WebTable.from_rows([["b"]], table_id="dup"))
+
+    def test_missing_id_rejected(self):
+        with pytest.raises(ValueError):
+            TableStore([WebTable.from_rows([["a"]])])
+
+    def test_get_many_preserves_order(self):
+        tables = [
+            WebTable.from_rows([[str(i)]], table_id=f"t{i}") for i in range(3)
+        ]
+        store = TableStore(tables)
+        got = store.get_many(["t2", "t0", "zz"])
+        assert [t.table_id for t in got] == ["t2", "t0"]
+
+
+class TestBuildCorpusIndex:
+    def test_build_and_search(self):
+        tables = [
+            WebTable.from_rows(
+                [["Denali", "6190"]], header=["Mountain", "Height"], table_id="m1"
+            ),
+            WebTable.from_rows(
+                [["Alien", "1979"]], header=["Movie", "Year"], table_id="f1"
+            ),
+        ]
+        corpus = build_corpus_index(tables)
+        assert corpus.num_tables == 2
+        hits = corpus.index.search(["mountain"])
+        assert [h.doc_id for h in hits] == ["m1"]
+        assert corpus.stats.num_docs == 2
+        assert corpus.store.get("m1").column_values(0) == ["Denali"]

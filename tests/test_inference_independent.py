@@ -1,0 +1,213 @@
+"""Table-independent inference and max-marginals vs brute force."""
+
+import itertools
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.labels import LabelSpace
+from repro.inference import (
+    exhaustive_inference,
+    independent_inference,
+    solve_table,
+    table_max_marginals,
+)
+
+from .conftest import make_problem
+
+
+def brute_force_table(problem, ti, include_must=True, include_min=True):
+    """Best labeling of one table by enumeration under the constraints."""
+    labels = problem.labels
+    cols = problem.table_columns(ti)
+    best, best_score = None, float("-inf")
+    for assign in itertools.product(range(labels.size), repeat=len(cols)):
+        y = dict(zip(cols, assign))
+        n_nr = sum(1 for l in assign if l == labels.nr)
+        if n_nr not in (0, len(assign)):
+            continue
+        if n_nr == 0:
+            qs = [l for l in assign if labels.is_query(l)]
+            if len(set(qs)) != len(qs):
+                continue
+            if include_must and 0 not in qs:
+                continue
+            if include_min and len(qs) < problem.min_match(ti):
+                continue
+        score = sum(problem.node_potentials[tc][y[tc]] for tc in cols)
+        if score > best_score:
+            best_score, best = score, y
+    return best, best_score
+
+
+class TestSolveTable:
+    def test_clear_relevant_mapping(self):
+        problem = make_problem(
+            "a | b",
+            [2],
+            {(0, 0): [2.0, -0.3, 0.0, 0.1], (0, 1): [-0.3, 2.0, 0.0, 0.1]},
+        )
+        y = solve_table(problem, 0)
+        assert y[(0, 0)] == 0 and y[(0, 1)] == 1
+
+    def test_clear_irrelevant(self):
+        problem = make_problem(
+            "a | b",
+            [2],
+            {(0, 0): [-0.3, -0.3, 0.0, 1.0], (0, 1): [-0.3, -0.3, 0.0, 1.0]},
+        )
+        y = solve_table(problem, 0)
+        nr = problem.labels.nr
+        assert y[(0, 0)] == nr and y[(0, 1)] == nr
+
+    def test_must_match_forces_first_column(self):
+        # Column 2's match is strong but label 1 must appear for relevance.
+        problem = make_problem(
+            "a | b",
+            [2],
+            {(0, 0): [0.4, -0.3, 0.0, 0.05], (0, 1): [-0.3, 3.0, 0.0, 0.05]},
+        )
+        y = solve_table(problem, 0)
+        assert y[(0, 0)] == 0  # takes label 1 despite modest score
+        assert y[(0, 1)] == 1
+
+    def test_min_match_blocks_single_label_tables(self):
+        # Only label 1 matches; min-match (2 for q=2) makes relevance
+        # require two mapped columns, forcing a second (negative) one.
+        problem = make_problem(
+            "a | b",
+            [3],
+            {
+                (0, 0): [3.0, -1.0, 0.0, 0.2],
+                (0, 1): [-1.0, -1.0, 0.0, 0.2],
+                (0, 2): [-1.0, -1.0, 0.0, 0.2],
+            },
+        )
+        y = solve_table(problem, 0)
+        labels = problem.labels
+        query_count = sum(1 for l in y.values() if labels.is_query(l))
+        assert query_count in (0, 2)  # nr everywhere, or exactly min-match
+
+    def test_single_column_query_on_one_column_table(self):
+        problem = make_problem("a", [1], {(0, 0): [1.0, 0.0, 0.2]})
+        y = solve_table(problem, 0)
+        assert y[(0, 0)] == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.lists(st.floats(-2, 3, width=16), min_size=4, max_size=4),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    def test_matches_brute_force(self, rows):
+        width = len(rows)
+        potentials = {(0, ci): [rows[ci][0], rows[ci][1], 0.0, rows[ci][3]]
+                      for ci in range(width)}
+        problem = make_problem("a | b", [width], potentials)
+        y = solve_table(problem, 0)
+        got = sum(problem.node_potentials[tc][y[tc]] for tc in y)
+        _, want = brute_force_table(problem, 0)
+        assert math.isclose(got, want, rel_tol=1e-6, abs_tol=1e-6)
+        assert problem.constraints_satisfied(y)
+
+
+class TestMaxMarginals:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.lists(st.floats(-2, 3, width=16), min_size=4, max_size=4),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    def test_match_brute_force(self, rows):
+        width = len(rows)
+        potentials = {(0, ci): [rows[ci][0], rows[ci][1], 0.0, rows[ci][3]]
+                      for ci in range(width)}
+        problem = make_problem("a | b", [width], potentials)
+        labels = problem.labels
+        mm = table_max_marginals(problem, 0)
+
+        # Brute force: mutex + all-Irr only (must/min-match excluded, Fig 3).
+        cols = problem.table_columns(0)
+        for ci in range(width):
+            for l in range(labels.size):
+                best = float("-inf")
+                for assign in itertools.product(
+                    range(labels.size), repeat=width
+                ):
+                    if assign[ci] != l:
+                        continue
+                    n_nr = sum(1 for x in assign if x == labels.nr)
+                    if n_nr not in (0, width):
+                        continue
+                    qs = [x for x in assign if labels.is_query(x)]
+                    if len(set(qs)) != len(qs):
+                        continue
+                    best = max(
+                        best,
+                        sum(
+                            problem.node_potentials[cols[j]][assign[j]]
+                            for j in range(width)
+                        ),
+                    )
+                got = mm[(0, ci)][l]
+                if best == float("-inf"):
+                    assert got == float("-inf")
+                else:
+                    assert math.isclose(got, best, rel_tol=1e-6, abs_tol=1e-6), (
+                        f"mm[{ci}][{l}]: got {got} want {best}"
+                    )
+
+    def test_nr_marginal_is_table_level(self):
+        problem = make_problem(
+            "a",
+            [2],
+            {(0, 0): [1.0, 0.0, 0.5], (0, 1): [0.2, 0.0, 0.5]},
+        )
+        mm = table_max_marginals(problem, 0)
+        # all-Irr: forcing one column nr forces the whole table.
+        assert mm[(0, 0)][problem.labels.nr] == pytest.approx(1.0)
+        assert mm[(0, 1)][problem.labels.nr] == pytest.approx(1.0)
+
+
+class TestIndependentInference:
+    def test_matches_exhaustive_without_edges(self):
+        problem = make_problem(
+            "a | b",
+            [2, 2],
+            {
+                (0, 0): [1.5, -0.3, 0.0, 0.2],
+                (0, 1): [-0.3, 1.5, 0.0, 0.2],
+                (1, 0): [-0.3, -0.3, 0.0, 0.6],
+                (1, 1): [-0.3, -0.3, 0.0, 0.6],
+            },
+        )
+        got = independent_inference(problem)
+        want = exhaustive_inference(problem)
+        assert math.isclose(
+            problem.score(got.labels), problem.score(want.labels), rel_tol=1e-9
+        )
+
+    def test_produces_distributions(self):
+        problem = make_problem(
+            "a", [2], {(0, 0): [2.0, 0.0, 0.1], (0, 1): [-0.3, 0.0, 0.1]}
+        )
+        result = independent_inference(problem)
+        dist = result.distributions[(0, 0)]
+        assert len(dist) == problem.labels.size
+        assert abs(sum(dist) - 1.0) < 1e-9
+        assert dist[0] == max(dist)  # the strong match dominates
+
+    def test_relevance_classification(self):
+        problem = make_problem(
+            "a", [2], {(0, 0): [2.0, 0.0, 0.1], (0, 1): [-0.3, 0.0, 0.1]}
+        )
+        result = independent_inference(problem)
+        assert result.is_relevant(0)
+        assert result.relevant_tables() == [0]
+        assert result.table_mapping(0) == {0: 1}

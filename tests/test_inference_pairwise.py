@@ -1,0 +1,100 @@
+"""Tests for the pairwise-energy lowering used by α-expansion / BP / TRW-S."""
+
+import pytest
+
+from repro.inference.pairwise import BIG, build_pairwise_model
+
+from .conftest import make_problem
+
+
+def two_table_problem(nsim=0.5):
+    return make_problem(
+        "a | b",
+        [2, 2],
+        {
+            (0, 0): [2.0, -0.3, 0.0, 0.1],
+            (0, 1): [-0.3, 2.0, 0.0, 0.1],
+            (1, 0): [0.5, -0.3, 0.0, 0.4],
+            (1, 1): [-0.3, 0.5, 0.0, 0.4],
+        },
+        edges=[((0, 0), (1, 0), nsim)],
+    )
+
+
+class TestPairwiseModel:
+    def test_unary_is_negated_potential(self):
+        problem = two_table_problem()
+        model = build_pairwise_model(problem, include_mutex_edges=True)
+        node = model.node_id[(0, 0)]
+        assert model.unary[node][0] == pytest.approx(-2.0)
+        assert model.unary[node][problem.labels.nr] == pytest.approx(-0.1)
+
+    def test_potts_energy_rewards_agreement(self):
+        problem = two_table_problem()
+        model = build_pairwise_model(problem, include_mutex_edges=False)
+        potts = [t for t in model.terms if t.kind == "potts"]
+        assert potts, "expected a potts term from the confident edge"
+        term = potts[0]
+        nr = problem.labels.nr
+        assert model.pair_energy(term, 0, 0) < 0  # agreement rewarded
+        assert model.pair_energy(term, 0, 1) == 0.0
+        assert model.pair_energy(term, nr, nr) == 0.0  # nr excluded (Eq. 4)
+
+    def test_allirr_energy(self):
+        problem = two_table_problem()
+        model = build_pairwise_model(problem, include_mutex_edges=False)
+        allirr = [t for t in model.terms if t.kind == "allirr"]
+        assert len(allirr) == 2  # one per table (2 columns each)
+        term = allirr[0]
+        nr = problem.labels.nr
+        assert model.pair_energy(term, nr, 0) == BIG
+        assert model.pair_energy(term, 0, nr) == BIG
+        assert model.pair_energy(term, nr, nr) == 0.0
+        assert model.pair_energy(term, 0, 1) == 0.0
+
+    def test_mutex_energy_only_when_requested(self):
+        problem = two_table_problem()
+        without = build_pairwise_model(problem, include_mutex_edges=False)
+        with_mutex = build_pairwise_model(problem, include_mutex_edges=True)
+        assert not [t for t in without.terms if t.kind == "mutex"]
+        mutex = [t for t in with_mutex.terms if t.kind == "mutex"]
+        assert mutex
+        term = mutex[0]
+        assert with_mutex.pair_energy(term, 0, 0) == BIG
+        assert with_mutex.pair_energy(term, 1, 1) == BIG
+        na = problem.labels.na
+        assert with_mutex.pair_energy(term, na, na) == 0.0
+
+    def test_energy_of_labeling(self):
+        problem = two_table_problem()
+        model = build_pairwise_model(problem, include_mutex_edges=False)
+        # All-na labeling: zero na unaries plus the potts reward for na=na
+        # agreement on confident edges (Eq. 4 excludes only nr).
+        na = problem.labels.na
+        labeling = [na] * len(model.nodes)
+        potts_reward = sum(
+            model.pair_energy(t, na, na)
+            for t in model.terms
+            if t.kind == "potts"
+        )
+        assert model.energy(labeling) == pytest.approx(potts_reward)
+        assert potts_reward <= 0.0
+
+    def test_to_assignment_roundtrip(self):
+        problem = two_table_problem()
+        model = build_pairwise_model(problem, include_mutex_edges=False)
+        labeling = [0, 1, 0, 1]
+        assignment = model.to_assignment(labeling)
+        assert assignment[(0, 0)] == 0
+        assert assignment[(1, 1)] == 1
+
+    def test_unconfident_edges_dropped(self):
+        # Flat potentials -> no confident endpoint -> no potts terms.
+        problem = make_problem(
+            "a",
+            [1, 1],
+            {(0, 0): [0.01, 0.0, 0.01], (1, 0): [0.01, 0.0, 0.01]},
+            edges=[((0, 0), (1, 0), 0.9)],
+        )
+        model = build_pairwise_model(problem, include_mutex_edges=False)
+        assert not [t for t in model.terms if t.kind == "potts"]

@@ -1,0 +1,87 @@
+"""Tests for the query model and the 59-query workload (Table 1)."""
+
+import pytest
+
+from repro.query.model import Query, WorkloadQuery
+from repro.query.workload import WORKLOAD, load_workload, query_by_id
+
+
+class TestQuery:
+    def test_parse_pipes(self):
+        q = Query.parse("country | currency")
+        assert q.columns == ("country", "currency")
+        assert q.q == 2
+
+    def test_parse_strips_whitespace(self):
+        q = Query.parse("  a |  b c  | d ")
+        assert q.columns == ("a", "b c", "d")
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(ValueError):
+            Query(columns=())
+        with pytest.raises(ValueError):
+            Query(columns=("a", " "))
+
+    def test_column_tokens_analyzed(self):
+        q = Query.parse("Names of Explorers | Nationality")
+        assert q.column_tokens(0) == ["name", "explorer"]
+
+    def test_all_tokens_union(self):
+        q = Query.parse("country | currency")
+        assert q.all_tokens() == ["country", "currency"]
+
+    def test_min_match(self):
+        assert Query.parse("a").min_match() == 1
+        assert Query.parse("a | b").min_match() == 2
+        assert Query.parse("a | b | c").min_match() == 2
+
+
+class TestWorkload:
+    def test_has_59_queries(self):
+        assert len(WORKLOAD) == 59
+
+    def test_column_count_distribution(self):
+        by_q = {}
+        for wq in WORKLOAD:
+            by_q[wq.query.q] = by_q.get(wq.query.q, 0) + 1
+        assert by_q == {1: 5, 2: 37, 3: 17}  # Table 1's composition
+
+    def test_paper_counts_recorded(self):
+        wq = query_by_id("dog breed")
+        assert (wq.paper_total, wq.paper_relevant) == (68, 66)
+        wq = query_by_id("us states | capitals | largest cities")
+        assert (wq.paper_total, wq.paper_relevant) == (32, 30)
+
+    def test_zero_relevant_queries_have_no_domain(self):
+        for wq in WORKLOAD:
+            if wq.paper_relevant == 0:
+                assert wq.domain_key is None, wq.query_id
+
+    def test_positive_relevant_queries_have_domains(self):
+        for wq in WORKLOAD:
+            if wq.paper_relevant > 0:
+                assert wq.domain_key is not None, wq.query_id
+                assert len(wq.attr_keys) == wq.query.q
+
+    def test_query_ids_unique(self):
+        ids = [wq.query_id for wq in WORKLOAD]
+        assert len(set(ids)) == len(ids)
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            query_by_id("no such query")
+
+    def test_load_workload_fresh_copy(self):
+        assert [w.query_id for w in load_workload()] == [
+            w.query_id for w in WORKLOAD
+        ]
+
+    def test_binding_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadQuery(
+                query=Query.parse("a | b"),
+                domain_key="countries",
+                attr_keys=("name",),  # wrong arity
+                paper_total=1,
+                paper_relevant=1,
+            )

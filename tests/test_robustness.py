@@ -1,0 +1,171 @@
+"""Robustness and failure-injection tests across the substrates."""
+
+import json
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus.domains import REGISTRY
+from repro.corpus.pages import render_page
+from repro.flow.network import FlowNetwork
+from repro.html.parser import parse_html
+from repro.index.store import TableStore
+from repro.inference.base import softmax
+from repro.tables.extractor import extract_tables
+from repro.tables.table import WebTable
+
+
+class TestMinCostFlowVsNetworkx:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 4), st.integers(0, 4),
+                st.integers(1, 5), st.integers(-4, 6),
+            ).filter(lambda e: e[0] < e[1]),  # DAG: SSP's precondition
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_total_cost_matches(self, raw_edges):
+        """Min-cost max-flow cost agrees with networkx's max_flow_min_cost.
+
+        Successive shortest paths requires a graph with no negative-cost
+        directed cycles (the matching reductions of Section 4 are DAGs);
+        edges are restricted to u < v accordingly.
+        """
+        merged = {}
+        for u, v, cap, cost in raw_edges:
+            key = (u, v)
+            if key in merged:
+                continue  # keep first; parallel edges complicate nx graphs
+            merged[key] = (cap, cost)
+
+        net = FlowNetwork(5)
+        g = nx.DiGraph()
+        g.add_nodes_from(range(5))
+        for (u, v), (cap, cost) in merged.items():
+            net.add_edge(u, v, float(cap), float(cost))
+            g.add_edge(u, v, capacity=cap, weight=cost)
+
+        flow_value, flow_cost = net.min_cost_max_flow(0, 4)
+        nx_value = nx.maximum_flow_value(g, 0, 4) if g.has_node(4) else 0
+        assert abs(flow_value - nx_value) < 1e-6
+        if nx_value > 0:
+            # Among max flows, ours must be min cost: compare to networkx.
+            flow_dict = nx.max_flow_min_cost(g, 0, 4)
+            nx_cost = nx.cost_of_flow(g, flow_dict)
+            assert flow_cost <= nx_cost + 1e-6
+
+
+class TestPageNoiseProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_every_page_extracts_exactly_one_data_table(self, seed):
+        rng = random.Random(seed)
+        domain = REGISTRY[sorted(REGISTRY)[seed % len(REGISTRY)]]
+        page = render_page(domain, 0, rng)
+        tables = extract_tables(parse_html(page.html))
+        data = [t for t in tables if t.num_cols == len(page.column_attrs)]
+        assert len(data) == 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_body_rows_come_from_relation(self, seed):
+        rng = random.Random(seed)
+        domain = REGISTRY["explorers"]
+        page = render_page(domain, 0, rng)
+        [table] = [
+            t for t in extract_tables(parse_html(page.html))
+            if t.num_cols == len(page.column_attrs)
+        ]
+        subject_pos = page.column_attrs.index("explorer")
+        names = {r[0] for r in domain.rows}
+        for value in table.column_values(subject_pos):
+            assert value in names
+
+
+class TestStoreFailureInjection:
+    def test_corrupt_line_raises_cleanly(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        good = WebTable.from_rows([["a", "b"]], table_id="ok").to_dict()
+        path.write_text(json.dumps(good) + "\nnot json at all\n")
+        with pytest.raises(json.JSONDecodeError):
+            TableStore.load(path)
+
+    def test_missing_field_raises_cleanly(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        good = WebTable.from_rows([["a", "b"]], table_id="ok").to_dict()
+        del good["grid"]
+        path.write_text(json.dumps(good) + "\n")
+        with pytest.raises(KeyError):
+            TableStore.load(path)
+
+    def test_blank_lines_tolerated(self, tmp_path):
+        path = tmp_path / "blanky.jsonl"
+        good = WebTable.from_rows([["a", "b"]], table_id="ok").to_dict()
+        path.write_text("\n" + json.dumps(good) + "\n\n")
+        store = TableStore.load(path)
+        assert len(store) == 1
+
+    def test_unicode_roundtrip(self, tmp_path):
+        table = WebTable.from_rows(
+            [["Popocatépetl", "5426"], ["日本", "Yen"]],
+            header=["名前", "value"],
+            table_id="uni",
+        )
+        path = tmp_path / "uni.jsonl"
+        TableStore([table]).save(path)
+        loaded = TableStore.load(path).get("uni")
+        assert loaded.column_values(0) == ["Popocatépetl", "日本"]
+
+
+class TestSoftmax:
+    def test_sums_to_one(self):
+        probs = softmax([1.0, 2.0, 3.0])
+        assert abs(sum(probs) - 1.0) < 1e-12
+
+    def test_handles_neg_inf(self):
+        probs = softmax([0.0, float("-inf"), 0.0])
+        assert probs[1] == 0.0
+        assert abs(probs[0] - 0.5) < 1e-12
+
+    def test_all_neg_inf(self):
+        assert softmax([float("-inf")] * 3) == [0.0, 0.0, 0.0]
+
+    def test_large_values_stable(self):
+        probs = softmax([1e6, 1e6 + 1])
+        assert abs(sum(probs) - 1.0) < 1e-12
+        assert probs[1] > probs[0]
+
+    @given(st.lists(st.floats(-50, 50), min_size=1, max_size=6))
+    def test_monotone(self, values):
+        probs = softmax(values)
+        order = sorted(range(len(values)), key=lambda i: values[i])
+        sorted_probs = [probs[i] for i in order]
+        assert all(
+            a <= b + 1e-12 for a, b in zip(sorted_probs, sorted_probs[1:])
+        )
+
+
+class TestHtmlTorture:
+    CASES = [
+        "<table><tr><td>&#9999999;</td></tr></table>",
+        "<table>" * 30,
+        "<tr><td>orphan cells</td></tr>",
+        "<table><tr><td colspan='9999'>wide</td></tr></table>",
+        "<table><thead><tr><th>h</th></tr></thead><tbody></tbody></table>",
+        "<!DOCTYPE html><!-- comment --><table><tr><td>x</td></tr></table>",
+        "<table><tr><td><script>alert('x')</script>body</td></tr></table>",
+    ]
+
+    @pytest.mark.parametrize("html", CASES)
+    def test_never_raises(self, html):
+        extract_tables(parse_html(html))  # must not raise
+
+    def test_deeply_nested_tables(self):
+        html = ("<table><tr><td>" * 12) + "x" + ("</td></tr></table>" * 12)
+        extract_tables(parse_html(html))

@@ -1,0 +1,120 @@
+"""Unit tests for header/title detection (Section 2.1.1)."""
+
+from repro.tables.headers import MAX_HEADER_ROWS, detect_header_rows, row_signature
+from repro.tables.table import Cell, CellFormat
+
+
+def th(text):
+    return Cell(text, CellFormat(is_th=True))
+
+
+def bold(text):
+    return Cell(text, CellFormat(bold=True))
+
+
+def plain(text):
+    return Cell(text)
+
+
+class TestRowSignature:
+    def test_fractions(self):
+        # th/emphasis fractions are over non-empty cells (title rows with a
+        # single bold cell must register as fully emphasized).
+        sig = row_signature([th("A"), plain("1"), plain("")])
+        assert abs(sig.frac_th - 1 / 2) < 1e-9
+        assert abs(sig.frac_empty - 1 / 3) < 1e-9
+        assert sig.non_empty_cells == 2
+
+    def test_numeric_fraction_over_non_empty(self):
+        sig = row_signature([plain("12"), plain("x"), plain("")])
+        assert abs(sig.frac_numeric - 0.5) < 1e-9
+
+
+class TestDetectHeaders:
+    def test_th_header_detected(self):
+        grid = [
+            [th("Name"), th("Height")],
+            [plain("K2"), plain("8611")],
+            [plain("Everest"), plain("8848")],
+        ]
+        assert detect_header_rows(grid) == (0, 1)
+
+    def test_bold_header_detected(self):
+        grid = [
+            [bold("Name"), bold("Height")],
+            [plain("K2"), plain("8611")],
+            [plain("Everest"), plain("8848")],
+        ]
+        assert detect_header_rows(grid) == (0, 1)
+
+    def test_no_header(self):
+        grid = [
+            [plain("K2"), plain("8611")],
+            [plain("Everest"), plain("8848")],
+        ]
+        assert detect_header_rows(grid) == (0, 0)
+
+    def test_textual_header_over_numeric_body(self):
+        grid = [
+            [plain("Year"), plain("Sales")],
+            [plain("2001"), plain("10")],
+            [plain("2002"), plain("20")],
+            [plain("2003"), plain("30")],
+        ]
+        # All-numeric body, textual first row -> header by content cue.
+        assert detect_header_rows(grid) == (0, 1)
+
+    def test_title_then_header(self):
+        grid = [
+            [bold("Forest reserves"), plain(""), plain("")],
+            [th("ID"), th("Name"), th("Area")],
+            [plain("7"), plain("Shakespeare Hills"), plain("2236")],
+            [plain("9"), plain("Plains Creek"), plain("880")],
+        ]
+        assert detect_header_rows(grid) == (1, 1)
+
+    def test_two_header_rows(self):
+        grid = [
+            [th("Name"), th("Main areas")],
+            [th(""), th("explored")],
+            [plain("Tasman"), plain("Oceania")],
+            [plain("da Gama"), plain("India route")],
+        ]
+        titles, headers = detect_header_rows(grid)
+        assert titles == 0
+        assert headers == 2
+
+    def test_single_row_table(self):
+        assert detect_header_rows([[plain("only")]]) == (0, 0)
+
+    def test_empty_grid(self):
+        assert detect_header_rows([]) == (0, 0)
+
+    def test_header_cap(self):
+        header_rows = [[th(f"h{i}"), th("x")] for i in range(8)]
+        body = [[plain("a"), plain("1")] for _ in range(4)]
+        titles, headers = detect_header_rows(header_rows + body)
+        assert headers <= MAX_HEADER_ROWS
+
+    def test_all_plain_rows_no_header(self):
+        grid = [[plain("alpha"), plain("beta")] for _ in range(5)]
+        assert detect_header_rows(grid) == (0, 0)
+
+    def test_layout_colored_header(self):
+        colored = CellFormat(background="#ccc")
+        grid = [
+            [Cell("Name", colored), Cell("Country", colored)],
+            [plain("Rex"), plain("US")],
+            [plain("Fido"), plain("UK")],
+        ]
+        assert detect_header_rows(grid) == (0, 1)
+
+    def test_dissimilar_second_row_not_header(self):
+        grid = [
+            [th("Name"), th("Value")],
+            [plain("note"), plain("text row")],
+            [plain("alpha"), plain("beta")],
+            [plain("gamma"), plain("delta")],
+        ]
+        titles, headers = detect_header_rows(grid)
+        assert headers == 1

@@ -1,0 +1,93 @@
+"""Unit tests for repro.text.similarity."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.similarity import (
+    column_content_similarity,
+    column_similarity,
+    header_similarity,
+    jaccard,
+    weighted_jaccard,
+)
+from repro.text.tfidf import TermStatistics
+
+values_strategy = st.lists(
+    st.text(alphabet="abc xyz", min_size=1, max_size=8), max_size=8
+)
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard({"a", "b"}, {"a", "b"}) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard({"a"}, {"b"}) == 0.0
+
+    def test_both_empty(self):
+        assert jaccard(set(), set()) == 0.0
+
+    def test_half_overlap(self):
+        assert math.isclose(jaccard({"a", "b"}, {"b", "c"}), 1 / 3)
+
+    @given(values_strategy, values_strategy)
+    def test_symmetric_and_bounded(self, a, b):
+        j = jaccard(a, b)
+        assert math.isclose(j, jaccard(b, a))
+        assert 0.0 <= j <= 1.0
+
+
+class TestWeightedJaccard:
+    def test_normalization_merges_variants(self):
+        assert weighted_jaccard(["Abel Tasman"], ["abel  tasman"]) == 1.0
+
+    def test_empty_column(self):
+        assert weighted_jaccard([], ["x"]) == 0.0
+
+    def test_idf_downweights_common_values(self):
+        stats = TermStatistics()
+        for _ in range(50):
+            stats.add_document(["yes"])
+        stats.add_document(["tasman"])
+        # Shared rare value counts more than shared common value.
+        rare = weighted_jaccard(["tasman", "alpha"], ["tasman", "beta"], stats)
+        common = weighted_jaccard(["yes", "alpha"], ["yes", "beta"], stats)
+        assert rare > common
+
+
+class TestColumnSimilarity:
+    def test_identical_columns(self):
+        vals = ["Vasco da Gama", "Abel Tasman"]
+        assert column_content_similarity(vals, vals) > 0.99
+
+    def test_disjoint_columns(self):
+        assert column_content_similarity(["aa bb"], ["cc dd"]) == 0.0
+
+    def test_header_similarity_matches_tokens(self):
+        assert header_similarity(["name"], ["name"]) == 1.0
+        assert header_similarity(["name"], ["country"]) == 0.0
+
+    def test_content_weight_validation(self):
+        with pytest.raises(ValueError):
+            column_similarity(["a"], ["a"], [], [], content_weight=1.5)
+
+    def test_content_dominates_by_default(self):
+        # Same content, different headers: similarity stays high.
+        vals = ["alpha", "beta", "gamma"]
+        sim = column_similarity(vals, vals, ["name"], ["title"])
+        assert sim >= 0.8
+
+    def test_headers_break_content_ties(self):
+        vals_a = ["alpha", "beta"]
+        vals_b = ["alpha", "beta"]
+        with_match = column_similarity(vals_a, vals_b, ["name"], ["name"])
+        without = column_similarity(vals_a, vals_b, ["name"], ["country"])
+        assert with_match > without
+
+    @given(values_strategy, values_strategy)
+    def test_bounded(self, a, b):
+        sim = column_content_similarity(a, b)
+        assert 0.0 <= sim <= 1.0 + 1e-9

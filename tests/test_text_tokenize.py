@@ -1,0 +1,90 @@
+"""Unit tests for repro.text.tokenize."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.tokenize import (
+    STOP_WORDS,
+    ngrams,
+    normalize_cell,
+    tokenize,
+    tokenize_keep_stopwords,
+)
+
+
+class TestTokenize:
+    def test_basic_split(self):
+        assert tokenize_keep_stopwords("Hello World") == ["hello", "world"]
+
+    def test_punctuation_split(self):
+        assert tokenize_keep_stopwords("a,b;c|d") == ["a", "b", "c", "d"]
+
+    def test_numbers_kept(self):
+        assert tokenize("height 4808 m") == ["height", "4808", "m"]
+
+    def test_stopwords_removed(self):
+        assert tokenize("the name of the explorer") == ["name", "explorer"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+        assert tokenize_keep_stopwords("") == []
+
+    def test_whitespace_only(self):
+        assert tokenize("  \t\n ") == []
+
+    def test_mixed_case_folds(self):
+        assert tokenize("Nobel PRIZE Winner") == ["nobel", "prize", "winner"]
+
+    def test_hyphenated_splits(self):
+        assert tokenize("pre-production") == ["pre", "production"]
+
+    def test_stopword_constant_lowercase(self):
+        assert all(w == w.lower() for w in STOP_WORDS)
+
+    @given(st.text())
+    def test_tokens_always_lowercase_alnum(self, text):
+        for tok in tokenize(text):
+            assert tok == tok.lower()
+            assert tok.isalnum()
+
+    @given(st.text())
+    def test_tokenize_subset_of_keep_stopwords(self, text):
+        # tokenize() stems; compare against the stemmed full stream.
+        from repro.text.tokenize import stem
+
+        full = {stem(t) for t in tokenize_keep_stopwords(text)}
+        assert all(t in full for t in tokenize(text))
+
+    @given(st.text())
+    def test_idempotent_on_joined_output(self, text):
+        once = tokenize_keep_stopwords(text)
+        twice = tokenize_keep_stopwords(" ".join(once))
+        assert once == twice
+
+
+class TestNgrams:
+    def test_bigrams(self):
+        assert ngrams(["a", "b", "c"], 2) == [("a", "b"), ("b", "c")]
+
+    def test_n_longer_than_input(self):
+        assert ngrams(["a"], 2) == []
+
+    def test_unigrams(self):
+        assert ngrams(["a", "b"], 1) == [("a",), ("b",)]
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            ngrams(["a"], 0)
+
+
+class TestNormalizeCell:
+    def test_case_and_space(self):
+        assert normalize_cell(" Vasco  da Gama.") == normalize_cell("vasco da gama")
+
+    def test_empty(self):
+        assert normalize_cell("") == ""
+
+    def test_keeps_stopwords(self):
+        # Normalization must not drop words: "of" distinguishes values.
+        assert "of" in normalize_cell("Strait of Magellan").split()

@@ -1,0 +1,70 @@
+"""Tests for grid training (Section 3.4)."""
+
+import pytest
+
+from repro.core.params import (
+    DEFAULT_PARAMS,
+    ModelParams,
+    enumerate_grid,
+    train_parameters,
+)
+from repro.evaluation.tuning import tune_basic_params, tune_model_params
+
+
+class TestEnumerateGrid:
+    def test_grid_size(self):
+        grid = list(enumerate_grid(
+            w1_grid=(1.0, 2.0), w2_grid=(0.1,), w3_grid=(0.0,),
+            w4_grid=(0.5,), w5_grid=(-0.3, -0.1), we_grid=(0.5,),
+        ))
+        assert len(grid) == 4
+
+    def test_grid_preserves_base_switches(self):
+        base = ModelParams(use_segmented=False)
+        grid = list(enumerate_grid(w1_grid=(1.0,), base=base))
+        assert all(not p.use_segmented for p in grid)
+
+
+class TestTrainParameters:
+    def test_picks_minimum(self):
+        grid = [DEFAULT_PARAMS.with_values(w1=w) for w in (0.5, 1.0, 1.5)]
+        best, err = train_parameters(lambda p: abs(p.w1 - 1.0), grid=grid)
+        assert best.w1 == 1.0
+        assert err == 0.0
+
+    def test_tie_breaks_to_first(self):
+        grid = [DEFAULT_PARAMS.with_values(w1=w) for w in (0.5, 1.5)]
+        best, _err = train_parameters(lambda p: 7.0, grid=grid)
+        assert best.w1 == 0.5
+
+    def test_empty_grid_raises(self):
+        with pytest.raises(ValueError):
+            train_parameters(lambda p: 0.0, grid=[])
+
+
+class TestTuneOnEnvironment:
+    def test_tune_basic_small(self, small_env):
+        ids = [wq.query_id for wq in small_env.queries[:6]]
+        params, err = tune_basic_params(
+            small_env,
+            relevance_grid=(0.1, 0.2),
+            column_grid=(0.2,),
+            query_ids=ids,
+        )
+        assert 0.0 <= err <= 100.0
+        assert params.column_threshold == 0.2
+
+    def test_tune_model_small(self, small_env):
+        ids = [wq.query_id for wq in small_env.queries[:4]]
+        grid = [DEFAULT_PARAMS, DEFAULT_PARAMS.with_values(w4=2.0)]
+        best, err, trace = tune_model_params(
+            small_env, grid, query_ids=ids
+        )
+        assert len(trace) == 2
+        assert err == min(e for _p, e in trace)
+
+    def test_feature_switch_mismatch_rejected(self, small_env):
+        ids = [wq.query_id for wq in small_env.queries[:2]]
+        bad_grid = [DEFAULT_PARAMS.with_values(use_segmented=False)]
+        with pytest.raises(ValueError):
+            tune_model_params(small_env, bad_grid, query_ids=ids)
