@@ -13,7 +13,7 @@ import pytest
 from repro.core.model import build_problem
 from repro.core.params import DEFAULT_PARAMS
 from repro.evaluation.harness import bin_queries, split_easy_hard
-from repro.inference import ALGORITHMS
+from repro.inference import REGISTRY
 
 from .conftest import write_result
 
@@ -70,7 +70,7 @@ def test_table2_collective_inference(env, method_runs, benchmark):
     problem = build_problem(
         wq.query, probe.tables, env.synthetic.corpus.stats, DEFAULT_PARAMS
     )
-    benchmark(ALGORITHMS["table-centric"], problem)
+    benchmark(REGISTRY.get_algorithm("table-centric"), problem)
 
 
 @pytest.mark.parametrize("name", ["none", "alpha-expansion", "bp", "trws"])
@@ -81,4 +81,4 @@ def test_table2_algorithm_runtime(env, benchmark, name):
     problem = build_problem(
         wq.query, probe.tables, env.synthetic.corpus.stats, DEFAULT_PARAMS
     )
-    benchmark(ALGORITHMS[name], problem)
+    benchmark(REGISTRY.get_algorithm(name), problem)

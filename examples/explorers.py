@@ -9,16 +9,18 @@ rejected despite matching the keywords "areas" and "exploration".
 Run:  python examples/explorers.py
 """
 
-from repro import CorpusConfig, Query, WWTEngine, generate_corpus
+from repro import CorpusConfig, Query, WWTService, generate_corpus
 
 
 def main() -> None:
     synthetic = generate_corpus(CorpusConfig(seed=42, scale=1.0))
-    engine = WWTEngine(synthetic.corpus)
+    service = WWTService(synthetic.corpus)
 
     query = Query.parse("name of explorers | nationality | areas explored")
     print(f"Query: {query}\n")
-    result = engine.answer(query)
+    # answer_full exposes the pipeline artifact (problem + mapping), which
+    # this walkthrough inspects table by table.
+    result = service.answer_full(query)
 
     print("Column mapping decisions:")
     for ti, table in enumerate(result.problem.tables):

@@ -15,7 +15,7 @@ from repro.core import DEFAULT_PARAMS, build_problem
 from repro.core.labels import LabelSpace
 from repro.corpus import GroundTruth
 from repro.evaluation.metrics import f1_error, gold_assignment
-from repro.inference import ALGORITHMS
+from repro.inference import REGISTRY
 from repro.pipeline import two_stage_probe
 from repro.query import query_by_id
 
@@ -37,17 +37,19 @@ def main() -> None:
     print(f"Candidates: {len(probe.tables)} tables, "
           f"{problem.num_columns} column variables, "
           f"{len(problem.edges)} content-overlap edges\n")
-    print(f"{'algorithm':<18} {'score':>9} {'relevant':>9} "
+    print(f"{'algorithm':<18} {'kind':<13} {'score':>9} {'relevant':>9} "
           f"{'F1 error':>9} {'time':>9}")
-    print("-" * 60)
-    for name, algorithm in ALGORITHMS.items():
+    print("-" * 74)
+    for info in REGISTRY.infos():
         start = time.perf_counter()
-        result = algorithm(problem)
+        result = info.fn(problem)
         elapsed = time.perf_counter() - start
         error = f1_error(result.labels, gold, space)
-        print(f"{name:<18} {result.score():>9.2f} "
+        kind = info.capability + ("" if info.collective else "*")
+        print(f"{info.name:<18} {kind:<13} {result.score():>9.2f} "
               f"{len(result.relevant_tables()):>9} "
               f"{error:>8.1f}% {elapsed * 1000:>7.0f}ms")
+    print("\n(* = no cross-table signals)")
 
 
 if __name__ == "__main__":

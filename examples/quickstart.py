@@ -1,13 +1,15 @@
 """Quickstart: ask a column-keyword query against a synthetic web corpus.
 
 Generates a small corpus of noisy web pages, indexes the extracted tables,
-and runs the full WWT pipeline (two-stage probe, collective column mapping,
-consolidation, ranking) for one query.
+and serves one query through :class:`repro.service.WWTService` — the full
+WWT pipeline (two-stage probe, collective column mapping, consolidation,
+ranking) behind the request/response API, with a cached repeat to show the
+serving layer at work.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import CorpusConfig, Query, WWTEngine, generate_corpus
+from repro import CorpusConfig, QueryRequest, WWTService, generate_corpus
 
 
 def main() -> None:
@@ -15,24 +17,34 @@ def main() -> None:
     synthetic = generate_corpus(CorpusConfig(seed=42, scale=0.4))
     print(f"  {len(synthetic.pages)} pages -> {synthetic.num_tables} data tables")
 
-    engine = WWTEngine(synthetic.corpus)
+    service = WWTService(synthetic.corpus)
 
-    query = Query.parse("country | currency")
-    print(f"\nQuery: {query}")
-    result = engine.answer(query)
+    request = QueryRequest.parse("country | currency", page_size=10, explain=True)
+    print(f"\nQuery: {request.query}")
+    response = service.answer(request)
 
-    print(f"Candidates: {result.probe.num_candidates} "
-          f"(2nd probe used: {result.probe.used_second_stage})")
-    print(f"Relevant tables: {len(result.mapping.relevant_tables())}")
-    print(f"Total time: {result.timing.total:.2f}s "
-          f"(column map {result.timing.column_map:.2f}s)")
+    explain = response.explain
+    print(f"Candidates: {explain['num_candidates']} "
+          f"(2nd probe used: {explain['used_second_stage']})")
+    print(f"Relevant tables: {len(explain['relevant_tables'])}")
+    print(f"Total time: {response.timing.total:.2f}s "
+          f"(column map {response.timing.column_map:.2f}s)")
 
-    print(f"\nAnswer table ({result.answer.num_rows} rows, top 10):")
-    header = result.answer.header()
+    print(f"\nAnswer table ({response.total_rows} rows, "
+          f"page 1/{response.num_pages}):")
+    header = response.header
     print(f"  {header[0]:<18} | {header[1]:<22} | support")
     print("  " + "-" * 55)
-    for row in result.answer.rows[:10]:
+    for row in response.rows:
         print(f"  {row.cells[0]:<18} | {row.cells[1]:<22} | {row.support}")
+
+    # The same query again — served from the LRU result cache.
+    repeat = service.answer("Country | Currency")
+    stats = service.stats()
+    print(f"\nRepeat query: cache_hit={repeat.cache_hit} "
+          f"(served in {repeat.served_in * 1000:.2f}ms; "
+          f"cache {stats.result_cache.hits} hits / "
+          f"{stats.result_cache.misses} misses)")
 
 
 if __name__ == "__main__":

@@ -4,13 +4,14 @@ web-table search engine.
 
 Quickstart::
 
-    from repro import CorpusConfig, Query, WWTEngine, generate_corpus
+    from repro import CorpusConfig, WWTService, generate_corpus
 
     synthetic = generate_corpus(CorpusConfig(scale=0.3))
-    engine = WWTEngine(synthetic.corpus)
-    result = engine.answer(Query.parse("country | currency"))
-    for row in result.answer.rows[:5]:
+    service = WWTService(synthetic.corpus)
+    response = service.answer("country | currency")
+    for row in response.rows[:5]:
         print(row.cells)
+    print(service.stats().to_dict())
 
 Package map (see DESIGN.md for the full inventory):
 
@@ -20,9 +21,12 @@ Package map (see DESIGN.md for the full inventory):
 - :mod:`repro.corpus` — the synthetic web crawl substitute;
 - :mod:`repro.query` — column-keyword queries + the 59-query workload;
 - :mod:`repro.core` — the graphical model (SegSim, PMI², potentials);
-- :mod:`repro.flow`, :mod:`repro.inference` — Section 4's algorithms;
+- :mod:`repro.flow`, :mod:`repro.inference` — Section 4's algorithms,
+  behind a decorator-based :data:`REGISTRY`;
 - :mod:`repro.baselines` — Basic / NbrText / PMI²;
-- :mod:`repro.pipeline`, :mod:`repro.consolidate` — the end-to-end engine;
+- :mod:`repro.pipeline`, :mod:`repro.consolidate` — the query pipeline;
+- :mod:`repro.service` — the serving facade (:class:`WWTService`,
+  :class:`EngineConfig`, caching, batching);
 - :mod:`repro.evaluation` — F1 error and the experiment harness.
 """
 
@@ -31,11 +35,26 @@ from .core import DEFAULT_PARAMS, ModelParams, build_problem
 from .corpus import CorpusConfig, GroundTruth, generate_corpus
 from .evaluation import build_environment, f1_error, run_method
 from .index import IndexedCorpus, build_corpus_index
-from .inference import ALGORITHMS, MappingResult
+from .inference import (
+    ALGORITHMS,
+    REGISTRY,
+    InferenceRegistry,
+    MappingResult,
+    UnknownAlgorithmError,
+    get_algorithm,
+    register_algorithm,
+)
 from .pipeline import ProbeConfig, WWTAnswer, WWTEngine
 from .query import WORKLOAD, Query
+from .service import (
+    EngineConfig,
+    QueryRequest,
+    QueryResponse,
+    ServiceStats,
+    WWTService,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ALGORITHMS",
@@ -43,20 +62,30 @@ __all__ = [
     "AnswerTable",
     "CorpusConfig",
     "DEFAULT_PARAMS",
+    "EngineConfig",
     "GroundTruth",
     "IndexedCorpus",
+    "InferenceRegistry",
     "MappingResult",
     "ModelParams",
     "ProbeConfig",
     "Query",
+    "QueryRequest",
+    "QueryResponse",
+    "REGISTRY",
+    "ServiceStats",
+    "UnknownAlgorithmError",
     "WORKLOAD",
     "WWTAnswer",
     "WWTEngine",
+    "WWTService",
     "build_corpus_index",
     "build_environment",
     "build_problem",
     "f1_error",
     "generate_corpus",
+    "get_algorithm",
+    "register_algorithm",
     "run_method",
     "__version__",
 ]

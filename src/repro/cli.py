@@ -3,22 +3,28 @@
 Commands
 --------
 ``query``    answer a column-keyword query against a generated corpus
+``batch``    answer many queries through the service (caching + fan-out)
 ``corpus``   generate a corpus and print its census / save the table store
 ``eval``     run one or more methods over the 59-query workload
 ``workload`` list the workload queries with their Table 1 statistics
+
+``query`` and ``batch`` are fronted by :class:`repro.service.WWTService`;
+``--config`` loads a JSON :class:`~repro.service.EngineConfig`.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
 from .corpus.generator import CorpusConfig, generate_corpus
 from .evaluation.harness import METHODS, build_environment, run_method
-from .pipeline.wwt import WWTEngine
+from .inference import REGISTRY
 from .query.model import Query
 from .query.workload import WORKLOAD
+from .service import EngineConfig, QueryRequest, WWTService
 
 __all__ = ["main", "build_parser"]
 
@@ -31,16 +37,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_service_options(p) -> None:
+        p.add_argument("--scale", type=float, default=0.4,
+                       help="corpus scale factor (default 0.4)")
+        p.add_argument("--seed", type=int, default=42)
+        p.add_argument("--inference", default="table-centric",
+                       choices=REGISTRY.names())
+        p.add_argument("--config", metavar="PATH", default=None,
+                       help="JSON EngineConfig file (overrides --inference)")
+
     query = sub.add_parser("query", help="answer a column-keyword query")
     query.add_argument("text", help='e.g. "country | currency"')
-    query.add_argument("--scale", type=float, default=0.4,
-                       help="corpus scale factor (default 0.4)")
-    query.add_argument("--seed", type=int, default=42)
+    add_service_options(query)
     query.add_argument("--rows", type=int, default=15,
-                       help="answer rows to print")
-    query.add_argument("--inference", default="table-centric",
-                       choices=("none", "table-centric", "alpha-expansion",
-                                "bp", "trws"))
+                       help="answer rows to print (page size)")
+    query.add_argument("--page", type=int, default=1,
+                       help="1-based page of answer rows")
+    query.add_argument("--explain", action="store_true",
+                       help="print the probe/mapping explain payload")
+
+    batch = sub.add_parser(
+        "batch", help="answer many queries via the service (batch + cache)"
+    )
+    batch.add_argument("texts", nargs="+", metavar="QUERY",
+                       help='queries, e.g. "country | currency" "dog breed"')
+    add_service_options(batch)
+    batch.add_argument("--repeat", type=int, default=1,
+                       help="repeat the query list N times (cache demo)")
+    batch.add_argument("--workers", type=int, default=None,
+                       help="thread-pool width (default: config max_workers)")
 
     corpus = sub.add_parser("corpus", help="generate a corpus, print census")
     corpus.add_argument("--scale", type=float, default=1.0)
@@ -58,23 +83,72 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_query(args: argparse.Namespace, out) -> int:
+def _build_service(args: argparse.Namespace) -> WWTService:
+    """Corpus + EngineConfig -> service, honoring --config/--inference."""
+    if args.config:
+        with open(args.config, "r", encoding="utf-8") as fh:
+            config = EngineConfig.from_dict(json.load(fh))
+    else:
+        config = EngineConfig(inference=args.inference)
     synthetic = generate_corpus(CorpusConfig(seed=args.seed, scale=args.scale))
-    engine = WWTEngine(synthetic.corpus, inference=args.inference)
-    query = Query.parse(args.text)
-    result = engine.answer(query)
-    print(f"query: {query}", file=out)
+    return WWTService(synthetic.corpus, config)
+
+
+def _cmd_query(args: argparse.Namespace, out) -> int:
+    service = _build_service(args)
+    # Explain is always computed (it is cheap) so the summary line can show
+    # candidate counts; the full payload prints only under --explain.
+    request = QueryRequest.parse(
+        args.text, page=args.page, page_size=args.rows, explain=True
+    )
+    response = service.answer(request)
+    print(f"query: {response.query}", file=out)
+    explain = response.explain or {}
     print(
-        f"candidates: {result.probe.num_candidates}  "
-        f"relevant tables: {len(result.mapping.relevant_tables())}  "
-        f"time: {result.timing.total:.2f}s",
+        f"candidates: {explain.get('num_candidates', '?')}  "
+        f"algorithm: {response.algorithm}  "
+        f"time: {response.timing.total:.2f}s",
         file=out,
     )
-    header = result.answer.header()
+    header = response.header
     print(" | ".join(header), file=out)
     print("-" * (sum(len(h) for h in header) + 3 * len(header)), file=out)
-    for row in result.answer.rows[: args.rows]:
+    for row in response.rows:
         print(" | ".join(row.cells) + f"   (x{row.support})", file=out)
+    print(
+        f"page {response.page}/{response.num_pages} "
+        f"({response.total_rows} rows total)",
+        file=out,
+    )
+    if args.explain:
+        print("\nexplain:", file=out)
+        print(json.dumps(explain, indent=2, default=str), file=out)
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace, out) -> int:
+    service = _build_service(args)
+    requests = [
+        QueryRequest.parse(text)
+        for _ in range(max(1, args.repeat))
+        for text in args.texts
+    ]
+    responses = service.answer_batch(requests, max_workers=args.workers)
+    for response in responses:
+        marker = "cache" if response.cache_hit else f"{response.served_in:.3f}s"
+        print(
+            f"[{marker:>8}] {str(response.query):<44} "
+            f"{response.total_rows:>4} rows",
+            file=out,
+        )
+    stats = service.stats()
+    cache = stats.result_cache
+    print(
+        f"\n{stats.queries} queries in {stats.total_time:.2f}s — "
+        f"result cache: {cache.hits} hits / {cache.misses} misses "
+        f"({cache.hit_rate:.0%})",
+        file=out,
+    )
     return 0
 
 
@@ -123,11 +197,18 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "query": _cmd_query,
+        "batch": _cmd_batch,
         "corpus": _cmd_corpus,
         "eval": _cmd_eval,
         "workload": _cmd_workload,
     }
-    return handlers[args.command](args, out)
+    try:
+        return handlers[args.command](args, out)
+    except (ValueError, OSError) as exc:
+        # Bad query text, invalid --page/--rows, unreadable/invalid
+        # --config files: a CLI error line, not a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

@@ -20,7 +20,7 @@ from ..core.model import build_problem
 from ..core.params import DEFAULT_PARAMS, UNSEGMENTED_PARAMS, ModelParams
 from ..corpus.generator import CorpusConfig, SyntheticCorpus, generate_corpus
 from ..corpus.groundtruth import GroundTruth
-from ..inference import ALGORITHMS
+from ..inference import get_algorithm
 from ..pipeline.probe import ProbeConfig, ProbeResult, two_stage_probe
 from ..query.workload import WORKLOAD, WorkloadQuery
 from .metrics import f1_error, gold_assignment
@@ -64,11 +64,13 @@ _ENV_CACHE: Dict[Tuple[float, int], WorkloadEnvironment] = {}
 def build_environment(
     scale: float = 1.0,
     seed: int = 42,
-    probe_config: ProbeConfig = ProbeConfig(),
+    probe_config: Optional[ProbeConfig] = None,
     queries: Optional[Sequence[WorkloadQuery]] = None,
     use_cache: bool = True,
 ) -> WorkloadEnvironment:
     """Generate the corpus, ground truth, and per-query candidate sets."""
+    if probe_config is None:
+        probe_config = ProbeConfig()
     cache_key = (scale, seed)
     if use_cache and queries is None and cache_key in _ENV_CACHE:
         return _ENV_CACHE[cache_key]
@@ -121,7 +123,7 @@ def _run_wwt(
     problem = build_problem(
         wq.query, probe.tables, env.synthetic.corpus.stats, params
     )
-    return ALGORITHMS[inference](problem).labels
+    return get_algorithm(inference)(problem).labels
 
 
 def _method_fn(name: str) -> Callable:

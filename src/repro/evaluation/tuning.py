@@ -15,7 +15,7 @@ from ..baselines.basic import BasicParams, basic_method
 from ..core.labels import LabelSpace
 from ..core.model import ColumnMappingProblem, build_problem
 from ..core.params import DEFAULT_PARAMS, ModelParams
-from ..inference import ALGORITHMS
+from ..inference import get_algorithm
 from .harness import WorkloadEnvironment
 from .metrics import f1_error
 
@@ -46,7 +46,7 @@ def tune_model_params(
         )
         problems.append((problem, env.gold(wq), LabelSpace(wq.query.q)))
 
-    algorithm = ALGORITHMS[inference]
+    algorithm = get_algorithm(inference)
     trace: List[Tuple[ModelParams, float]] = []
     best: Optional[ModelParams] = None
     best_error = float("inf")

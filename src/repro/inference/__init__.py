@@ -5,32 +5,53 @@ Table 2); ``table_centric`` is the paper's best collective algorithm;
 ``alpha_expansion`` the constrained graph-cut alternative; ``bp`` and
 ``trws`` the message-passing comparisons; ``exhaustive`` the brute-force
 test oracle.
+
+Each algorithm registers itself into :data:`REGISTRY` (an
+:class:`~repro.inference.registry.InferenceRegistry`) at import time via
+the :func:`~repro.inference.registry.register_algorithm` decorator.
+``ALGORITHMS`` is the same registry under its historical name — it still
+behaves like the ``Dict[str, InferenceFn]`` it used to be.
 """
 
-from typing import Callable, Dict
-
-from ..core.model import ColumnMappingProblem
 from .alpha_expansion import alpha_expansion_inference
 from .base import MappingResult, column_distributions, confident_map, softmax
 from .belief_propagation import belief_propagation_inference
 from .exhaustive import exhaustive_inference
 from .independent import independent_inference, solve_table
 from .max_marginals import all_max_marginals, table_max_marginals
+from .registry import (
+    DEFAULT_REGISTRY,
+    AlgorithmInfo,
+    InferenceRegistry,
+    UnknownAlgorithmError,
+    register_algorithm,
+)
 from .repair import repair_assignment, table_violates_constraints
 from .table_centric import table_centric_inference
 from .trws import trws_inference
 
-#: Registry of the collective-inference algorithms compared in Table 2.
-ALGORITHMS: Dict[str, Callable[[ColumnMappingProblem], MappingResult]] = {
-    "none": independent_inference,
-    "alpha-expansion": alpha_expansion_inference,
-    "bp": belief_propagation_inference,
-    "trws": trws_inference,
-    "table-centric": table_centric_inference,
-}
+#: The registry holding the Table 2 algorithms (populated by the modules
+#: above at import time).
+REGISTRY: InferenceRegistry = DEFAULT_REGISTRY
+
+#: Legacy alias — the registry satisfies the Mapping protocol, so code
+#: written against the old plain-dict constant keeps working.
+ALGORITHMS = REGISTRY
+
+
+def get_algorithm(name: str):
+    """Look up an inference algorithm by registered name."""
+    return REGISTRY.get_algorithm(name)
+
 
 __all__ = [
     "ALGORITHMS",
+    "AlgorithmInfo",
+    "InferenceRegistry",
+    "REGISTRY",
+    "UnknownAlgorithmError",
+    "get_algorithm",
+    "register_algorithm",
     "MappingResult",
     "all_max_marginals",
     "alpha_expansion_inference",

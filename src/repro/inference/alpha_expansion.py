@@ -24,6 +24,7 @@ from ..flow.constrained_cut import constrained_min_cut
 from ..flow.network import FlowNetwork
 from .base import MappingResult
 from .pairwise import BIG, PairwiseModel, build_pairwise_model
+from .registry import register_algorithm
 from .repair import repair_assignment
 
 __all__ = ["alpha_expansion_inference"]
@@ -111,6 +112,10 @@ def _expansion_move(
     return new_labeling
 
 
+@register_algorithm(
+    "alpha-expansion",
+    description="constrained graph-cut expansion moves (Section 4.1)",
+)
 def alpha_expansion_inference(
     problem: ColumnMappingProblem,
     max_rounds: int = 5,

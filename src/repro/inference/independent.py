@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Tuple
 from ..core.model import ColumnMappingProblem
 from ..flow.bipartite import BipartiteMatcher
 from .base import MappingResult
+from .registry import register_algorithm
 
 __all__ = ["solve_table", "independent_inference", "M1_BONUS"]
 
@@ -91,6 +92,11 @@ def solve_table(
     return relevant_assignment
 
 
+@register_algorithm(
+    "none",
+    collective=False,
+    description="per-table exact matching, no cross-table signals",
+)
 def independent_inference(problem: ColumnMappingProblem) -> MappingResult:
     """Solve every table independently (the "None" column of Table 2)."""
     assignment: Dict[Tuple[int, int], int] = {}

@@ -85,7 +85,7 @@ def _table_confidences(
 def two_stage_probe(
     query: Query,
     corpus: IndexedCorpus,
-    config: ProbeConfig = ProbeConfig(),
+    config: Optional[ProbeConfig] = None,
     params: ModelParams = DEFAULT_PARAMS,
     timings: Optional[dict] = None,
 ) -> ProbeResult:
@@ -96,6 +96,9 @@ def two_stage_probe(
     slices of Figure 7.
     """
     import time as _time
+
+    if config is None:
+        config = ProbeConfig()
 
     def _record(key: str, start: float) -> float:
         now = _time.perf_counter()

@@ -1,24 +1,24 @@
-"""The end-to-end WWT engine (Figure 2, query-time half).
+"""Query-time artifacts (Figure 2) and the legacy engine shim.
 
-``WWTEngine.answer`` runs the full pipeline for one query: two-stage index
-probe, column mapping with a chosen inference algorithm, consolidation, and
-ranking — recording the per-stage timing breakdown of Figure 7.
+:class:`QueryTiming` and :class:`WWTAnswer` describe everything the
+pipeline produced for one query — they are the artifact types shared by
+the serving layer.  :class:`WWTEngine` is the pre-service entry point,
+kept as a thin deprecated shim over :class:`repro.service.WWTService`.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+import warnings
+from dataclasses import dataclass
+from typing import Dict, Optional
 
-from ..consolidate.merge import AnswerTable, consolidate
-from ..consolidate.ranker import rank_answer
-from ..core.model import ColumnMappingProblem, build_problem
+from ..consolidate.merge import AnswerTable
+from ..core.model import ColumnMappingProblem
 from ..core.params import DEFAULT_PARAMS, ModelParams
 from ..index.builder import IndexedCorpus
-from ..inference import ALGORITHMS, MappingResult
+from ..inference import MappingResult
 from ..query.model import Query
-from .probe import ProbeConfig, ProbeResult, two_stage_probe
+from .probe import ProbeConfig, ProbeResult
 
 __all__ = ["QueryTiming", "WWTAnswer", "WWTEngine"]
 
@@ -68,64 +68,59 @@ class WWTAnswer:
 
 
 class WWTEngine:
-    """Query engine over an indexed corpus."""
+    """Deprecated constructor-style entry point.
+
+    Use :class:`repro.service.WWTService` instead — it adds request/response
+    types, caching, batching, and serving stats.  This shim wires the old
+    constructor arguments into an :class:`~repro.service.EngineConfig`
+    (caches off, matching the old always-recompute behaviour) and delegates.
+    """
 
     def __init__(
         self,
         corpus: IndexedCorpus,
         params: ModelParams = DEFAULT_PARAMS,
         inference: str = "table-centric",
-        probe_config: ProbeConfig = ProbeConfig(),
+        probe_config: Optional[ProbeConfig] = None,
     ) -> None:
-        if inference not in ALGORITHMS:
-            raise ValueError(
-                f"unknown inference {inference!r}; options: {sorted(ALGORITHMS)}"
-            )
-        self.corpus = corpus
-        self.params = params
-        self.inference_name = inference
-        self.probe_config = probe_config
+        warnings.warn(
+            "WWTEngine is deprecated; use repro.service.WWTService "
+            "(see DESIGN.md for the migration map)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        # Imported here: repro.service depends on this module's artifacts.
+        from ..service import EngineConfig, WWTService
+
+        config = EngineConfig(
+            params=params,
+            probe=probe_config if probe_config is not None else ProbeConfig(),
+            inference=inference,
+            cache_size=0,
+            probe_cache_size=0,
+        )
+        self._service = WWTService(corpus, config)
 
     @property
-    def _inference(self) -> Callable[[ColumnMappingProblem], MappingResult]:
-        return ALGORITHMS[self.inference_name]
+    def corpus(self) -> IndexedCorpus:
+        """The indexed corpus being served."""
+        return self._service.corpus
+
+    @property
+    def params(self) -> ModelParams:
+        """The model parameters in use."""
+        return self._service.config.params
+
+    @property
+    def inference_name(self) -> str:
+        """The configured inference algorithm."""
+        return self._service.config.inference
+
+    @property
+    def probe_config(self) -> ProbeConfig:
+        """The two-stage probe tunables."""
+        return self._service.config.probe
 
     def answer(self, query: Query) -> WWTAnswer:
         """Run the full pipeline for one query."""
-        timing = QueryTiming()
-        raw_timings: Dict[str, float] = {}
-
-        probe = two_stage_probe(
-            query, self.corpus, self.probe_config, self.params, timings=raw_timings
-        )
-        timing.index1 = raw_timings.get("index1", 0.0)
-        timing.read1 = raw_timings.get("read1", 0.0)
-        timing.confidence = raw_timings.get("confidence", 0.0)
-        timing.index2 = raw_timings.get("index2", 0.0)
-        timing.read2 = raw_timings.get("read2", 0.0)
-
-        t0 = time.perf_counter()
-        problem = build_problem(query, probe.tables, self.corpus.stats, self.params)
-        mapping = self._inference(problem)
-        timing.column_map = time.perf_counter() - t0
-
-        t0 = time.perf_counter()
-        mappings = {
-            ti: mapping.table_mapping(ti) for ti in mapping.relevant_tables()
-        }
-        relevance = {
-            ti: mapping.table_relevance_score(ti) for ti in mappings
-        }
-        answer = rank_answer(
-            consolidate(query, probe.tables, mappings, relevance)
-        )
-        timing.consolidate = time.perf_counter() - t0
-
-        return WWTAnswer(
-            query=query,
-            answer=answer,
-            mapping=mapping,
-            probe=probe,
-            timing=timing,
-            problem=problem,
-        )
+        return self._service.answer_full(query, use_cache=False)

@@ -1,0 +1,40 @@
+"""The serving layer: one façade over the whole WWT pipeline.
+
+``WWTService`` answers column-keyword queries against an indexed corpus
+behind a request/response API with LRU result + probe caching, thread-pool
+batch fan-out, pagination, and per-stage timing — the seam every scaling
+change (sharded index, async probe, multi-backend) plugs into.  All
+behaviour is configured by one frozen :class:`EngineConfig`.
+"""
+
+from ..inference.registry import (
+    DEFAULT_REGISTRY,
+    AlgorithmInfo,
+    InferenceRegistry,
+    UnknownAlgorithmError,
+    register_algorithm,
+)
+from .cache import CacheStats, LRUCache
+from .config import EngineConfig
+from .facade import ServiceStats, WWTService
+from .types import QueryRequest, QueryResponse, build_explain, normalized_query_key
+
+#: The registry the service resolves ``EngineConfig.inference`` against.
+REGISTRY = DEFAULT_REGISTRY
+
+__all__ = [
+    "AlgorithmInfo",
+    "CacheStats",
+    "EngineConfig",
+    "InferenceRegistry",
+    "LRUCache",
+    "QueryRequest",
+    "QueryResponse",
+    "REGISTRY",
+    "ServiceStats",
+    "UnknownAlgorithmError",
+    "WWTService",
+    "build_explain",
+    "normalized_query_key",
+    "register_algorithm",
+]

@@ -1,0 +1,109 @@
+"""Thread-safe LRU cache with hit/miss accounting.
+
+Backs both service caches: the query-result cache (full pipeline outputs
+keyed on normalized query text) and the probe cache (candidate-retrieval
+outputs).  Counters feed ``WWTService.stats()``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+__all__ = ["CacheStats", "LRUCache"]
+
+_MISS = object()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time counters of one cache."""
+
+    hits: int
+    misses: int
+    size: int
+    capacity: int
+
+    @property
+    def lookups(self) -> int:
+        """Total get() calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form for logging/CLI output."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": self.size,
+            "capacity": self.capacity,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class LRUCache:
+    """Bounded least-recently-used map; capacity 0 disables it entirely."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    @property
+    def enabled(self) -> bool:
+        """False when capacity is 0 (every lookup misses, puts drop)."""
+        return self.capacity > 0
+
+    def get(self, key: Hashable) -> Tuple[bool, Optional[Any]]:
+        """``(hit, value)``; a hit refreshes the key's recency."""
+        with self._lock:
+            value = self._data.get(key, _MISS) if self.enabled else _MISS
+            if value is _MISS:
+                self._misses += 1
+                return False, None
+            self._data.move_to_end(key)
+            self._hits += 1
+            return True, value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/refresh a key, evicting the LRU entry when full."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept)."""
+        with self._lock:
+            self._data.clear()
+
+    def stats(self) -> CacheStats:
+        """Snapshot of the counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                size=len(self._data),
+                capacity=self.capacity,
+            )

@@ -1,0 +1,125 @@
+"""The unified engine configuration.
+
+Before the service layer, engine behaviour was configured in four places:
+``ModelParams`` (graphical-model weights), ``ProbeConfig`` (two-stage probe
+tunables), a bare inference-name string, and ad-hoc keyword arguments.
+:class:`EngineConfig` folds them into one frozen value plus the serving
+knobs (cache sizes, batch concurrency, page size), and round-trips through
+plain dicts so the CLI and experiment harness can load configurations from
+JSON files.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+from ..core.params import ModelParams
+from ..inference.registry import DEFAULT_REGISTRY
+from ..pipeline.probe import ProbeConfig
+
+__all__ = ["EngineConfig"]
+
+
+def _from_mapping(cls, data: Mapping[str, Any], where: str):
+    """Build a dataclass from a mapping, rejecting unknown keys."""
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ValueError(f"unknown {where} keys: {unknown}; known: {sorted(known)}")
+    return cls(**dict(data))
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Everything a :class:`~repro.service.WWTService` needs, in one value.
+
+    ``params`` and ``probe`` carry the paper's tunables; the rest are
+    serving knobs.  A cache size of 0 disables that cache.
+    """
+
+    params: ModelParams = field(default_factory=ModelParams)
+    probe: ProbeConfig = field(default_factory=ProbeConfig)
+    #: Registered inference algorithm used for column mapping.
+    inference: str = "table-centric"
+    #: LRU capacity of the query-result cache (full pipeline outputs).
+    cache_size: int = 256
+    #: LRU capacity of the probe cache (candidate-retrieval outputs).
+    probe_cache_size: int = 128
+    #: Thread-pool width for :meth:`WWTService.answer_batch`.
+    max_workers: int = 4
+    #: Default answer-row page size for :class:`QueryResponse` pagination.
+    page_size: int = 25
+
+    def __post_init__(self) -> None:
+        if self.inference not in DEFAULT_REGISTRY:
+            raise ValueError(
+                f"unknown inference {self.inference!r}; "
+                f"options: {DEFAULT_REGISTRY.names()}"
+            )
+        if self.cache_size < 0 or self.probe_cache_size < 0:
+            raise ValueError("cache sizes must be >= 0 (0 disables the cache)")
+        if self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if self.page_size < 1:
+            raise ValueError("page_size must be >= 1")
+
+    # -- derived ----------------------------------------------------------
+
+    @property
+    def caching_enabled(self) -> bool:
+        """Is the query-result cache on?"""
+        return self.cache_size > 0
+
+    def replace(self, **changes: Any) -> "EngineConfig":
+        """Copy with some fields replaced (re-validates)."""
+        return dataclasses.replace(self, **changes)
+
+    # -- dict round-trip --------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON-safe); inverse of :meth:`from_dict`."""
+        return {
+            "params": dataclasses.asdict(self.params),
+            "probe": dataclasses.asdict(self.probe),
+            "inference": self.inference,
+            "cache_size": self.cache_size,
+            "probe_cache_size": self.probe_cache_size,
+            "max_workers": self.max_workers,
+            "page_size": self.page_size,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Optional[Mapping[str, Any]]) -> "EngineConfig":
+        """Build a config from a (possibly partial) plain dict.
+
+        Missing keys take their defaults; unknown keys raise ``ValueError``
+        so typos in config files fail loudly.
+        """
+        data = dict(data or {})
+        kwargs: Dict[str, Any] = {}
+        if "params" in data:
+            raw = data.pop("params")
+            kwargs["params"] = (
+                raw if isinstance(raw, ModelParams)
+                else _from_mapping(ModelParams, raw, "params")
+            )
+        if "probe" in data:
+            raw = data.pop("probe")
+            kwargs["probe"] = (
+                raw if isinstance(raw, ProbeConfig)
+                else _from_mapping(ProbeConfig, raw, "probe")
+            )
+        top_known = {
+            "inference", "cache_size", "probe_cache_size",
+            "max_workers", "page_size",
+        }
+        unknown = sorted(set(data) - top_known)
+        if unknown:
+            raise ValueError(
+                f"unknown EngineConfig keys: {unknown}; "
+                f"known: {sorted(top_known | {'params', 'probe'})}"
+            )
+        kwargs.update(data)
+        return cls(**kwargs)

@@ -1,0 +1,279 @@
+"""``WWTService`` — the one public entry point for answering queries.
+
+Owns the full query-time pipeline of Figure 2 (two-stage probe, collective
+column mapping, consolidation, ranking) behind a request/response API with
+result + probe caching, batch fan-out, and serving statistics.  The legacy
+``WWTEngine`` is now a deprecated shim over this class.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from ..consolidate.merge import consolidate
+from ..consolidate.ranker import rank_answer
+from ..core.model import build_problem
+from ..index.builder import IndexedCorpus
+from ..inference.registry import DEFAULT_REGISTRY
+from ..pipeline.probe import two_stage_probe
+from ..pipeline.wwt import QueryTiming, WWTAnswer
+from ..query.model import Query
+from .cache import CacheStats, LRUCache
+from .config import EngineConfig
+from .types import QueryRequest, QueryResponse, build_explain, normalized_query_key
+
+__all__ = ["ServiceStats", "WWTService"]
+
+#: Anything ``answer``/``answer_batch`` accepts as a query.
+RequestLike = Union[QueryRequest, Query, str]
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Serving counters since construction (or the last ``reset_stats``)."""
+
+    queries: int
+    batches: int
+    result_cache: CacheStats
+    probe_cache: CacheStats
+    #: Cumulative wall-clock seconds spent serving (cache hits included).
+    total_time: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form for logging/CLI output."""
+        return {
+            "queries": self.queries,
+            "batches": self.batches,
+            "total_time": self.total_time,
+            "result_cache": self.result_cache.to_dict(),
+            "probe_cache": self.probe_cache.to_dict(),
+        }
+
+
+class WWTService:
+    """Facade over an indexed corpus: configure once, answer many.
+
+    ::
+
+        service = WWTService(corpus, EngineConfig(inference="table-centric"))
+        response = service.answer("country | currency")
+        responses = service.answer_batch(["country | gdp", "dog breed"])
+        print(service.stats().to_dict())
+    """
+
+    def __init__(
+        self,
+        corpus: IndexedCorpus,
+        config: Optional[EngineConfig] = None,
+    ) -> None:
+        self.corpus = corpus
+        self.config = config if config is not None else EngineConfig()
+        self._result_cache = LRUCache(self.config.cache_size)
+        self._probe_cache = LRUCache(self.config.probe_cache_size)
+        self._lock = threading.Lock()
+        #: Single-flight map: cache key -> Future of the leading computation,
+        #: so concurrent identical queries compute the pipeline once.
+        self._inflight: Dict[Any, "Future[WWTAnswer]"] = {}
+        self._queries = 0
+        self._batches = 0
+        self._total_time = 0.0
+
+    # -- the pipeline -----------------------------------------------------
+
+    def _compute(self, query: Query, inference: str) -> WWTAnswer:
+        """Run probe -> column map -> consolidate for one query, uncached
+        except for the probe-stage cache."""
+        algorithm = DEFAULT_REGISTRY.get_algorithm(inference)
+        timing = QueryTiming()
+
+        # The probe cache stores the stage timings next to the result so a
+        # hit still reports the probe's original cost (Figure 7's slices),
+        # not a misleading zero.
+        probe_key = normalized_query_key(query)
+        hit, entry = self._probe_cache.get(probe_key)
+        if hit:
+            probe, raw = entry
+        else:
+            raw = {}
+            probe = two_stage_probe(
+                query, self.corpus, self.config.probe, self.config.params,
+                timings=raw,
+            )
+            self._probe_cache.put(probe_key, (probe, raw))
+        timing.index1 = raw.get("index1", 0.0)
+        timing.read1 = raw.get("read1", 0.0)
+        timing.confidence = raw.get("confidence", 0.0)
+        timing.index2 = raw.get("index2", 0.0)
+        timing.read2 = raw.get("read2", 0.0)
+
+        t0 = time.perf_counter()
+        problem = build_problem(
+            query, probe.tables, self.corpus.stats, self.config.params
+        )
+        mapping = algorithm(problem)
+        timing.column_map = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        mappings = {
+            ti: mapping.table_mapping(ti) for ti in mapping.relevant_tables()
+        }
+        relevance = {ti: mapping.table_relevance_score(ti) for ti in mappings}
+        answer = rank_answer(
+            consolidate(query, probe.tables, mappings, relevance)
+        )
+        timing.consolidate = time.perf_counter() - t0
+
+        return WWTAnswer(
+            query=query,
+            answer=answer,
+            mapping=mapping,
+            probe=probe,
+            timing=timing,
+            problem=problem,
+        )
+
+    def _cached_answer(
+        self,
+        query: Query,
+        name: str,
+        use_cache: bool,
+    ) -> tuple:
+        """``(served_without_computing, WWTAnswer)`` for one query.
+
+        The single shared path behind :meth:`answer` and
+        :meth:`answer_full`: LRU result lookup, then single-flight
+        collapsing so concurrent identical queries (a batch with repeats)
+        compute the pipeline once — followers wait on the leader's future
+        and count as served-from-cache.
+        """
+        if not use_cache:
+            return False, self._compute(query, name)
+        key = (normalized_query_key(query), name)
+        hit, cached = self._result_cache.get(key)
+        if hit:
+            return True, cached
+        with self._lock:
+            future = self._inflight.get(key)
+            leader = future is None
+            if leader:
+                future = Future()
+                self._inflight[key] = future
+        if not leader:
+            return True, future.result()
+        try:
+            full = self._compute(query, name)
+            self._result_cache.put(key, full)
+            future.set_result(full)
+            return False, full
+        except BaseException as exc:
+            future.set_exception(exc)
+            raise
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+
+    def answer_full(
+        self,
+        query: Union[Query, str],
+        use_cache: bool = True,
+        inference: Optional[str] = None,
+    ) -> WWTAnswer:
+        """Answer one query, returning the full pipeline artifact.
+
+        This is the power-user API (examples, notebooks, debugging) — it
+        exposes the probe result, the mapping problem, and the labeling.
+        Serving callers should prefer :meth:`answer`.
+        """
+        if isinstance(query, str):
+            query = Query.parse(query)
+        name = inference if inference is not None else self.config.inference
+        return self._cached_answer(query, name, use_cache)[1]
+
+    # -- the serving API --------------------------------------------------
+
+    def answer(self, request: RequestLike) -> QueryResponse:
+        """Answer one request, returning a paginated response."""
+        request = QueryRequest.of(request)
+        start = time.perf_counter()
+
+        name = (
+            request.inference if request.inference is not None
+            else self.config.inference
+        )
+        cache_hit, full = self._cached_answer(
+            request.query, name, request.use_cache
+        )
+
+        page_size = (
+            request.page_size if request.page_size is not None
+            else self.config.page_size
+        )
+        lo = (request.page - 1) * page_size
+        rows = full.answer.rows[lo: lo + page_size]
+        served_in = time.perf_counter() - start
+        with self._lock:
+            self._queries += 1
+            self._total_time += served_in
+
+        return QueryResponse(
+            query=request.query,
+            header=full.answer.header(),
+            rows=rows,
+            page=request.page,
+            page_size=page_size,
+            total_rows=full.answer.num_rows,
+            timing=full.timing,
+            algorithm=name,  # registry name; explain carries the solver's own
+            cache_hit=cache_hit,
+            served_in=served_in,
+            explain=build_explain(full) if request.explain else None,
+        )
+
+    def answer_batch(
+        self,
+        requests: Sequence[RequestLike],
+        max_workers: Optional[int] = None,
+    ) -> List[QueryResponse]:
+        """Answer many requests with thread-pool fan-out.
+
+        Responses come back in input order.  Width defaults to the config's
+        ``max_workers``; repeated (normalized) queries — within one batch
+        or across calls — compute the pipeline once (LRU cache plus
+        single-flight collapsing of concurrent duplicates), and each
+        response reports its own cache provenance.
+        """
+        coerced = [QueryRequest.of(r) for r in requests]
+        with self._lock:
+            self._batches += 1
+        if not coerced:
+            return []
+        width = max_workers if max_workers is not None else self.config.max_workers
+        width = max(1, min(width, len(coerced)))
+        if width == 1:
+            return [self.answer(r) for r in coerced]
+        with ThreadPoolExecutor(max_workers=width) as pool:
+            return list(pool.map(self.answer, coerced))
+
+    # -- operations -------------------------------------------------------
+
+    def stats(self) -> ServiceStats:
+        """Snapshot of the serving counters."""
+        with self._lock:
+            queries, batches = self._queries, self._batches
+            total_time = self._total_time
+        return ServiceStats(
+            queries=queries,
+            batches=batches,
+            result_cache=self._result_cache.stats(),
+            probe_cache=self._probe_cache.stats(),
+            total_time=total_time,
+        )
+
+    def clear_caches(self) -> None:
+        """Drop both caches (hit/miss counters are kept)."""
+        self._result_cache.clear()
+        self._probe_cache.clear()

@@ -1,0 +1,145 @@
+"""Service request/response types.
+
+``QueryRequest`` is what callers hand :class:`~repro.service.WWTService`;
+``QueryResponse`` is what they get back — a page of consolidated answer
+rows plus per-stage timing, cache provenance, and (on request) an explain
+payload describing every decision the pipeline made.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+from ..consolidate.merge import AnswerRow
+from ..pipeline.wwt import QueryTiming, WWTAnswer
+from ..query.model import Query
+from ..text.tokenize import tokenize
+
+__all__ = ["QueryRequest", "QueryResponse", "normalized_query_key", "build_explain"]
+
+
+def normalized_query_key(query: Query) -> str:
+    """Canonical cache key: analyzer-normalized column keyword sets.
+
+    Two surface forms that tokenize identically (case, punctuation,
+    whitespace) share one cache entry — ``"Country | Currency"`` and
+    ``"country|currency"`` are the same query to the engine.
+    """
+    return " | ".join(
+        " ".join(tokenize(column)) for column in query.columns
+    )
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One query plus its serving options."""
+
+    query: Query
+    #: 1-based page of consolidated answer rows to return.
+    page: int = 1
+    #: Rows per page; ``None`` uses the service config's ``page_size``.
+    page_size: Optional[int] = None
+    #: Attach the explain payload (probe/mapping decisions) to the response.
+    explain: bool = False
+    #: Allow this request to be served from (and stored into) the caches.
+    use_cache: bool = True
+    #: Per-request inference override; ``None`` uses the config's choice.
+    inference: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.page < 1:
+            raise ValueError("page is 1-based and must be >= 1")
+        if self.page_size is not None and self.page_size < 1:
+            raise ValueError("page_size must be >= 1")
+
+    @classmethod
+    def parse(cls, text: str, **options: Any) -> "QueryRequest":
+        """Build a request from the paper's pipe syntax."""
+        return cls(query=Query.parse(text), **options)
+
+    @classmethod
+    def of(cls, query: Union["QueryRequest", Query, str]) -> "QueryRequest":
+        """Coerce a request, a :class:`Query`, or raw text to a request."""
+        if isinstance(query, QueryRequest):
+            return query
+        if isinstance(query, Query):
+            return cls(query=query)
+        return cls.parse(query)
+
+
+@dataclass
+class QueryResponse:
+    """One answered query: a page of rows plus serving metadata."""
+
+    query: Query
+    header: List[str]
+    rows: List[AnswerRow]
+    page: int
+    page_size: int
+    total_rows: int
+    timing: QueryTiming
+    algorithm: str
+    cache_hit: bool = False
+    #: Wall-clock seconds this request took to serve (cache hits included —
+    #: ``timing`` always describes the original computation).
+    served_in: float = 0.0
+    explain: Optional[Dict[str, Any]] = None
+
+    @property
+    def num_pages(self) -> int:
+        """Total pages at this page size (at least 1)."""
+        return max(1, math.ceil(self.total_rows / self.page_size))
+
+    @property
+    def has_next_page(self) -> bool:
+        """Are there rows beyond this page?"""
+        return self.page < self.num_pages
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form for CLI/serving output."""
+        return {
+            "query": str(self.query),
+            "header": list(self.header),
+            "rows": [
+                {"cells": list(row.cells), "support": row.support,
+                 "relevance": row.relevance}
+                for row in self.rows
+            ],
+            "page": self.page,
+            "page_size": self.page_size,
+            "total_rows": self.total_rows,
+            "num_pages": self.num_pages,
+            "algorithm": self.algorithm,
+            "cache_hit": self.cache_hit,
+            "served_in": self.served_in,
+            "timing": self.timing.as_dict(),
+            "explain": self.explain,
+        }
+
+
+def build_explain(answer: WWTAnswer) -> Dict[str, Any]:
+    """Assemble the explain payload from a full pipeline artifact."""
+    mapping = answer.mapping
+    relevant = []
+    for ti in mapping.relevant_tables():
+        table = answer.problem.tables[ti]
+        relevant.append({
+            "table_id": table.table_id,
+            "relevance": mapping.table_relevance_score(ti),
+            "column_mapping": {
+                ci: qc for ci, qc in sorted(mapping.table_mapping(ti).items())
+            },
+        })
+    return {
+        "algorithm": mapping.algorithm,
+        "num_candidates": answer.probe.num_candidates,
+        "stage1_ids": list(answer.probe.stage1_ids),
+        "stage2_ids": list(answer.probe.stage2_ids),
+        "used_second_stage": answer.probe.used_second_stage,
+        "seed_table_ids": list(answer.probe.seed_table_ids),
+        "num_columns": answer.problem.num_columns,
+        "num_edges": len(answer.problem.edges),
+        "relevant_tables": relevant,
+    }

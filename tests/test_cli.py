@@ -47,6 +47,21 @@ class TestCommands:
         assert "candidates:" in text
         assert "country | currency" in text
 
+    def test_bad_config_file_is_cli_error(self, capsys):
+        out = io.StringIO()
+        code = main(
+            ["query", "country | currency", "--config", "/nonexistent.json"],
+            out=out,
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_invalid_query_text_is_cli_error(self, capsys):
+        out = io.StringIO()
+        code = main(["query", "  |  ", "--scale", "0.02"], out=out)
+        assert code == 2
+        assert "column keyword" in capsys.readouterr().err
+
     def test_corpus_census_and_save(self, tmp_path):
         out = io.StringIO()
         path = tmp_path / "store.jsonl"

@@ -1,0 +1,356 @@
+"""Tests for the serving layer: EngineConfig, registry, caches, WWTService."""
+
+import time
+
+import pytest
+
+from repro.inference import ALGORITHMS, REGISTRY
+from repro.inference.registry import (
+    AlgorithmInfo,
+    InferenceRegistry,
+    UnknownAlgorithmError,
+)
+from repro.pipeline.wwt import WWTAnswer, WWTEngine
+from repro.query.model import Query
+from repro.service import (
+    EngineConfig,
+    LRUCache,
+    QueryRequest,
+    WWTService,
+    normalized_query_key,
+)
+
+
+class TestEngineConfig:
+    def test_defaults_valid(self):
+        config = EngineConfig()
+        assert config.inference == "table-centric"
+        assert config.caching_enabled
+
+    def test_round_trip(self):
+        config = EngineConfig(
+            inference="bp", cache_size=7, probe_cache_size=3,
+            max_workers=2, page_size=10,
+        )
+        data = config.to_dict()
+        assert data["inference"] == "bp"
+        assert EngineConfig.from_dict(data) == config
+
+    def test_round_trip_preserves_nested_tunables(self):
+        config = EngineConfig().replace(
+            params=EngineConfig().params.with_values(w1=2.0),
+        )
+        restored = EngineConfig.from_dict(config.to_dict())
+        assert restored.params.w1 == 2.0
+        assert restored == config
+
+    def test_from_dict_partial(self):
+        config = EngineConfig.from_dict({"inference": "none"})
+        assert config.inference == "none"
+        assert config.cache_size == EngineConfig().cache_size
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown EngineConfig keys"):
+            EngineConfig.from_dict({"inferenec": "bp"})
+        with pytest.raises(ValueError, match="unknown probe keys"):
+            EngineConfig.from_dict({"probe": {"stage1_limt": 5}})
+
+    def test_unknown_inference_rejected(self):
+        with pytest.raises(ValueError, match="unknown inference"):
+            EngineConfig(inference="nope")
+
+    def test_serving_knobs_validated(self):
+        with pytest.raises(ValueError):
+            EngineConfig(cache_size=-1)
+        with pytest.raises(ValueError):
+            EngineConfig(max_workers=0)
+        with pytest.raises(ValueError):
+            EngineConfig(page_size=0)
+
+
+class TestRegistry:
+    def test_decorator_registration_and_metadata(self):
+        registry = InferenceRegistry()
+
+        @registry.register("toy", exact=True, collective=False,
+                           description="test oracle")
+        def toy(problem):
+            return None
+
+        info = registry.info("toy")
+        assert isinstance(info, AlgorithmInfo)
+        assert info.fn is toy
+        assert info.capability == "exact"
+        assert not info.collective
+        assert registry["toy"] is toy
+        assert "toy" in registry and len(registry) == 1
+
+    def test_duplicate_registration_rejected(self):
+        registry = InferenceRegistry()
+        registry.add("x", lambda p: None)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.add("x", lambda p: None)
+        replacement = lambda p: None
+        registry.add("x", replacement, replace=True)
+        assert registry["x"] is replacement
+
+    def test_unknown_algorithm_error(self):
+        registry = InferenceRegistry()
+        with pytest.raises(UnknownAlgorithmError) as exc:
+            registry.get_algorithm("missing")
+        assert "missing" in str(exc.value)
+        # Back-compat: callers catching KeyError still work.
+        assert isinstance(exc.value, KeyError)
+
+    def test_default_registry_holds_table2_algorithms(self):
+        assert set(REGISTRY.names()) == {
+            "none", "alpha-expansion", "bp", "trws", "table-centric",
+        }
+        # The legacy dict constant is the registry itself.
+        assert ALGORITHMS is REGISTRY
+        assert dict(ALGORITHMS.items())["table-centric"] is (
+            REGISTRY.get_algorithm("table-centric")
+        )
+        assert not REGISTRY.info("none").collective
+        assert REGISTRY.info("table-centric").capability == "approximate"
+
+
+class TestLRUCache:
+    def test_hit_miss_counters(self):
+        cache = LRUCache(capacity=2)
+        assert cache.get("a") == (False, None)
+        cache.put("a", 1)
+        assert cache.get("a") == (True, 1)
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.misses == 1
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_lru_eviction_order(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a: b is now least-recent
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("a") == (True, 1)
+        assert cache.get("c") == (True, 3)
+
+    def test_zero_capacity_disables(self):
+        cache = LRUCache(capacity=0)
+        cache.put("a", 1)
+        assert not cache.enabled
+        assert cache.get("a") == (False, None)
+        assert len(cache) == 0
+
+    def test_clear_keeps_counters(self):
+        cache = LRUCache(capacity=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats().hits == 1
+
+
+class TestRequestTypes:
+    def test_normalized_key_collapses_surface_forms(self):
+        a = normalized_query_key(Query.parse("Country |  CURRENCY"))
+        b = normalized_query_key(Query.parse("country | currency"))
+        assert a == b
+
+    def test_request_validation(self):
+        with pytest.raises(ValueError):
+            QueryRequest.parse("a | b", page=0)
+        with pytest.raises(ValueError):
+            QueryRequest.parse("a | b", page_size=0)
+
+    def test_request_coercion(self):
+        request = QueryRequest.of("a | b")
+        assert request.query.columns == ("a", "b")
+        assert QueryRequest.of(request) is request
+        assert QueryRequest.of(Query.parse("a")).query.q == 1
+
+
+@pytest.fixture(scope="module")
+def service(small_env):
+    return WWTService(
+        small_env.synthetic.corpus,
+        EngineConfig(cache_size=64, probe_cache_size=64, max_workers=4),
+    )
+
+
+class TestWWTService:
+    def test_answer_shape(self, service):
+        response = service.answer("country | currency")
+        assert response.header == ["country", "currency"]
+        assert response.total_rows > 0
+        assert len(response.rows) <= response.page_size
+        assert response.algorithm == "table-centric"
+        assert response.timing.total >= response.timing.column_map
+
+    def test_cache_hit_on_normalized_repeat(self, small_env):
+        service = WWTService(small_env.synthetic.corpus)
+        cold = service.answer("country | gdp")
+        warm = service.answer("Country |  GDP")  # same normalized key
+        assert not cold.cache_hit
+        assert warm.cache_hit
+        assert [r.cells for r in warm.rows] == [r.cells for r in cold.rows]
+        stats = service.stats()
+        assert stats.result_cache.hits == 1
+        assert stats.result_cache.misses == 1
+
+    def test_cache_bypass(self, small_env):
+        service = WWTService(small_env.synthetic.corpus)
+        service.answer("dog breed")
+        bypass = service.answer(QueryRequest.parse("dog breed", use_cache=False))
+        assert not bypass.cache_hit
+
+    def test_inference_override_is_cached_separately(self, service):
+        a = service.answer(QueryRequest.parse("us states | capitals"))
+        b = service.answer(
+            QueryRequest.parse("us states | capitals", inference="none")
+        )
+        assert not b.cache_hit
+        assert b.algorithm == "none"
+        assert a.algorithm == "table-centric"
+
+    def test_pagination(self, service):
+        full = service.answer(QueryRequest.parse("country | currency",
+                                                 page_size=1000))
+        total = full.total_rows
+        page_size = max(1, total // 3)
+        seen = []
+        page = 1
+        while True:
+            response = service.answer(
+                QueryRequest.parse("country | currency",
+                                   page=page, page_size=page_size)
+            )
+            assert response.num_pages == -(-total // page_size)
+            seen.extend(tuple(r.cells) for r in response.rows)
+            if not response.has_next_page:
+                break
+            page += 1
+        assert seen == [tuple(r.cells) for r in full.rows]
+
+    def test_explain_payload(self, service):
+        response = service.answer(
+            QueryRequest.parse("country | currency", explain=True)
+        )
+        explain = response.explain
+        assert explain is not None
+        assert explain["algorithm"] == "table-centric"
+        assert explain["num_candidates"] >= len(explain["relevant_tables"])
+        for entry in explain["relevant_tables"]:
+            assert set(entry) == {"table_id", "relevance", "column_mapping"}
+
+    def test_answer_full_exposes_pipeline_artifact(self, service):
+        full = service.answer_full("country | currency")
+        assert isinstance(full, WWTAnswer)
+        assert full.problem is not None
+        assert full.probe.num_candidates >= 0
+
+    def test_batch_preserves_input_order(self, small_env):
+        service = WWTService(small_env.synthetic.corpus)
+        texts = ["country | currency", "dog breed", "country | gdp",
+                 "dog breed", "country | currency"]
+        responses = service.answer_batch(texts, max_workers=3)
+        assert [str(r.query) for r in responses] == texts
+        assert service.stats().batches == 1
+
+    def test_batch_empty(self, service):
+        assert service.answer_batch([]) == []
+
+    def test_batch_caching_speeds_up_repeats(self, small_env):
+        """Acceptance: >=20 workload queries, repeats measurably faster."""
+        service = WWTService(
+            small_env.synthetic.corpus,
+            EngineConfig(cache_size=128, probe_cache_size=128, max_workers=4),
+        )
+        queries = [wq.query for wq in small_env.queries[:20]]
+        assert len(queries) >= 20
+
+        start = time.perf_counter()
+        cold = service.answer_batch(queries)
+        cold_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        warm = service.answer_batch(queries)
+        warm_time = time.perf_counter() - start
+
+        assert all(not r.cache_hit for r in cold)
+        assert all(r.cache_hit for r in warm)
+        stats = service.stats()
+        assert stats.result_cache.hits >= len(queries)
+        assert warm_time < cold_time
+        # Warm rows are byte-identical to cold rows, in order.
+        for c, w in zip(cold, warm):
+            assert [r.cells for r in c.rows] == [r.cells for r in w.rows]
+
+    def test_single_flight_collapses_concurrent_duplicates(self, small_env):
+        service = WWTService(small_env.synthetic.corpus)
+        computations = []
+        original = service._compute
+
+        def counting_compute(query, name):
+            computations.append(str(query))
+            return original(query, name)
+
+        service._compute = counting_compute
+        responses = service.answer_batch(["country | currency"] * 4,
+                                         max_workers=4)
+        assert len(computations) == 1
+        assert sum(1 for r in responses if not r.cache_hit) == 1
+        assert sum(1 for r in responses if r.cache_hit) == 3
+
+    def test_probe_cache_hit_keeps_probe_timings(self, small_env):
+        service = WWTService(small_env.synthetic.corpus)
+        cold = service.answer("country | currency")
+        # Result-cache miss (different inference) but probe-cache hit: the
+        # probe stages must still report the original cost, not zero.
+        warm = service.answer(
+            QueryRequest.parse("country | currency", inference="none")
+        )
+        assert not warm.cache_hit
+        assert warm.timing.index1 == cold.timing.index1
+        assert warm.timing.read1 == cold.timing.read1
+        assert cold.timing.index1 > 0.0
+
+    def test_stats_to_dict(self, service):
+        data = service.stats().to_dict()
+        assert {"queries", "batches", "total_time",
+                "result_cache", "probe_cache"} <= set(data)
+
+    def test_clear_caches(self, small_env):
+        service = WWTService(small_env.synthetic.corpus)
+        service.answer("dog breed")
+        service.clear_caches()
+        response = service.answer("dog breed")
+        assert not response.cache_hit
+
+
+class TestEngineShim:
+    def test_deprecation_warning(self, small_env):
+        with pytest.warns(DeprecationWarning, match="WWTService"):
+            WWTEngine(small_env.synthetic.corpus)
+
+    def test_top_level_import_still_works(self):
+        import repro
+
+        assert repro.WWTEngine is WWTEngine
+
+    def test_answers_like_the_service(self, small_env):
+        with pytest.warns(DeprecationWarning):
+            engine = WWTEngine(small_env.synthetic.corpus)
+        query = Query.parse("country | currency")
+        old = engine.answer(query)
+        new = WWTService(small_env.synthetic.corpus).answer_full(query)
+        assert [r.cells for r in old.answer.rows] == (
+            [r.cells for r in new.answer.rows]
+        )
+        assert engine.inference_name == "table-centric"
+        assert engine.params == new.problem.params
+
+    def test_unknown_inference_still_valueerror(self, small_env):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError):
+                WWTEngine(small_env.synthetic.corpus, inference="nope")
