@@ -1,0 +1,226 @@
+"""Shard-count scaling sweep for the ``repro.index.sharded`` subsystem.
+
+Builds one synthetic corpus, then for each shard count measures:
+
+- **build**: partition + index + global-stats time,
+- **save / load**: persistence round-trip (load is the O(read) path a
+  production process start pays instead of O(re-index)),
+- **search p50/p95**: the raw scatter-gather disjunctive probe,
+- **probe p50/p95**: the full ``two_stage_probe`` (retrieval + confidence
+  + stage 2) — the latency the serving layer actually sees,
+
+and emits a machine-readable ``BENCH_shard_scaling.json`` so every PR
+records a perf datapoint (CI runs ``--smoke`` and uploads the artifact).
+
+Run standalone (no pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_shard_scaling.py --smoke
+    PYTHONPATH=src python benchmarks/bench_shard_scaling.py \
+        --scale 1.0 --shards 1 2 4 8 --out results/BENCH_shard_scaling.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.corpus.generator import CorpusConfig, generate_corpus  # noqa: E402
+from repro.index import build_corpus_index, load_corpus  # noqa: E402
+from repro.pipeline.probe import ProbeConfig, two_stage_probe  # noqa: E402
+from repro.query.workload import WORKLOAD  # noqa: E402
+
+
+def percentile(values, fraction):
+    """Nearest-rank percentile of a non-empty sample."""
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def build_one(tables, num_shards, probe_workers):
+    """Build, persist, and reload one shard count.
+
+    Returns ``(loaded_corpus, partial_metrics_row)``.
+    """
+    t0 = time.perf_counter()
+    corpus = build_corpus_index(tables, num_shards=num_shards)
+    build_s = time.perf_counter() - t0
+
+    with tempfile.TemporaryDirectory(prefix="bench_shards_") as tmp:
+        path = Path(tmp) / f"corpus-{num_shards}"
+        t0 = time.perf_counter()
+        corpus.save(path)
+        save_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        loaded = load_corpus(path, probe_workers=probe_workers)
+        load_s = time.perf_counter() - t0
+        size_bytes = sum(
+            f.stat().st_size for f in path.rglob("*") if f.is_file()
+        )
+
+    return loaded, {
+        "num_shards": num_shards,
+        "build_s": round(build_s, 4),
+        "save_s": round(save_s, 4),
+        "load_s": round(load_s, 4),
+        "size_kib": round(size_bytes / 1024.0, 1),
+    }
+
+
+def probe_all(corpora, queries, reps):
+    """Measure probe latency for every corpus, interleaved.
+
+    Each (rep, query) visits all shard counts back-to-back, so transient
+    machine load lands on every backend equally instead of skewing the one
+    sweep point that happened to run during it.  Per-query aggregation is
+    the minimum across reps — probes here are ~ms-scale, where scheduler
+    jitter would otherwise dominate the shard-count comparison — followed
+    by percentiles across queries.
+    """
+    search_by = {k: [[] for _ in queries] for k in corpora}
+    probe_by = {k: [[] for _ in queries] for k in corpora}
+    config = ProbeConfig(seed=0)
+    for _ in range(reps):
+        for qi, query in enumerate(queries):
+            tokens = query.all_tokens()
+            for k, loaded in corpora.items():
+                t0 = time.perf_counter()
+                loaded.search(tokens, limit=60)
+                search_by[k][qi].append((time.perf_counter() - t0) * 1000.0)
+                t0 = time.perf_counter()
+                two_stage_probe(query, loaded, config)
+                probe_by[k][qi].append((time.perf_counter() - t0) * 1000.0)
+
+    out = {}
+    for k in corpora:
+        search_ms = [min(samples) for samples in search_by[k]]
+        probe_ms = [min(samples) for samples in probe_by[k]]
+        out[k] = {
+            "search_p50_ms": round(percentile(search_ms, 0.50), 4),
+            "search_p95_ms": round(percentile(search_ms, 0.95), 4),
+            "search_mean_ms": round(statistics.mean(search_ms), 4),
+            "probe_p50_ms": round(percentile(probe_ms, 0.50), 4),
+            "probe_p95_ms": round(percentile(probe_ms, 0.95), 4),
+            "probe_mean_ms": round(statistics.mean(probe_ms), 4),
+        }
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=None,
+                        help="corpus scale factor (default 1.0)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--shards", type=int, nargs="+", default=None,
+                        help="shard counts to sweep (default: 1 2 4 8)")
+    parser.add_argument("--queries", type=int, default=None,
+                        help="workload queries to probe (default: all 59)")
+    parser.add_argument("--reps", type=int, default=None,
+                        help="probe repetitions per query (default 3)")
+    parser.add_argument("--probe-workers", type=int, default=1,
+                        help="scatter-gather thread width (default 1=serial)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast sweep for CI; fills any unset "
+                             "option with scale 0.15, shards 1 2 4, "
+                             "16 queries, 5 reps")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero when multi-shard probe p50 "
+                             "exceeds 1.2x single-shard (off by default: "
+                             "wall-clock ratios are jittery on shared CI "
+                             "runners, so the ratio is recorded, not gated)")
+    parser.add_argument("--out", metavar="PATH",
+                        default=str(REPO_ROOT / "results"
+                                    / "BENCH_shard_scaling.json"))
+    args = parser.parse_args(argv)
+
+    # --smoke only fills options the user left unset.
+    smoke_defaults = (0.15, [1, 2, 4], 16, 5)
+    full_defaults = (1.0, [1, 2, 4, 8], None, 3)
+    for name, value in zip(
+        ("scale", "shards", "queries", "reps"),
+        smoke_defaults if args.smoke else full_defaults,
+    ):
+        if getattr(args, name) is None:
+            setattr(args, name, value)
+
+    print(f"generating corpus (scale={args.scale}, seed={args.seed})...",
+          flush=True)
+    t0 = time.perf_counter()
+    synthetic = generate_corpus(CorpusConfig(seed=args.seed, scale=args.scale))
+    tables = list(synthetic.corpus.store)
+    generate_s = time.perf_counter() - t0
+    queries = [wq.query for wq in WORKLOAD[: args.queries]]
+    print(f"  {len(tables)} tables in {generate_s:.1f}s; "
+          f"probing {len(queries)} queries x {args.reps} reps", flush=True)
+
+    corpora, results = {}, []
+    try:
+        for k in args.shards:
+            corpora[k], row = build_one(tables, k, args.probe_workers)
+            results.append(row)
+        latencies = probe_all(corpora, queries, args.reps)
+    finally:
+        for loaded in corpora.values():
+            if hasattr(loaded, "close"):
+                loaded.close()
+    for row in results:
+        row.update(latencies[row["num_shards"]])
+        print(f"  shards={row['num_shards']}: build {row['build_s']:.2f}s "
+              f"load {row['load_s']:.2f}s "
+              f"search p50 {row['search_p50_ms']:.2f}ms "
+              f"probe p50 {row['probe_p50_ms']:.1f}ms "
+              f"p95 {row['probe_p95_ms']:.1f}ms", flush=True)
+
+    # Baseline is the 1-shard row when swept, else the smallest shard count
+    # — named explicitly in the output so the ratio is never mislabeled.
+    baseline = min(results, key=lambda r: r["num_shards"])
+    for row in results:
+        row["probe_p50_vs_baseline"] = round(
+            row["probe_p50_ms"] / max(baseline["probe_p50_ms"], 1e-9), 3
+        )
+
+    report = {
+        "benchmark": "shard_scaling",
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "config": {
+            "scale": args.scale,
+            "seed": args.seed,
+            "num_tables": len(tables),
+            "num_queries": len(queries),
+            "reps": args.reps,
+            "probe_workers": args.probe_workers,
+            "smoke": args.smoke,
+            "baseline_num_shards": baseline["num_shards"],
+        },
+        "results": results,
+    }
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2), encoding="utf-8")
+    print(f"wrote {out}")
+
+    worst = max(r["probe_p50_vs_baseline"] for r in results)
+    label = f"{baseline['num_shards']}-shard baseline"
+    print(f"worst probe p50 vs {label}: {worst:.2f}x")
+    if worst > 1.2:
+        print(f"WARNING: probe latency exceeds 1.2x the {label}",
+              file=sys.stderr)
+        if args.strict:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

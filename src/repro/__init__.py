@@ -17,7 +17,9 @@ Package map (see DESIGN.md for the full inventory):
 
 - :mod:`repro.html`, :mod:`repro.tables`, :mod:`repro.text` — offline
   extraction substrate (Section 2.1);
-- :mod:`repro.index` — Lucene-style fielded index + table store;
+- :mod:`repro.index` — Lucene-style fielded index + table store, with a
+  sharded, persistent backend (:class:`ShardedCorpus`, :func:`load_corpus`)
+  interchangeable with the monolithic one via :class:`CorpusProtocol`;
 - :mod:`repro.corpus` — the synthetic web crawl substitute;
 - :mod:`repro.query` — column-keyword queries + the 59-query workload;
 - :mod:`repro.core` — the graphical model (SegSim, PMI², potentials);
@@ -34,7 +36,14 @@ from .consolidate import AnswerRow, AnswerTable
 from .core import DEFAULT_PARAMS, ModelParams, build_problem
 from .corpus import CorpusConfig, GroundTruth, generate_corpus
 from .evaluation import build_environment, f1_error, run_method
-from .index import IndexedCorpus, build_corpus_index
+from .index import (
+    CorpusProtocol,
+    IndexedCorpus,
+    ShardedCorpus,
+    build_corpus_index,
+    build_sharded_corpus,
+    load_corpus,
+)
 from .inference import (
     ALGORITHMS,
     REGISTRY,
@@ -54,17 +63,19 @@ from .service import (
     WWTService,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ALGORITHMS",
     "AnswerRow",
     "AnswerTable",
     "CorpusConfig",
+    "CorpusProtocol",
     "DEFAULT_PARAMS",
     "EngineConfig",
     "GroundTruth",
     "IndexedCorpus",
+    "ShardedCorpus",
     "InferenceRegistry",
     "MappingResult",
     "ModelParams",
@@ -82,9 +93,11 @@ __all__ = [
     "build_corpus_index",
     "build_environment",
     "build_problem",
+    "build_sharded_corpus",
     "f1_error",
     "generate_corpus",
     "get_algorithm",
+    "load_corpus",
     "register_algorithm",
     "run_method",
     "__version__",

@@ -5,11 +5,14 @@ Commands
 ``query``    answer a column-keyword query against a generated corpus
 ``batch``    answer many queries through the service (caching + fan-out)
 ``corpus``   generate a corpus and print its census / save the table store
+``index``    ``build`` a persisted (optionally sharded) corpus; ``info`` it
 ``eval``     run one or more methods over the 59-query workload
 ``workload`` list the workload queries with their Table 1 statistics
 
 ``query`` and ``batch`` are fronted by :class:`repro.service.WWTService`;
-``--config`` loads a JSON :class:`~repro.service.EngineConfig`.
+``--config`` loads a JSON :class:`~repro.service.EngineConfig`, and
+``--index`` serves a corpus persisted by ``index build`` instead of
+generating one.
 """
 
 from __future__ import annotations
@@ -17,10 +20,13 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
+from pathlib import Path
 from typing import List, Optional, Sequence
 
 from .corpus.generator import CorpusConfig, generate_corpus
 from .evaluation.harness import METHODS, build_environment, run_method
+from .index.builder import read_manifest
 from .inference import REGISTRY
 from .query.model import Query
 from .query.workload import WORKLOAD
@@ -45,6 +51,9 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=REGISTRY.names())
         p.add_argument("--config", metavar="PATH", default=None,
                        help="JSON EngineConfig file (overrides --inference)")
+        p.add_argument("--index", metavar="DIR", default=None,
+                       help="serve a persisted corpus directory "
+                            "(see 'index build') instead of generating one")
 
     query = sub.add_parser("query", help="answer a column-keyword query")
     query.add_argument("text", help='e.g. "country | currency"')
@@ -67,6 +76,24 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--workers", type=int, default=None,
                        help="thread-pool width (default: config max_workers)")
 
+    index = sub.add_parser(
+        "index", help="build / inspect a persisted (sharded) corpus"
+    )
+    isub = index.add_subparsers(dest="index_command", required=True)
+    build = isub.add_parser(
+        "build", help="generate, shard, and persist a corpus directory"
+    )
+    build.add_argument("--out", metavar="DIR", required=True,
+                       help="output corpus directory")
+    build.add_argument("--scale", type=float, default=1.0,
+                       help="corpus scale factor (default 1.0)")
+    build.add_argument("--seed", type=int, default=42)
+    build.add_argument("--num-shards", type=int, default=None,
+                       help="hash-partition across N shards "
+                            "(default: monolithic single index)")
+    info = isub.add_parser("info", help="describe a persisted corpus")
+    info.add_argument("path", metavar="DIR", help="corpus directory")
+
     corpus = sub.add_parser("corpus", help="generate a corpus, print census")
     corpus.add_argument("--scale", type=float, default=1.0)
     corpus.add_argument("--seed", type=int, default=42)
@@ -84,13 +111,38 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _build_service(args: argparse.Namespace) -> WWTService:
-    """Corpus + EngineConfig -> service, honoring --config/--inference."""
+    """Corpus + EngineConfig -> service, honoring --config/--inference/--index.
+
+    Corpus precedence: ``--index DIR`` (persisted corpus), then the
+    config's ``index_path``, then a freshly generated synthetic corpus.
+    """
     if args.config:
         with open(args.config, "r", encoding="utf-8") as fh:
             config = EngineConfig.from_dict(json.load(fh))
     else:
         config = EngineConfig(inference=args.inference)
-    synthetic = generate_corpus(CorpusConfig(seed=args.seed, scale=args.scale))
+    def _warn_ignored_corpus_flags(source: str) -> None:
+        # A persisted corpus has its scale/seed baked in; flags that shape
+        # a generated corpus silently doing nothing would be a footgun.
+        if args.scale != 0.4 or args.seed != 42:
+            print(
+                f"note: serving persisted corpus from {source}; "
+                "--scale/--seed only affect generated corpora and were "
+                "ignored",
+                file=sys.stderr,
+            )
+
+    if args.index:
+        _warn_ignored_corpus_flags(args.index)
+        return WWTService(args.index, config)
+    if config.index_path:
+        _warn_ignored_corpus_flags(config.index_path)
+        return WWTService(config=config)
+    synthetic = generate_corpus(
+        CorpusConfig(seed=args.seed, scale=args.scale),
+        num_shards=config.num_shards,
+        probe_workers=config.probe_workers,
+    )
     return WWTService(synthetic.corpus, config)
 
 
@@ -170,6 +222,43 @@ def _cmd_corpus(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_index(args: argparse.Namespace, out) -> int:
+    if args.index_command == "build":
+        t0 = time.perf_counter()
+        synthetic = generate_corpus(
+            CorpusConfig(seed=args.seed, scale=args.scale),
+            num_shards=args.num_shards,
+        )
+        corpus = synthetic.corpus
+        generate_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        corpus.save(args.out)
+        persist_s = time.perf_counter() - t0
+        kind = "monolithic" if args.num_shards is None else (
+            f"{args.num_shards}-shard"
+        )
+        print(f"{corpus.num_tables} tables -> {kind} corpus at {args.out}",
+              file=out)
+        if args.num_shards is not None:
+            print(f"shard sizes: {corpus.shard_sizes()}", file=out)
+        print(f"generate+index {generate_s:.2f}s, persist {persist_s:.2f}s",
+              file=out)
+        return 0
+
+    manifest = read_manifest(args.path)
+    print(f"kind: {manifest['kind']}", file=out)
+    print(f"tables: {manifest['num_tables']}", file=out)
+    print(f"shards: {manifest['num_shards']}", file=out)
+    print(f"boosts: {manifest['boosts']}", file=out)
+    total_bytes = sum(
+        f.stat().st_size for f in Path(args.path).rglob("*") if f.is_file()
+    )
+    for entry in manifest["shards"]:
+        print(f"  {entry['dir']}: {entry['num_tables']} tables", file=out)
+    print(f"size on disk: {total_bytes / 1024:.0f} KiB", file=out)
+    return 0
+
+
 def _cmd_eval(args: argparse.Namespace, out) -> int:
     env = build_environment(scale=args.scale, seed=args.seed)
     print(f"corpus: {env.synthetic.num_tables} tables; "
@@ -199,6 +288,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         "query": _cmd_query,
         "batch": _cmd_batch,
         "corpus": _cmd_corpus,
+        "index": _cmd_index,
         "eval": _cmd_eval,
         "workload": _cmd_workload,
     }

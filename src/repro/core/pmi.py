@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
-from ..index.inverted import InvertedIndex
 from ..tables.table import WebTable
 from ..text.tokenize import tokenize
 
@@ -26,9 +25,16 @@ __all__ = ["PmiScorer"]
 
 
 class PmiScorer:
-    """Computes PMI² scores against a corpus index, with caching."""
+    """Computes PMI² scores against a corpus index, with caching.
 
-    def __init__(self, index: InvertedIndex, max_rows: int = 30) -> None:
+    ``index`` is anything exposing ``docs_containing_all(terms, fields)`` —
+    a bare :class:`~repro.index.inverted.InvertedIndex`, the monolithic
+    :class:`~repro.index.IndexedCorpus`, or the scatter-gather
+    :class:`~repro.index.ShardedCorpus` (whose union-over-shards
+    conjunction returns the identical set).
+    """
+
+    def __init__(self, index, max_rows: int = 30) -> None:
         self.index = index
         self.max_rows = max_rows
         self._h_cache: Dict[str, frozenset] = {}

@@ -14,7 +14,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..html.parser import parse_html
-from ..index.builder import IndexedCorpus, build_corpus_index
+from ..index.builder import build_corpus_index
+from ..index.protocol import CorpusProtocol
 from ..tables.extractor import ExtractionCensus, extract_tables
 from ..tables.table import WebTable
 from .domains import REGISTRY, Domain
@@ -40,9 +41,16 @@ class CorpusConfig:
 
 @dataclass
 class SyntheticCorpus:
-    """The generated corpus bundle."""
+    """The generated corpus bundle.
 
-    corpus: IndexedCorpus
+    ``corpus`` is an :class:`IndexedCorpus` by default, or a
+    :class:`~repro.index.sharded.ShardedCorpus` when ``generate_corpus``
+    was called with ``num_shards`` — callers that reach past the
+    :class:`CorpusProtocol` surface (``.index`` / ``.store``) must build
+    monolithic.
+    """
+
+    corpus: CorpusProtocol
     pages: List[GeneratedPage]
     provenance: Dict[str, TableProvenance]
     census: ExtractionCensus
@@ -62,12 +70,18 @@ def _scaled_pages(domain: Domain, scale: float) -> int:
 def generate_corpus(
     config: CorpusConfig = CorpusConfig(),
     registry: Optional[Dict[str, Domain]] = None,
+    num_shards: Optional[int] = None,
+    probe_workers: int = 1,
 ) -> SyntheticCorpus:
     """Generate, extract, and index the synthetic corpus.
 
     Returns a :class:`SyntheticCorpus` whose ``provenance`` maps every
     extracted table id to the generator's knowledge about it — the basis for
     exact ground truth.
+
+    ``num_shards``/``probe_workers`` pass through to
+    :func:`~repro.index.builder.build_corpus_index`, so a sharded corpus is
+    indexed once here rather than generated monolithic and re-indexed.
     """
     registry = registry if registry is not None else REGISTRY
     rng = random.Random(config.seed)
@@ -114,7 +128,9 @@ def generate_corpus(
                 is_distractor=page.is_distractor,
             )
 
-    corpus = build_corpus_index(tables)
+    corpus = build_corpus_index(
+        tables, num_shards=num_shards, probe_workers=probe_workers
+    )
     return SyntheticCorpus(
         corpus=corpus, pages=pages, provenance=provenance, census=census
     )

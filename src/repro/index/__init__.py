@@ -1,14 +1,27 @@
-"""Index substrate: fielded inverted index, table store, corpus builder."""
+"""Index substrate: fielded inverted index, table store, corpus builders.
+
+Two interchangeable backends implement :class:`CorpusProtocol`:
+:class:`IndexedCorpus` (one in-memory index) and :class:`ShardedCorpus`
+(hash-partitioned scatter-gather over N of them, with directory
+persistence via ``save``/:func:`load_corpus`).
+"""
 
 from .builder import IndexedCorpus, build_corpus_index
 from .inverted import FIELD_BOOSTS, InvertedIndex, SearchHit
+from .protocol import CorpusProtocol
+from .sharded import ShardedCorpus, build_sharded_corpus, load_corpus, shard_of
 from .store import TableStore
 
 __all__ = [
+    "CorpusProtocol",
     "FIELD_BOOSTS",
     "IndexedCorpus",
     "InvertedIndex",
     "SearchHit",
+    "ShardedCorpus",
     "TableStore",
     "build_corpus_index",
+    "build_sharded_corpus",
+    "load_corpus",
+    "shard_of",
 ]

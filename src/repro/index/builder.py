@@ -5,20 +5,39 @@ Ties the offline half of Figure 2 together: given :class:`WebTable` objects
 :class:`~repro.index.inverted.InvertedIndex`, the
 :class:`~repro.index.store.TableStore`, and the corpus-wide
 :class:`~repro.text.tfidf.TermStatistics` every feature shares.
+
+:class:`IndexedCorpus` implements the backend contract of
+:class:`~repro.index.protocol.CorpusProtocol`; ``build_corpus_index`` can
+alternatively produce a hash-partitioned
+:class:`~repro.index.sharded.ShardedCorpus` (``num_shards=``) and persist
+either kind to a directory (``save=``) for O(read) reloads.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Set, Union
 
 from ..tables.table import WebTable
 from ..text.tfidf import TermStatistics
 from ..text.tokenize import tokenize
-from .inverted import FIELD_BOOSTS, InvertedIndex
+from .inverted import FIELD_BOOSTS, InvertedIndex, SearchHit
 from .store import TableStore
 
-__all__ = ["IndexedCorpus", "build_corpus_index"]
+__all__ = ["IndexedCorpus", "build_corpus_index", "INDEX_FORMAT", "INDEX_VERSION"]
+
+#: Manifest ``format`` marker of the persisted corpus directory layout.
+INDEX_FORMAT = "repro-index"
+#: Manifest ``version``; bump on incompatible layout changes.
+INDEX_VERSION = 1
+
+#: File names inside a persisted corpus directory (see DESIGN.md).
+MANIFEST_FILE = "manifest.json"
+STATS_FILE = "stats.json"
+SHARD_INDEX_FILE = "index.json"
+SHARD_TABLES_FILE = "tables.jsonl"
 
 
 @dataclass
@@ -34,27 +53,271 @@ class IndexedCorpus:
         """Number of tables in the corpus."""
         return len(self.store)
 
+    # -- CorpusProtocol --------------------------------------------------------
+
+    def search(
+        self,
+        terms: Sequence[str],
+        limit: int = 100,
+        fields: Optional[Iterable[str]] = None,
+    ) -> List[SearchHit]:
+        """Disjunctive boosted TF-IDF retrieval (delegates to the index)."""
+        return self.index.search(terms, limit=limit, fields=fields)
+
+    def docs_containing_all(
+        self, terms: Sequence[str], fields: Iterable[str]
+    ) -> Set[str]:
+        """Conjunctive containment probe (delegates to the index)."""
+        return self.index.docs_containing_all(terms, fields)
+
+    def get_table(self, table_id: str) -> WebTable:
+        """Fetch one table by id (KeyError if absent)."""
+        return self.store.get(table_id)
+
+    def get_many(self, table_ids: Iterable[str]) -> List[WebTable]:
+        """Fetch several tables, preserving input order, skipping unknowns."""
+        return self.store.get_many(table_ids)
+
+    def ids(self) -> List[str]:
+        """All table ids in insertion order."""
+        return self.store.ids()
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Persist to a directory (manifest + one shard snapshot).
+
+        The layout is the single-shard case of the sharded layout, so a
+        monolithic corpus and a ``ShardedCorpus`` share one on-disk format
+        (and one writer, :func:`save_corpus_dir`);
+        ``repro.index.sharded.load_corpus`` dispatches on the manifest's
+        ``kind``.
+        """
+        return save_corpus_dir(
+            path, [(self.index, self.store)], self.stats, kind="monolithic"
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "IndexedCorpus":
+        """Load a corpus saved by :meth:`save` (O(read), no re-indexing)."""
+        path = Path(path)
+        manifest = read_manifest(path)
+        if manifest["kind"] != "monolithic":
+            raise ValueError(
+                f"{path} holds a {manifest['kind']!r} corpus; "
+                "use repro.index.sharded.load_corpus"
+            )
+        stats = load_stats(path)
+        index, store = _load_shard(path / manifest["shards"][0]["dir"])
+        return cls(index=index, store=store, stats=stats)
+
+
+# -- shared persistence helpers (used by ShardedCorpus too) --------------------
+
+
+def _save_shard(shard_dir: Path, index: InvertedIndex, store: TableStore) -> None:
+    """Write one shard's index snapshot + table store under ``shard_dir``."""
+    shard_dir.mkdir(parents=True, exist_ok=True)
+    (shard_dir / SHARD_INDEX_FILE).write_text(
+        json.dumps(index.to_dict()), encoding="utf-8"
+    )
+    store.save(shard_dir / SHARD_TABLES_FILE)
+
+
+def _load_shard(shard_dir: Path) -> tuple:
+    """Read one shard written by :func:`_save_shard`.
+
+    Corrupt snapshots (truncated writes, hand edits) surface as
+    ``ValueError`` naming the file — matching ``TableStore.load`` and
+    :func:`read_manifest` — so the CLI reports them as errors, not
+    tracebacks.
+    """
+    index_path = shard_dir / SHARD_INDEX_FILE
+    try:
+        index = InvertedIndex.from_dict(
+            json.loads(index_path.read_text(encoding="utf-8"))
+        )
+    except (json.JSONDecodeError, KeyError, TypeError, AttributeError) as exc:
+        raise ValueError(
+            f"{index_path}: corrupt index snapshot: {exc!r}"
+        ) from exc
+    store = TableStore.load(shard_dir / SHARD_TABLES_FILE)
+    return index, store
+
+
+def load_stats(path: Path) -> TermStatistics:
+    """Read the shared ``stats.json`` of a persisted corpus directory."""
+    stats_path = Path(path) / STATS_FILE
+    try:
+        return TermStatistics.from_dict(
+            json.loads(stats_path.read_text(encoding="utf-8"))
+        )
+    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        raise ValueError(
+            f"{stats_path}: corrupt term statistics: {exc!r}"
+        ) from exc
+
+
+def save_corpus_dir(
+    path: Union[str, Path],
+    shard_pairs: Sequence[tuple],
+    stats: TermStatistics,
+    kind: str,
+) -> Path:
+    """Write the persisted corpus layout — the one writer for both kinds.
+
+    ``shard_pairs`` is a list of ``(InvertedIndex, TableStore)`` tuples, one
+    per shard; ``kind`` is ``"monolithic"`` or ``"sharded"``.
+
+    The write is crash-safe: everything (manifest last) goes into a
+    temporary sibling directory which is then swapped into place, so an
+    interrupted save never destroys an existing corpus at ``path`` and
+    never leaves a half-written one behind — at worst the temp/backup
+    sibling remains for manual cleanup.  Stale shards from a previous save
+    can't survive either, since the directory is replaced wholesale.
+    """
+    import shutil
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.parent / f".{path.name}.saving"
+    backup = path.parent / f".{path.name}.replaced"
+    if backup.exists():
+        if path.exists():
+            shutil.rmtree(backup)
+        else:
+            # A previous save crashed between the two renames: the backup
+            # is the only surviving copy.  Restore it instead of deleting
+            # it, so a retried save can never destroy the last good corpus.
+            backup.rename(path)
+    if tmp.exists():
+        shutil.rmtree(tmp)
+    tmp.mkdir()
+    shard_entries = []
+    for i, (index, store) in enumerate(shard_pairs):
+        shard_dir = tmp / f"shard-{i:04d}"
+        _save_shard(shard_dir, index, store)
+        shard_entries.append({"dir": shard_dir.name, "num_tables": len(store)})
+    (tmp / STATS_FILE).write_text(
+        json.dumps(stats.to_dict()), encoding="utf-8"
+    )
+    manifest = {
+        "format": INDEX_FORMAT,
+        "version": INDEX_VERSION,
+        "kind": kind,
+        "num_shards": len(shard_entries),
+        "num_tables": sum(e["num_tables"] for e in shard_entries),
+        "boosts": dict(shard_pairs[0][0].boosts),
+        "shards": shard_entries,
+    }
+    (tmp / MANIFEST_FILE).write_text(
+        json.dumps(manifest, indent=2), encoding="utf-8"
+    )
+    if path.exists():
+        path.rename(backup)
+    tmp.rename(path)
+    if backup.exists():
+        shutil.rmtree(backup)
+    return path
+
+
+#: Manifest keys every loader indexes unconditionally.
+_MANIFEST_REQUIRED = ("kind", "num_shards", "num_tables", "boosts", "shards")
+
+
+def read_manifest(path: Union[str, Path]) -> dict:
+    """Read and validate a persisted corpus manifest."""
+    path = Path(path)
+    manifest_path = path / MANIFEST_FILE
+    if not manifest_path.is_file():
+        raise ValueError(f"{path} is not a persisted corpus (no {MANIFEST_FILE})")
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{manifest_path}: invalid manifest JSON: {exc}") from exc
+    if manifest.get("format") != INDEX_FORMAT:
+        raise ValueError(
+            f"{manifest_path}: unexpected format {manifest.get('format')!r}"
+        )
+    if manifest.get("version") != INDEX_VERSION:
+        raise ValueError(
+            f"{manifest_path}: unsupported version {manifest.get('version')!r} "
+            f"(this build reads version {INDEX_VERSION})"
+        )
+    missing = [k for k in _MANIFEST_REQUIRED if k not in manifest]
+    if missing:
+        raise ValueError(
+            f"{manifest_path}: manifest is missing required keys {missing} "
+            "(truncated write or hand edit?)"
+        )
+    shards = manifest["shards"]
+    if not isinstance(shards, list) or not all(
+        isinstance(e, dict) and "dir" in e for e in shards
+    ):
+        raise ValueError(
+            f"{manifest_path}: malformed 'shards' list — every entry needs "
+            "a 'dir' key"
+        )
+    return manifest
+
+
+def _index_one(
+    table: WebTable,
+    index: InvertedIndex,
+    store: TableStore,
+    stats: TermStatistics,
+) -> None:
+    """Analyze one table into an index + store + shared stats.
+
+    The single analysis path used by BOTH the monolithic and the sharded
+    builders — one document with the three boosted fields of Section 2.1,
+    document frequencies counting each table once per term across all its
+    fields.  Keeping it shared is what makes the sharded build's "analyzed
+    exactly as the monolithic build" guarantee structural rather than a
+    convention two loops must honor.
+    """
+    store.add(table)
+    fields = {
+        name: tokenize(table.field_text(name))
+        for name in ("header", "context", "content")
+    }
+    index.add_document(table.table_id, fields)
+    stats.add_document([t for toks in fields.values() for t in toks])
+
 
 def build_corpus_index(
-    tables: Iterable[WebTable], boosts: Optional[dict] = None
-) -> IndexedCorpus:
-    """Index ``tables`` into an :class:`IndexedCorpus`.
+    tables: Iterable[WebTable],
+    boosts: Optional[dict] = None,
+    num_shards: Optional[int] = None,
+    save: Optional[Union[str, Path]] = None,
+    probe_workers: int = 1,
+):
+    """Index ``tables`` into a queryable corpus.
 
     Each table becomes one document with the three boosted fields of
     Section 2.1; document frequencies for the shared TF-IDF space count each
     table once per term across all its fields.
+
+    ``num_shards=None`` (the default) returns the classic monolithic
+    :class:`IndexedCorpus`; an integer returns a
+    :class:`~repro.index.sharded.ShardedCorpus` hash-partitioned over that
+    many shards (ranking-equivalent — see DESIGN.md) with
+    ``probe_workers``-wide scatter-gather.  ``save=`` additionally persists
+    the built corpus to that directory.
     """
-    index = InvertedIndex(boosts or FIELD_BOOSTS)
-    store = TableStore()
-    stats = TermStatistics()
-    for table in tables:
-        store.add(table)
-        fields = {
-            name: tokenize(table.field_text(name))
-            for name in ("header", "context", "content")
-        }
-        index.add_document(table.table_id, fields)
-        stats.add_document(
-            [t for toks in fields.values() for t in toks]
+    if num_shards is not None:
+        from .sharded import build_sharded_corpus
+
+        corpus = build_sharded_corpus(
+            tables, num_shards, boosts=boosts, probe_workers=probe_workers
         )
-    return IndexedCorpus(index=index, store=store, stats=stats)
+    else:
+        index = InvertedIndex(boosts or FIELD_BOOSTS)
+        store = TableStore()
+        stats = TermStatistics()
+        for table in tables:
+            _index_one(table, index, store, stats)
+        corpus = IndexedCorpus(index=index, store=store, stats=stats)
+    if save is not None:
+        corpus.save(save)
+    return corpus

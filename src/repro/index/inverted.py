@@ -18,15 +18,36 @@ from __future__ import annotations
 
 import math
 from collections import Counter, defaultdict
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..text.tfidf import TermStatistics
 from ..text.tokenize import tokenize
 
-__all__ = ["FIELD_BOOSTS", "SearchHit", "InvertedIndex"]
+__all__ = ["FIELD_BOOSTS", "SearchHit", "InvertedIndex", "lucene_idf"]
 
 #: Field boosts from Section 2.1.
 FIELD_BOOSTS: Dict[str, float] = {"header": 2.0, "context": 1.5, "content": 1.0}
+
+
+def lucene_idf(num_docs: int, df: int) -> float:
+    """Lucene-classic ``idf = 1 + ln(N / (df + 1))``.
+
+    The one shared definition: :meth:`InvertedIndex.idf` evaluates it with
+    index-local counts, ``ShardedCorpus.global_idf`` with corpus-global
+    counts — keeping them textually identical is what guarantees sharded
+    and monolithic rankings stay bit-identical.
+    """
+    return 1.0 + math.log(num_docs / (df + 1.0))
 
 
 class SearchHit:
@@ -90,7 +111,7 @@ class InvertedIndex:
 
     def idf(self, term: str) -> float:
         """Lucene-classic idf across all fields."""
-        return 1.0 + math.log(self.num_docs / (self.document_frequency(term) + 1.0))
+        return lucene_idf(self.num_docs, self.document_frequency(term))
 
     def term_statistics(self) -> TermStatistics:
         """Export corpus-wide document frequencies as :class:`TermStatistics`.
@@ -116,15 +137,23 @@ class InvertedIndex:
         terms: Sequence[str],
         limit: int = 100,
         fields: Optional[Iterable[str]] = None,
+        idf: Optional[Callable[[str], float]] = None,
     ) -> List[SearchHit]:
         """Disjunctive (OR) boosted TF-IDF retrieval.
 
         ``terms`` should already be analyzed (lower-case tokens); duplicates
         are collapsed.  Returns at most ``limit`` hits, best first, ties
         broken by doc id for determinism.
+
+        ``idf`` overrides the per-term IDF (default: this index's own
+        :meth:`idf`).  A sharded corpus passes a corpus-global IDF here so
+        every shard scores documents exactly as one monolithic index would —
+        tf, field length, and boost are per-document quantities, so a global
+        IDF is the only ingredient needed for shard-invariant scores.
         """
         if self.num_docs == 0:
             return []
+        idf_of = idf if idf is not None else self.idf
         wanted = list(dict.fromkeys(terms))
         scores: Dict[str, float] = defaultdict(float)
         per_field: Dict[str, Dict[str, float]] = defaultdict(lambda: defaultdict(float))
@@ -135,10 +164,10 @@ class InvertedIndex:
                 postings = self._postings[field].get(term)
                 if not postings:
                     continue
-                idf = self.idf(term)
+                term_idf = idf_of(term)
                 for doc_id, tf in postings.items():
                     norm = 1.0 / math.sqrt(max(lengths.get(doc_id, 1), 1))
-                    contrib = boost * math.sqrt(tf) * idf * idf * norm
+                    contrib = boost * math.sqrt(tf) * term_idf * term_idf * norm
                     scores[doc_id] += contrib
                     per_field[doc_id][field] += contrib
         ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))[:limit]
@@ -174,3 +203,45 @@ class InvertedIndex:
     def postings(self, field: str, term: str) -> Dict[str, int]:
         """Raw posting list (doc -> tf) for inspection and tests."""
         return dict(self._postings.get(field, {}).get(term, {}))
+
+    # -- persistence -----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible snapshot of the full posting structure.
+
+        Loading a snapshot (:meth:`from_dict`) restores the index in O(read)
+        — no re-tokenization, no re-counting — which is what makes a
+        persisted corpus cheap to open.
+        """
+        return {
+            "boosts": dict(self.boosts),
+            "doc_ids": sorted(self._doc_ids),
+            "field_lengths": {
+                f: dict(lengths) for f, lengths in self._field_lengths.items()
+            },
+            "postings": {
+                f: {t: dict(p) for t, p in terms.items()}
+                for f, terms in self._postings.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "InvertedIndex":
+        """Inverse of :meth:`to_dict`."""
+        index = cls(boosts={str(f): float(b) for f, b in dict(data["boosts"]).items()})
+        index._doc_ids = set(data["doc_ids"])
+        for field, lengths in dict(data["field_lengths"]).items():
+            if field in index._field_lengths:
+                index._field_lengths[field] = {
+                    str(d): int(n) for d, n in dict(lengths).items()
+                }
+        for field, terms in dict(data["postings"]).items():
+            if field in index._postings:
+                index._postings[field] = defaultdict(
+                    dict,
+                    {
+                        str(t): {str(d): int(tf) for d, tf in dict(p).items()}
+                        for t, p in dict(terms).items()
+                    },
+                )
+        return index

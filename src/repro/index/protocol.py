@@ -1,0 +1,68 @@
+"""The corpus backend contract shared by monolithic and sharded indexes.
+
+``two_stage_probe`` (Section 2.2.1) and the PMI² containment probes
+(Section 3.2.3) only need five operations from a corpus: disjunctive ranked
+retrieval, conjunctive containment, table reads, and the corpus-global
+:class:`~repro.text.tfidf.TermStatistics` that keeps every similarity's IDF
+weights comparable.  :class:`CorpusProtocol` names that contract so the
+pipeline is written once and runs unchanged against
+:class:`~repro.index.builder.IndexedCorpus` (one in-memory index) or
+:class:`~repro.index.sharded.ShardedCorpus` (hash-partitioned scatter-gather
+over N of them).
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Set,
+    runtime_checkable,
+)
+
+from ..tables.table import WebTable
+from ..text.tfidf import TermStatistics
+from .inverted import SearchHit
+
+__all__ = ["CorpusProtocol"]
+
+
+@runtime_checkable
+class CorpusProtocol(Protocol):
+    """What a corpus backend must provide to serve the query pipeline."""
+
+    #: Corpus-global document-frequency table.  Both backends expose the
+    #: statistics of the *whole* corpus here (never of one shard), which is
+    #: the invariant that keeps scores backend-invariant.
+    stats: TermStatistics
+
+    @property
+    def num_tables(self) -> int:
+        """Number of tables in the corpus."""
+        ...
+
+    def search(
+        self,
+        terms: Sequence[str],
+        limit: int = 100,
+        fields: Optional[Iterable[str]] = None,
+    ) -> List[SearchHit]:
+        """Disjunctive boosted TF-IDF retrieval: top ``limit`` hits."""
+        ...
+
+    def docs_containing_all(
+        self, terms: Sequence[str], fields: Iterable[str]
+    ) -> Set[str]:
+        """Conjunctive containment probe: ids of tables holding every term."""
+        ...
+
+    def get_table(self, table_id: str) -> WebTable:
+        """Fetch one table by id (KeyError if absent)."""
+        ...
+
+    def get_many(self, table_ids: Iterable[str]) -> List[WebTable]:
+        """Fetch several tables, preserving input order, skipping unknowns."""
+        ...

@@ -1,0 +1,333 @@
+"""``repro.index.sharded`` — hash-partitioned corpus with scatter-gather probes.
+
+The paper's engine fronts a 25M-table crawl; one in-memory
+:class:`~repro.index.builder.IndexedCorpus` rebuilt per process start does
+not scale to that.  :class:`ShardedCorpus` partitions tables across N
+independent ``IndexedCorpus`` shards by a stable hash of the table id and
+answers the pipeline's probes by scatter-gather:
+
+- **Disjunctive ranked probe** (:meth:`ShardedCorpus.search`): every shard
+  retrieves its local top-``limit`` with the *corpus-global* IDF, then a
+  global merge re-sorts by ``(-score, doc_id)`` and truncates.  Because tf,
+  field length, and field boost are per-document quantities and the IDF is
+  computed from corpus-global document frequencies (each document lives in
+  exactly one shard, so global df is the sum of shard dfs), per-document
+  scores are bit-identical to the monolithic index — the merge reproduces
+  single-index ranking exactly, not approximately.
+- **Conjunctive containment probe** (:meth:`docs_containing_all`): each
+  shard intersects locally; the union over shards is the global conjunction
+  (again because shards partition the documents).
+
+``probe_workers > 1`` fans the scatter across a persistent thread pool —
+worthwhile once shards are large or back disk/remote storage; for small
+in-memory shards the serial loop (the default) is faster than thread
+dispatch.
+
+Persistence is a directory (see DESIGN.md): ``manifest.json`` +
+``stats.json`` (the shared :class:`~repro.text.tfidf.TermStatistics`) +
+one ``shard-NNNN/`` per shard holding an index snapshot (``index.json``)
+and the table store (``tables.jsonl``).  :func:`load_corpus` opens either a
+monolithic or a sharded layout in O(read).
+"""
+
+from __future__ import annotations
+
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Union
+
+from ..tables.table import WebTable
+from ..text.tfidf import TermStatistics
+from .builder import (
+    IndexedCorpus,
+    _index_one,
+    _load_shard,
+    load_stats,
+    read_manifest,
+    save_corpus_dir,
+)
+from .inverted import FIELD_BOOSTS, InvertedIndex, SearchHit, lucene_idf
+from .store import TableStore
+
+__all__ = ["ShardedCorpus", "build_sharded_corpus", "load_corpus", "shard_of"]
+
+
+def shard_of(table_id: str, num_shards: int) -> int:
+    """Stable shard assignment for a table id.
+
+    CRC32 (not Python's salted ``hash``) so the partition is identical
+    across processes, platforms, and persisted corpora.
+    """
+    return zlib.crc32(table_id.encode("utf-8")) % num_shards
+
+
+class ShardedCorpus:
+    """N :class:`IndexedCorpus` shards behind one ``CorpusProtocol`` front.
+
+    Every shard's ``stats`` attribute is the *shared corpus-global*
+    :class:`TermStatistics`, and every probe scores with the corpus-global
+    IDF — the invariant that makes rankings shard-invariant.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[IndexedCorpus],
+        stats: TermStatistics,
+        probe_workers: int = 1,
+        validate: bool = True,
+    ) -> None:
+        if not shards:
+            raise ValueError("a ShardedCorpus needs at least one shard")
+        if probe_workers < 1:
+            raise ValueError("probe_workers must be >= 1")
+        self.shards: List[IndexedCorpus] = list(shards)
+        # Table access routes by shard_of(), so the shards MUST be the
+        # CRC32 partition — arbitrary shard lists (e.g. two independently
+        # built corpora glued together) would make get_table/get_many miss
+        # silently.  Fail loudly at construction instead.  The trusted
+        # paths (build_sharded_corpus, load) pass validate=False: their
+        # partition is correct by construction, and the O(num_tables) check
+        # would defeat the O(read) load this module exists to provide.
+        if validate:
+            for si, shard in enumerate(self.shards):
+                for table_id in shard.store.ids():
+                    expected = shard_of(table_id, len(self.shards))
+                    if expected != si:
+                        raise ValueError(
+                            f"table {table_id!r} is in shard {si} but hashes "
+                            f"to shard {expected}; shards must follow "
+                            "shard_of() (use build_sharded_corpus to "
+                            "partition)"
+                        )
+        self.stats = stats
+        self.probe_workers = probe_workers
+        self._num_tables = sum(s.num_tables for s in self.shards)
+        self._idf_cache: Dict[str, float] = {}
+        # Created eagerly (not lazily) so concurrent first probes — e.g.
+        # WWTService.answer_batch fanning out over this corpus — can't race
+        # a lazy init and leak a second pool.
+        self._executor: Optional[ThreadPoolExecutor] = None
+        if self.probe_workers > 1 and self.num_shards > 1:
+            self._executor = ThreadPoolExecutor(
+                max_workers=min(self.probe_workers, self.num_shards),
+                thread_name_prefix="shard-probe",
+            )
+
+    # -- shape -----------------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards."""
+        return len(self.shards)
+
+    @property
+    def num_tables(self) -> int:
+        """Number of tables across all shards."""
+        return self._num_tables
+
+    def shard_sizes(self) -> List[int]:
+        """Per-shard table counts (partition balance diagnostics)."""
+        return [s.num_tables for s in self.shards]
+
+    # -- scatter-gather machinery ----------------------------------------------
+
+    def _map_shards(self, fn: Callable[[IndexedCorpus], object]) -> List[object]:
+        """Apply ``fn`` to every shard, in shard order."""
+        if self._executor is not None:
+            return list(self._executor.map(fn, self.shards))
+        return [fn(shard) for shard in self.shards]
+
+    def global_idf(self, term: str) -> float:
+        """Lucene-classic IDF from corpus-global document frequencies.
+
+        Same :func:`~repro.index.inverted.lucene_idf` expression as
+        :meth:`InvertedIndex.idf`, evaluated over the whole corpus (each
+        document lives in exactly one shard, so global df is the sum of
+        shard dfs); cached because the posting structure is immutable
+        after construction.
+        """
+        cached = self._idf_cache.get(term)
+        if cached is None:
+            df = sum(s.index.document_frequency(term) for s in self.shards)
+            cached = lucene_idf(self._num_tables, df)
+            self._idf_cache[term] = cached
+        return cached
+
+    # -- CorpusProtocol --------------------------------------------------------
+
+    def search(
+        self,
+        terms: Sequence[str],
+        limit: int = 100,
+        fields: Optional[Iterable[str]] = None,
+    ) -> List[SearchHit]:
+        """Parallel scatter-gather disjunctive retrieval.
+
+        Each shard returns its local top-``limit`` scored with
+        :meth:`global_idf`; the gather concatenates, re-sorts by
+        ``(-score, doc_id)``, and truncates.  Any document in the global
+        top-``limit`` is necessarily in its own shard's top-``limit``
+        (a shard holds a subset of its competitors), so the merge equals
+        the monolithic ranking.
+        """
+        if self._num_tables == 0:
+            return []
+        field_list = list(fields) if fields is not None else None
+        results = self._map_shards(
+            lambda s: s.index.search(
+                terms, limit=limit, fields=field_list, idf=self.global_idf
+            )
+        )
+        merged = [hit for hits in results for hit in hits]
+        merged.sort(key=lambda h: (-h.score, h.doc_id))
+        return merged[:limit]
+
+    def docs_containing_all(
+        self, terms: Sequence[str], fields: Iterable[str]
+    ) -> Set[str]:
+        """Scatter-gather conjunctive containment probe (PMI²'s H and B sets)."""
+        field_list = list(fields)
+        results = self._map_shards(
+            lambda s: s.index.docs_containing_all(terms, field_list)
+        )
+        out: Set[str] = set()
+        for docs in results:
+            out.update(docs)
+        return out
+
+    def get_table(self, table_id: str) -> WebTable:
+        """Fetch one table by id — routed straight to its shard."""
+        return self.shards[shard_of(table_id, self.num_shards)].store.get(table_id)
+
+    def get_many(self, table_ids: Iterable[str]) -> List[WebTable]:
+        """Fetch several tables, preserving input order, skipping unknowns."""
+        out: List[WebTable] = []
+        for table_id in table_ids:
+            store = self.shards[shard_of(table_id, self.num_shards)].store
+            if table_id in store:
+                out.append(store.get(table_id))
+        return out
+
+    def ids(self) -> List[str]:
+        """All table ids, shard-major (shard 0's insertion order first)."""
+        return [i for shard in self.shards for i in shard.store.ids()]
+
+    def __contains__(self, table_id: str) -> bool:
+        return table_id in self.shards[shard_of(table_id, self.num_shards)].store
+
+    def __iter__(self):
+        for shard in self.shards:
+            yield from shard.store
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ShardedCorpus({self.num_shards} shards, "
+            f"{self.num_tables} tables, workers={self.probe_workers})"
+        )
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the scatter thread pool (idempotent).
+
+        Long-lived processes that cycle through corpora (benchmark sweeps,
+        index reloads) should close discarded instances; probes after
+        ``close`` fall back to the serial scatter path.
+        """
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "ShardedCorpus":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Persist to a directory: manifest + shared stats + per-shard files.
+
+        Same writer as ``IndexedCorpus.save``
+        (:func:`~repro.index.builder.save_corpus_dir`), so the two kinds
+        cannot drift apart on disk.  The write is crash-safe (temp dir +
+        swap), which also means a re-save with a different shard count
+        cannot leave stale shard directories behind.
+        """
+        return save_corpus_dir(
+            path,
+            [(shard.index, shard.store) for shard in self.shards],
+            self.stats,
+            kind="sharded",
+        )
+
+    @classmethod
+    def load(
+        cls, path: Union[str, Path], probe_workers: int = 1
+    ) -> "ShardedCorpus":
+        """Load a corpus saved by :meth:`save` in O(read) — no re-indexing."""
+        path = Path(path)
+        manifest = read_manifest(path)
+        stats = load_stats(path)
+        shards = []
+        for entry in manifest["shards"]:
+            index, store = _load_shard(path / entry["dir"])
+            shards.append(IndexedCorpus(index=index, store=store, stats=stats))
+        # validate=False: the persisted partition came from shard_of() at
+        # build time; re-hashing every id would make load O(num_tables).
+        return cls(
+            shards=shards, stats=stats, probe_workers=probe_workers,
+            validate=False,
+        )
+
+
+def build_sharded_corpus(
+    tables: Iterable[WebTable],
+    num_shards: int,
+    boosts: Optional[dict] = None,
+    probe_workers: int = 1,
+) -> ShardedCorpus:
+    """Hash-partition ``tables`` across ``num_shards`` indexed shards.
+
+    Documents are analyzed exactly as in the monolithic
+    :func:`~repro.index.builder.build_corpus_index`, and the shared
+    :class:`TermStatistics` folds tables in input order, so the global
+    statistics equal the monolithic build's.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    boosts = boosts or FIELD_BOOSTS
+    indexes = [InvertedIndex(boosts) for _ in range(num_shards)]
+    stores = [TableStore() for _ in range(num_shards)]
+    stats = TermStatistics()
+    for table in tables:
+        si = shard_of(table.table_id, num_shards)
+        _index_one(table, indexes[si], stores[si], stats)
+    shards = [
+        IndexedCorpus(index=index, store=store, stats=stats)
+        for index, store in zip(indexes, stores)
+    ]
+    # validate=False: the loop above IS the shard_of() partition.
+    return ShardedCorpus(
+        shards=shards, stats=stats, probe_workers=probe_workers,
+        validate=False,
+    )
+
+
+def load_corpus(
+    path: Union[str, Path], probe_workers: int = 1
+):
+    """Open a persisted corpus directory, whichever kind it holds.
+
+    Returns an :class:`IndexedCorpus` for ``kind: monolithic`` manifests
+    (``probe_workers`` is irrelevant there) and a :class:`ShardedCorpus`
+    for ``kind: sharded``.
+    """
+    manifest = read_manifest(path)
+    if manifest["kind"] == "monolithic":
+        return IndexedCorpus.load(path)
+    if manifest["kind"] == "sharded":
+        return ShardedCorpus.load(path, probe_workers=probe_workers)
+    raise ValueError(f"{path}: unknown corpus kind {manifest['kind']!r}")

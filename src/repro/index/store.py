@@ -57,7 +57,11 @@ class TableStore:
     # -- persistence -----------------------------------------------------------
 
     def save(self, path: Union[str, Path]) -> None:
-        """Write the store as JSON-lines."""
+        """Write the store as JSON-lines, one table per line.
+
+        Tables are written in insertion order, so ``load(save(s))``
+        round-trips both contents and ordering (``ids()`` is stable).
+        """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         with path.open("w", encoding="utf-8") as fh:
@@ -67,11 +71,29 @@ class TableStore:
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "TableStore":
-        """Read a store written by :meth:`save`."""
+        """Read a store written by :meth:`save`.
+
+        Preserves the file's line order as insertion order.  Corrupt JSON
+        and duplicate table ids raise ``ValueError`` naming the offending
+        ``path:line`` so a bad corpus file is diagnosable at a glance.
+        """
+        path = Path(path)
         store = cls()
-        with Path(path).open("r", encoding="utf-8") as fh:
-            for line in fh:
+        with path.open("r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
                 line = line.strip()
-                if line:
-                    store.add(WebTable.from_dict(json.loads(line)))
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ValueError(
+                        f"{path}:{lineno}: invalid table JSON: {exc}"
+                    ) from exc
+                table = WebTable.from_dict(data)
+                if table.table_id in store._tables:
+                    raise ValueError(
+                        f"{path}:{lineno}: duplicate table id {table.table_id!r}"
+                    )
+                store.add(table)
         return store

@@ -16,7 +16,7 @@ from typing import List, Optional, Sequence, Set, Tuple
 
 from ..core.model import build_problem
 from ..core.params import DEFAULT_PARAMS, ModelParams
-from ..index.builder import IndexedCorpus
+from ..index.protocol import CorpusProtocol
 from ..query.model import Query
 from ..tables.table import WebTable
 from ..text.tokenize import tokenize
@@ -65,7 +65,7 @@ class ProbeResult:
 def _table_confidences(
     query: Query,
     tables: Sequence[WebTable],
-    corpus: IndexedCorpus,
+    corpus: CorpusProtocol,
     params: ModelParams,
 ) -> List[float]:
     """Per-table relevance confidence from independent max-marginals."""
@@ -84,16 +84,29 @@ def _table_confidences(
 
 def two_stage_probe(
     query: Query,
-    corpus: IndexedCorpus,
+    corpus: CorpusProtocol,
     config: Optional[ProbeConfig] = None,
     params: ModelParams = DEFAULT_PARAMS,
     timings: Optional[dict] = None,
+    rng: Optional[random.Random] = None,
 ) -> ProbeResult:
     """Run the Section 2.2.1 candidate retrieval.
+
+    ``corpus`` is any :class:`~repro.index.protocol.CorpusProtocol` backend
+    — the monolithic :class:`~repro.index.IndexedCorpus` or the
+    scatter-gather :class:`~repro.index.ShardedCorpus`; results are
+    identical (see DESIGN.md, "Sharded index & persistence").
 
     ``timings`` (when given) receives per-stage wall-clock seconds under the
     keys ``index1``, ``read1``, ``confidence``, ``index2``, ``read2`` — the
     slices of Figure 7.
+
+    The stage-2 row sample draws from a private ``random.Random`` seeded
+    with ``config.seed`` (never the module-global generator), so concurrent
+    probes — including parallel sharded scatter-gather — and cached reruns
+    are bit-reproducible.  Pass ``rng`` to thread your own generator
+    instead (it is consumed; share one only for deliberately coupled
+    sampling sequences).
     """
     import time as _time
 
@@ -106,7 +119,8 @@ def two_stage_probe(
             timings[key] = timings.get(key, 0.0) + (now - start)
         return now
 
-    rng = random.Random(config.seed)
+    if rng is None:
+        rng = random.Random(config.seed)
 
     def _trim(hits):
         if not hits:
@@ -116,11 +130,11 @@ def two_stage_probe(
 
     t0 = _time.perf_counter()
     stage1_hits = _trim(
-        corpus.index.search(query.all_tokens(), limit=config.stage1_limit)
+        corpus.search(query.all_tokens(), limit=config.stage1_limit)
     )
     stage1_ids = [h.doc_id for h in stage1_hits]
     t0 = _record("index1", t0)
-    stage1_tables = corpus.store.get_many(stage1_ids)
+    stage1_tables = corpus.get_many(stage1_ids)
     t0 = _record("read1", t0)
 
     if not stage1_tables:
@@ -151,13 +165,13 @@ def two_stage_probe(
                 sample_tokens.extend(tokenize(cell.text))
         probe2 = query.all_tokens() + sample_tokens
         stage2_hits = _trim(
-            corpus.index.search(probe2, limit=config.stage2_limit)
+            corpus.search(probe2, limit=config.stage2_limit)
         )
         seen: Set[str] = set(stage1_ids)
         stage2_ids = [h.doc_id for h in stage2_hits if h.doc_id not in seen]
     t0 = _record("index2", t0)
 
-    tables = stage1_tables + corpus.store.get_many(stage2_ids)
+    tables = stage1_tables + corpus.get_many(stage2_ids)
     _record("read2", t0)
     return ProbeResult(
         tables=tables,

@@ -51,6 +51,19 @@ class EngineConfig:
     max_workers: int = 4
     #: Default answer-row page size for :class:`QueryResponse` pagination.
     page_size: int = 25
+    #: Shard count for corpora *built* on behalf of this config — the CLI's
+    #: generate-then-serve path partitions with it (``None`` keeps the
+    #: monolithic :class:`~repro.index.IndexedCorpus`; an int selects the
+    #: hash-partitioned :class:`~repro.index.ShardedCorpus`).  A corpus
+    #: object passed to :class:`WWTService` directly is served as-is.
+    num_shards: Optional[int] = None
+    #: Directory of a persisted corpus (``repro index build``);
+    #: :class:`WWTService` loads it at construction when no corpus object
+    #: is passed.
+    index_path: Optional[str] = None
+    #: Scatter-gather width for sharded probes (1 = serial scatter, which
+    #: wins for small in-memory shards; raise it for large/disk shards).
+    probe_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.inference not in DEFAULT_REGISTRY:
@@ -64,6 +77,14 @@ class EngineConfig:
             raise ValueError("max_workers must be >= 1")
         if self.page_size < 1:
             raise ValueError("page_size must be >= 1")
+        if self.num_shards is not None and self.num_shards < 1:
+            raise ValueError("num_shards must be >= 1 (None for monolithic)")
+        if self.probe_workers < 1:
+            raise ValueError("probe_workers must be >= 1")
+        if self.index_path is not None and not isinstance(self.index_path, str):
+            # Paths arrive as pathlib.Path from callers; freeze as str so
+            # to_dict() stays JSON-safe and equality is well-defined.
+            object.__setattr__(self, "index_path", str(self.index_path))
 
     # -- derived ----------------------------------------------------------
 
@@ -88,6 +109,9 @@ class EngineConfig:
             "probe_cache_size": self.probe_cache_size,
             "max_workers": self.max_workers,
             "page_size": self.page_size,
+            "num_shards": self.num_shards,
+            "index_path": self.index_path,
+            "probe_workers": self.probe_workers,
         }
 
     @classmethod
@@ -114,6 +138,7 @@ class EngineConfig:
         top_known = {
             "inference", "cache_size", "probe_cache_size",
             "max_workers", "page_size",
+            "num_shards", "index_path", "probe_workers",
         }
         unknown = sorted(set(data) - top_known)
         if unknown:

@@ -12,12 +12,14 @@ import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 from ..consolidate.merge import consolidate
 from ..consolidate.ranker import rank_answer
 from ..core.model import build_problem
-from ..index.builder import IndexedCorpus
+from ..index.protocol import CorpusProtocol
+from ..index.sharded import load_corpus
 from ..inference.registry import DEFAULT_REGISTRY
 from ..pipeline.probe import two_stage_probe
 from ..pipeline.wwt import QueryTiming, WWTAnswer
@@ -63,15 +65,33 @@ class WWTService:
         response = service.answer("country | currency")
         responses = service.answer_batch(["country | gdp", "dog breed"])
         print(service.stats().to_dict())
+
+    ``corpus`` is any :class:`~repro.index.protocol.CorpusProtocol` backend
+    (monolithic or sharded), or a path to a persisted corpus directory
+    (``repro index build``).  With no corpus argument at all, the config's
+    ``index_path`` is loaded — so a service is fully constructible from one
+    JSON config file.
     """
 
     def __init__(
         self,
-        corpus: IndexedCorpus,
+        corpus: Union[CorpusProtocol, str, Path, None] = None,
         config: Optional[EngineConfig] = None,
     ) -> None:
-        self.corpus = corpus
         self.config = config if config is not None else EngineConfig()
+        if corpus is None:
+            if not self.config.index_path:
+                raise ValueError(
+                    "WWTService needs a corpus object, a corpus path, or an "
+                    "EngineConfig with index_path set"
+                )
+            corpus = self.config.index_path
+        #: Whether this service created the corpus (and so owns its
+        #: resources — see :meth:`close`).
+        self._owns_corpus = isinstance(corpus, (str, Path))
+        if isinstance(corpus, (str, Path)):
+            corpus = load_corpus(corpus, probe_workers=self.config.probe_workers)
+        self.corpus = corpus
         self._result_cache = LRUCache(self.config.cache_size)
         self._probe_cache = LRUCache(self.config.probe_cache_size)
         self._lock = threading.Lock()
@@ -277,3 +297,19 @@ class WWTService:
         """Drop both caches (hit/miss counters are kept)."""
         self._result_cache.clear()
         self._probe_cache.clear()
+
+    def close(self) -> None:
+        """Release resources the service created (idempotent).
+
+        A corpus loaded here from a path (rather than passed in) may own a
+        scatter thread pool; closing the service closes it.  A corpus the
+        caller constructed is left untouched — they own its lifecycle.
+        """
+        if self._owns_corpus and hasattr(self.corpus, "close"):
+            self.corpus.close()
+
+    def __enter__(self) -> "WWTService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

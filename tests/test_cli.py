@@ -75,3 +75,89 @@ class TestCommands:
 
         store = TableStore.load(path)
         assert len(store) > 10
+
+
+class TestIndexCommands:
+    def test_build_requires_out(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["index", "build"])
+
+    def test_index_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["index"])
+
+    def test_build_then_info_then_query(self, tmp_path):
+        corpus_dir = str(tmp_path / "corpus")
+        out = io.StringIO()
+        code = main(
+            ["index", "build", "--out", corpus_dir, "--scale", "0.1",
+             "--num-shards", "3"],
+            out=out,
+        )
+        assert code == 0
+        built_text = out.getvalue()
+        assert "3-shard corpus" in built_text
+        assert "shard sizes:" in built_text
+
+        out = io.StringIO()
+        assert main(["index", "info", corpus_dir], out=out) == 0
+        info_text = out.getvalue()
+        assert "kind: sharded" in info_text
+        assert "shards: 3" in info_text
+        assert "shard-0000" in info_text
+
+        out = io.StringIO()
+        code = main(
+            ["query", "country | currency", "--index", corpus_dir,
+             "--rows", "3"],
+            out=out,
+        )
+        assert code == 0
+        assert "candidates:" in out.getvalue()
+
+    def test_build_monolithic_by_default(self, tmp_path):
+        corpus_dir = str(tmp_path / "mono")
+        out = io.StringIO()
+        code = main(
+            ["index", "build", "--out", corpus_dir, "--scale", "0.1"],
+            out=out,
+        )
+        assert code == 0
+        assert "monolithic corpus" in out.getvalue()
+        out = io.StringIO()
+        assert main(["index", "info", corpus_dir], out=out) == 0
+        assert "kind: monolithic" in out.getvalue()
+
+    def test_info_on_non_corpus_is_cli_error(self, tmp_path, capsys):
+        out = io.StringIO()
+        code = main(["index", "info", str(tmp_path)], out=out)
+        assert code == 2
+        assert "not a persisted corpus" in capsys.readouterr().err
+
+    def test_config_num_shards_selects_sharded_backend(self, tmp_path):
+        import json as _json
+
+        from repro.cli import _build_service, build_parser
+
+        config_path = tmp_path / "cfg.json"
+        config_path.write_text(_json.dumps({"num_shards": 3}))
+        args = build_parser().parse_args(
+            ["query", "country | currency", "--scale", "0.1",
+             "--config", str(config_path)]
+        )
+        service = _build_service(args)
+        assert service.corpus.num_shards == 3
+
+    def test_index_with_nondefault_scale_warns(self, tmp_path, capsys):
+        corpus_dir = str(tmp_path / "corpus")
+        out = io.StringIO()
+        assert main(
+            ["index", "build", "--out", corpus_dir, "--scale", "0.1"],
+            out=out,
+        ) == 0
+        out = io.StringIO()
+        assert main(
+            ["query", "dog breed", "--index", corpus_dir, "--scale", "0.9"],
+            out=out,
+        ) == 0
+        assert "--scale/--seed" in capsys.readouterr().err

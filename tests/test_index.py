@@ -1,5 +1,7 @@
 """Unit tests for the inverted index, table store, and corpus builder."""
 
+import json
+
 import pytest
 
 from repro.index import InvertedIndex, TableStore, build_corpus_index
@@ -111,6 +113,32 @@ class TestTableStore:
         store = TableStore(tables)
         got = store.get_many(["t2", "t0", "zz"])
         assert [t.table_id for t in got] == ["t2", "t0"]
+
+    def test_save_load_preserves_insertion_order(self, tmp_path):
+        # Deliberately non-sorted ids: order must come from insertion, not
+        # from any sorting in the persistence layer.
+        ids = ["z9", "a1", "m5", "b2"]
+        store = TableStore(
+            WebTable.from_rows([["x"]], table_id=i) for i in ids
+        )
+        path = tmp_path / "ordered.jsonl"
+        store.save(path)
+        assert TableStore.load(path).ids() == ids
+
+    def test_load_rejects_duplicate_id_with_line_number(self, tmp_path):
+        line = json.dumps(
+            WebTable.from_rows([["a"]], table_id="dup").to_dict()
+        )
+        path = tmp_path / "dup.jsonl"
+        path.write_text(line + "\n\n" + line + "\n", encoding="utf-8")
+        with pytest.raises(ValueError, match=r"dup\.jsonl:3: duplicate table id 'dup'"):
+            TableStore.load(path)
+
+    def test_load_rejects_corrupt_json_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json\n", encoding="utf-8")
+        with pytest.raises(ValueError, match=r"bad\.jsonl:1: invalid table JSON"):
+            TableStore.load(path)
 
 
 class TestBuildCorpusIndex:

@@ -93,7 +93,7 @@ class TestStoreFailureInjection:
         path = tmp_path / "broken.jsonl"
         good = WebTable.from_rows([["a", "b"]], table_id="ok").to_dict()
         path.write_text(json.dumps(good) + "\nnot json at all\n")
-        with pytest.raises(json.JSONDecodeError):
+        with pytest.raises(ValueError, match=r"broken\.jsonl:2: invalid table JSON"):
             TableStore.load(path)
 
     def test_missing_field_raises_cleanly(self, tmp_path):

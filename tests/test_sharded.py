@@ -1,0 +1,399 @@
+"""Tests for ``repro.index.sharded``: partitioning, scatter-gather
+equivalence, and directory persistence."""
+
+import json
+import math
+import random
+
+import pytest
+
+from repro.index import (
+    CorpusProtocol,
+    IndexedCorpus,
+    InvertedIndex,
+    ShardedCorpus,
+    build_corpus_index,
+    build_sharded_corpus,
+    load_corpus,
+    shard_of,
+)
+from repro.pipeline.probe import ProbeConfig, two_stage_probe
+from repro.query.workload import WORKLOAD
+from repro.tables.table import WebTable
+
+
+def make_tables(n=12, prefix="t"):
+    return [
+        WebTable.from_rows(
+            [[f"val{i}a", f"{i}"], [f"val{i}b", f"{i + 1}"]],
+            header=["name", "rank"],
+            table_id=f"{prefix}{i}",
+        )
+        for i in range(n)
+    ]
+
+
+@pytest.fixture(scope="module")
+def corpus_tables(small_env):
+    """The small shared environment's extracted tables, in index order."""
+    return list(small_env.synthetic.corpus.store)
+
+
+@pytest.fixture(scope="module")
+def sharded_by_k(corpus_tables):
+    """ShardedCorpus per shard count, built once for the module."""
+    return {k: build_sharded_corpus(corpus_tables, k) for k in (1, 2, 4)}
+
+
+class TestShardAssignment:
+    def test_stable_and_in_range(self):
+        for num_shards in (1, 2, 4, 7):
+            for i in range(50):
+                s = shard_of(f"table_{i}", num_shards)
+                assert 0 <= s < num_shards
+                assert s == shard_of(f"table_{i}", num_shards)
+
+    def test_partition_covers_all_tables(self, corpus_tables, sharded_by_k):
+        for k, sharded in sharded_by_k.items():
+            assert sharded.num_shards == k
+            assert sharded.num_tables == len(corpus_tables)
+            assert sum(sharded.shard_sizes()) == len(corpus_tables)
+            assert sorted(sharded.ids()) == sorted(
+                t.table_id for t in corpus_tables
+            )
+
+    def test_spreads_across_shards(self, sharded_by_k):
+        # Not a uniformity proof — just that CRC32 doesn't collapse the
+        # corpus onto one shard.
+        assert all(size > 0 for size in sharded_by_k[4].shard_sizes())
+
+
+class TestProtocolConformance:
+    def test_both_backends_satisfy_protocol(self, small_env, sharded_by_k):
+        assert isinstance(small_env.synthetic.corpus, CorpusProtocol)
+        assert isinstance(sharded_by_k[2], CorpusProtocol)
+
+    def test_monolithic_delegation(self, small_env):
+        corpus = small_env.synthetic.corpus
+        some_id = corpus.ids()[0]
+        assert corpus.get_table(some_id).table_id == some_id
+        assert [t.table_id for t in corpus.get_many([some_id])] == [some_id]
+        hits = corpus.search(["country"], limit=5)
+        direct = corpus.index.search(["country"], limit=5)
+        assert [(h.doc_id, h.score) for h in hits] == [
+            (h.doc_id, h.score) for h in direct
+        ]
+
+    def test_sharded_table_access(self, corpus_tables, sharded_by_k):
+        sharded = sharded_by_k[4]
+        ids = [t.table_id for t in corpus_tables[:5]]
+        assert [t.table_id for t in sharded.get_many(ids)] == ids
+        assert sharded.get_table(ids[0]).table_id == ids[0]
+        assert ids[0] in sharded
+        assert "no_such_table" not in sharded
+        assert sharded.get_many(["no_such_table", ids[1]]) == [
+            sharded.get_table(ids[1])
+        ]
+        with pytest.raises(KeyError):
+            sharded.get_table("no_such_table")
+
+
+class TestRankingEquivalence:
+    """ShardedCorpus must reproduce monolithic ranking, not approximate it."""
+
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_workload_search_identical(self, small_env, sharded_by_k, k):
+        """Property over the full 59-query workload: same hits, same scores."""
+        mono = small_env.synthetic.corpus
+        sharded = sharded_by_k[k]
+        for wq in WORKLOAD:
+            tokens = wq.query.all_tokens()
+            expected = mono.search(tokens, limit=60)
+            got = sharded.search(tokens, limit=60)
+            assert [h.doc_id for h in got] == [
+                h.doc_id for h in expected
+            ], wq.query_id
+            for e, g in zip(expected, got):
+                assert g.score == pytest.approx(e.score, abs=1e-9), wq.query_id
+
+    def test_global_idf_matches_monolithic(self, small_env, sharded_by_k):
+        mono = small_env.synthetic.corpus
+        for term in ("country", "currency", "dog", "zzz_unseen"):
+            assert sharded_by_k[4].global_idf(term) == pytest.approx(
+                mono.index.idf(term), abs=1e-12
+            )
+
+    def test_containment_probe_identical(self, small_env, sharded_by_k):
+        mono = small_env.synthetic.corpus
+        for terms in (["country"], ["country", "currency"], ["zzz_unseen"]):
+            for fields in (("header", "context"), ("content",)):
+                assert sharded_by_k[4].docs_containing_all(
+                    terms, fields
+                ) == mono.docs_containing_all(terms, fields)
+
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_two_stage_probe_identical(self, small_env, sharded_by_k, k):
+        mono = small_env.synthetic.corpus
+        config = ProbeConfig(seed=9)
+        for wq in WORKLOAD[:8]:
+            a = two_stage_probe(wq.query, mono, config)
+            b = two_stage_probe(wq.query, sharded_by_k[k], config)
+            assert a.stage1_ids == b.stage1_ids, wq.query_id
+            assert a.stage2_ids == b.stage2_ids, wq.query_id
+            assert a.used_second_stage == b.used_second_stage
+            assert [t.table_id for t in a.tables] == [
+                t.table_id for t in b.tables
+            ]
+
+    def test_parallel_scatter_matches_serial(self, corpus_tables):
+        serial = build_sharded_corpus(corpus_tables, 4, probe_workers=1)
+        parallel = build_sharded_corpus(corpus_tables, 4, probe_workers=3)
+        for wq in WORKLOAD[::7]:
+            tokens = wq.query.all_tokens()
+            a = serial.search(tokens, limit=40)
+            b = parallel.search(tokens, limit=40)
+            assert [(h.doc_id, h.score) for h in a] == [
+                (h.doc_id, h.score) for h in b
+            ]
+
+
+class TestPersistence:
+    def test_sharded_round_trip(self, corpus_tables, sharded_by_k, tmp_path):
+        sharded = sharded_by_k[4]
+        path = sharded.save(tmp_path / "corpus")
+        loaded = load_corpus(path, probe_workers=2)
+        assert isinstance(loaded, ShardedCorpus)
+        assert loaded.num_shards == 4
+        assert loaded.num_tables == sharded.num_tables
+        assert loaded.stats.num_docs == sharded.stats.num_docs
+        config = ProbeConfig(seed=1)
+        for wq in WORKLOAD[:4]:
+            a = two_stage_probe(wq.query, sharded, config)
+            b = two_stage_probe(wq.query, loaded, config)
+            assert a.stage1_ids == b.stage1_ids
+            assert a.stage2_ids == b.stage2_ids
+
+    def test_monolithic_round_trip(self, tmp_path):
+        corpus = build_corpus_index(make_tables(8))
+        corpus.save(tmp_path / "mono")
+        loaded = load_corpus(tmp_path / "mono")
+        assert isinstance(loaded, IndexedCorpus)
+        assert loaded.ids() == corpus.ids()  # insertion order preserved
+        assert loaded.stats.num_docs == corpus.stats.num_docs
+        a = corpus.search(["name", "rank"], limit=10)
+        b = loaded.search(["name", "rank"], limit=10)
+        assert [(h.doc_id, h.score) for h in a] == [
+            (h.doc_id, h.score) for h in b
+        ]
+
+    def test_build_corpus_index_num_shards_and_save(self, tmp_path):
+        tables = make_tables(10)
+        corpus = build_corpus_index(
+            tables, num_shards=3, save=tmp_path / "built"
+        )
+        assert isinstance(corpus, ShardedCorpus)
+        manifest = json.loads(
+            (tmp_path / "built" / "manifest.json").read_text()
+        )
+        assert manifest["kind"] == "sharded"
+        assert manifest["num_shards"] == 3
+        assert manifest["num_tables"] == 10
+        reloaded = load_corpus(tmp_path / "built")
+        assert sorted(reloaded.ids()) == sorted(t.table_id for t in tables)
+
+    def test_resave_replaces_directory_without_stale_shards(self, tmp_path):
+        tables = make_tables(12)
+        build_sharded_corpus(tables, 4).save(tmp_path / "c")
+        assert (tmp_path / "c" / "shard-0003").is_dir()
+        build_sharded_corpus(tables, 2).save(tmp_path / "c")
+        assert not (tmp_path / "c" / "shard-0002").exists()
+        assert not (tmp_path / "c" / "shard-0003").exists()
+        loaded = load_corpus(tmp_path / "c")
+        assert loaded.num_shards == 2
+        assert loaded.num_tables == 12
+        # Monolithic re-save over a sharded dir replaces it wholesale.
+        build_corpus_index(tables).save(tmp_path / "c")
+        assert not (tmp_path / "c" / "shard-0001").exists()
+        assert isinstance(load_corpus(tmp_path / "c"), IndexedCorpus)
+        # The atomic-swap scaffolding must not leak siblings.
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["c"]
+
+    def test_interrupted_save_backup_is_restored_not_deleted(self, tmp_path):
+        # Simulate a crash between the two renames: the corpus survives
+        # only as the backup sibling.  A retried save must restore it, and
+        # must not destroy it while writing the new corpus.
+        tables = make_tables(6)
+        build_corpus_index(tables, save=tmp_path / "c")
+        (tmp_path / "c").rename(tmp_path / ".c.replaced")
+        assert not (tmp_path / "c").exists()
+        build_corpus_index(tables, num_shards=2, save=tmp_path / "c")
+        assert not (tmp_path / ".c.replaced").exists()
+        assert load_corpus(tmp_path / "c").num_shards == 2
+
+    def test_malformed_shard_entries_rejected(self, tmp_path):
+        build_corpus_index(make_tables(2), save=tmp_path / "c")
+        manifest_path = tmp_path / "c" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["shards"] = [{"num_tables": 2}]  # missing "dir"
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="malformed 'shards'"):
+            load_corpus(tmp_path / "c")
+
+    def test_corrupt_shard_snapshot_raises_valueerror(self, tmp_path):
+        build_corpus_index(make_tables(3), save=tmp_path / "c")
+        (tmp_path / "c" / "shard-0000" / "index.json").write_text("{}")
+        with pytest.raises(ValueError, match="corrupt index snapshot"):
+            load_corpus(tmp_path / "c")
+
+    def test_corrupt_stats_raises_valueerror(self, tmp_path):
+        build_corpus_index(make_tables(3), save=tmp_path / "c")
+        (tmp_path / "c" / "stats.json").write_text("{}")
+        with pytest.raises(ValueError, match="corrupt term statistics"):
+            load_corpus(tmp_path / "c")
+
+    def test_build_corpus_index_forwards_probe_workers(self):
+        corpus = build_corpus_index(
+            make_tables(8), num_shards=2, probe_workers=2
+        )
+        assert corpus.probe_workers == 2
+        assert corpus._executor is not None
+
+    def test_load_rejects_non_corpus_dir(self, tmp_path):
+        with pytest.raises(ValueError, match="not a persisted corpus"):
+            load_corpus(tmp_path)
+
+    def test_load_rejects_bad_version(self, tmp_path):
+        build_corpus_index(make_tables(2), save=tmp_path / "c")
+        manifest_path = tmp_path / "c" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["version"] = 99
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="unsupported version"):
+            load_corpus(tmp_path / "c")
+
+    def test_monolithic_loader_rejects_sharded_dir(self, tmp_path):
+        build_corpus_index(make_tables(4), num_shards=2, save=tmp_path / "s")
+        with pytest.raises(ValueError, match="sharded"):
+            IndexedCorpus.load(tmp_path / "s")
+
+
+class TestInvertedIndexSnapshot:
+    def test_round_trip_preserves_search_and_postings(self):
+        index = InvertedIndex()
+        index.add_text_document(
+            "d1", {"header": "Country Currency", "content": "france euro"}
+        )
+        index.add_text_document(
+            "d2", {"header": "Country Capital", "content": "france paris"}
+        )
+        restored = InvertedIndex.from_dict(index.to_dict())
+        assert restored.num_docs == 2
+        assert restored.postings("content", "france") == index.postings(
+            "content", "france"
+        )
+        a = index.search(["country", "currency"])
+        b = restored.search(["country", "currency"])
+        assert [(h.doc_id, h.score) for h in a] == [
+            (h.doc_id, h.score) for h in b
+        ]
+        assert restored.docs_containing_all(
+            ["france"], ["content"]
+        ) == index.docs_containing_all(["france"], ["content"])
+
+    def test_snapshot_is_json_safe(self):
+        index = InvertedIndex()
+        index.add_text_document("d1", {"header": "a b a"})
+        data = json.loads(json.dumps(index.to_dict()))
+        assert InvertedIndex.from_dict(data).idf("a") == index.idf("a")
+
+
+class TestShardedValidation:
+    def test_empty_shard_list_rejected(self):
+        from repro.text.tfidf import TermStatistics
+
+        with pytest.raises(ValueError, match="at least one shard"):
+            ShardedCorpus([], TermStatistics())
+
+    def test_bad_workers_rejected(self, corpus_tables):
+        with pytest.raises(ValueError, match="probe_workers"):
+            build_sharded_corpus(corpus_tables[:4], 2, probe_workers=0)
+
+    def test_bad_shard_count_rejected(self):
+        with pytest.raises(ValueError, match="num_shards"):
+            build_sharded_corpus(make_tables(2), 0)
+
+    def test_empty_corpus_searches_empty(self):
+        sharded = build_sharded_corpus([], 2)
+        assert sharded.search(["anything"]) == []
+        assert sharded.num_tables == 0
+
+    def test_global_idf_expression(self, corpus_tables):
+        sharded = build_sharded_corpus(corpus_tables, 3)
+        df = sum(
+            s.index.document_frequency("country") for s in sharded.shards
+        )
+        expected = 1.0 + math.log(len(corpus_tables) / (df + 1.0))
+        assert sharded.global_idf("country") == pytest.approx(expected)
+
+    def test_arbitrary_partition_rejected(self):
+        # Gluing two independently built corpora together would break
+        # shard_of() routing; the constructor must refuse it.
+        from repro.index import build_corpus_index as build
+
+        half_a = build(make_tables(4, prefix="a"))
+        half_b = build(make_tables(4, prefix="b"))
+        with pytest.raises(ValueError, match="hashes to shard"):
+            ShardedCorpus([half_a, half_b], half_a.stats)
+
+    def test_close_shuts_down_executor_and_falls_back_serial(
+        self, corpus_tables
+    ):
+        with build_sharded_corpus(corpus_tables, 4, probe_workers=2) as c:
+            assert c._executor is not None
+            before = c.search(["country"], limit=10)
+        assert c._executor is None
+        c.close()  # idempotent
+        after = c.search(["country"], limit=10)  # serial fallback still works
+        assert [(h.doc_id, h.score) for h in before] == [
+            (h.doc_id, h.score) for h in after
+        ]
+
+
+class TestProbeDeterminism:
+    """Satellite: stage-2 row sampling must be seed-reproducible."""
+
+    def test_same_seed_same_result(self, small_env):
+        corpus = small_env.synthetic.corpus
+        wq = WORKLOAD[0]
+        config = ProbeConfig(seed=123)
+        a = two_stage_probe(wq.query, corpus, config)
+        b = two_stage_probe(wq.query, corpus, config)
+        assert a.stage1_ids == b.stage1_ids
+        assert a.stage2_ids == b.stage2_ids
+        assert a.seed_table_ids == b.seed_table_ids
+
+    def test_explicit_rng_matches_config_seed(self, small_env):
+        corpus = small_env.synthetic.corpus
+        wq = WORKLOAD[0]
+        config = ProbeConfig(seed=123)
+        a = two_stage_probe(wq.query, corpus, config)
+        b = two_stage_probe(
+            wq.query, corpus, config, rng=random.Random(123)
+        )
+        assert a.stage2_ids == b.stage2_ids
+
+    def test_concurrent_probes_reproducible(self, sharded_by_k):
+        """Sharded scatter-gather in flight must not perturb sampling."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        corpus = sharded_by_k[4]
+        config = ProbeConfig(seed=5)
+        queries = [wq.query for wq in WORKLOAD[:6]]
+        baseline = [two_stage_probe(q, corpus, config) for q in queries]
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            concurrent = list(
+                pool.map(lambda q: two_stage_probe(q, corpus, config), queries)
+            )
+        for a, b in zip(baseline, concurrent):
+            assert a.stage1_ids == b.stage1_ids
+            assert a.stage2_ids == b.stage2_ids
