@@ -1,0 +1,26 @@
+# Convenience targets; everything also runs as the plain commands shown.
+PYTHONPATH := src
+
+.PHONY: test docs docs-coverage bench-incremental bench-shards
+
+test:
+	PYTHONPATH=$(PYTHONPATH) python -m pytest -x -q
+
+# Generated API reference (docs/api/). Needs `pip install pdoc` (CI
+# installs it; the runtime itself stays stdlib-only).
+docs:
+	@python -c "import pdoc" 2>/dev/null || \
+		{ echo "pdoc is not installed: pip install pdoc"; exit 1; }
+	PYTHONPATH=$(PYTHONPATH) python -m pdoc repro.service repro.index repro.cli -o docs/api
+	@echo "API reference written to docs/api/"
+
+# Stdlib-only docstring gate (CI additionally runs interrogate).
+docs-coverage:
+	python tools/docstring_coverage.py --fail-under 95 -v \
+		src/repro/service src/repro/index src/repro/cli.py
+
+bench-incremental:
+	PYTHONPATH=$(PYTHONPATH) python benchmarks/bench_incremental.py --smoke
+
+bench-shards:
+	PYTHONPATH=$(PYTHONPATH) python benchmarks/bench_shard_scaling.py --smoke

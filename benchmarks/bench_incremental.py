@@ -1,0 +1,270 @@
+"""Incremental-index benchmark for the ``repro.index.journal`` subsystem.
+
+Measures the two costs a live corpus pays that an immutable one does not:
+
+- **ingest throughput**: tables/second through ``add_tables`` (WAL append
+  + delta indexing, fsync included), per batch size, plus the one-off
+  ``compact`` time and the indexing-call count (which shows adds never
+  re-index existing shards);
+- **probe latency under a journal**: ``search`` and ``two_stage_probe``
+  p50/p95 at increasing journal depths (0%, ~5%, ~20% of the corpus
+  journaled) and again after compaction — the price of the delta-merge
+  path, and the proof it is bought back by compacting.
+
+Emits machine-readable ``BENCH_incremental.json``; CI runs ``--smoke``
+and uploads the artifact so every PR records an ingest/latency datapoint.
+
+Run standalone (no pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_incremental.py --smoke
+    PYTHONPATH=src python benchmarks/bench_incremental.py \
+        --scale 1.0 --queries 59 --out results/BENCH_incremental.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.corpus.generator import (  # noqa: E402
+    CorpusConfig, generate_corpus, iter_tables,
+)
+from repro.index import load_corpus  # noqa: E402
+from repro.index.inverted import InvertedIndex  # noqa: E402
+from repro.pipeline.probe import ProbeConfig, two_stage_probe  # noqa: E402
+from repro.query.workload import WORKLOAD  # noqa: E402
+
+
+def percentile(values, fraction):
+    """Nearest-rank percentile of a non-empty sample."""
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+class IndexCallCounter:
+    """Counts ``InvertedIndex.add_document`` calls while installed.
+
+    The observable for the no-reindex guarantee: journaling N tables must
+    cost exactly N indexing calls (the delta index), never O(shard).
+    """
+
+    def __init__(self):
+        self.calls = 0
+        self._original = None
+
+    def __enter__(self):
+        counter = self
+        self._original = InvertedIndex.add_document
+
+        def counted(index_self, doc_id, fields):
+            counter.calls += 1
+            return counter._original(index_self, doc_id, fields)
+
+        InvertedIndex.add_document = counted
+        return self
+
+    def __exit__(self, *exc):
+        InvertedIndex.add_document = self._original
+
+
+def probe_latencies(corpus, queries, reps):
+    """search/probe p50/p95 (ms) over ``queries``, min across ``reps``."""
+    config = ProbeConfig(seed=0)
+    search_by = [[] for _ in queries]
+    probe_by = [[] for _ in queries]
+    for _ in range(reps):
+        for qi, query in enumerate(queries):
+            tokens = query.all_tokens()
+            t0 = time.perf_counter()
+            corpus.search(tokens, limit=60)
+            search_by[qi].append((time.perf_counter() - t0) * 1000.0)
+            t0 = time.perf_counter()
+            two_stage_probe(query, corpus, config)
+            probe_by[qi].append((time.perf_counter() - t0) * 1000.0)
+    search_ms = [min(s) for s in search_by]
+    probe_ms = [min(s) for s in probe_by]
+    return {
+        "search_p50_ms": round(percentile(search_ms, 0.50), 4),
+        "search_p95_ms": round(percentile(search_ms, 0.95), 4),
+        "probe_p50_ms": round(percentile(probe_ms, 0.50), 4),
+        "probe_p95_ms": round(percentile(probe_ms, 0.95), 4),
+        "probe_mean_ms": round(statistics.mean(probe_ms), 4),
+    }
+
+
+def ingest_in_batches(corpus, tables, batch_size):
+    """Journal ``tables`` in batches; returns per-batch timing rows."""
+    rows = []
+    for lo in range(0, len(tables), batch_size):
+        batch = tables[lo: lo + batch_size]
+        with IndexCallCounter() as counter:
+            t0 = time.perf_counter()
+            corpus.add_tables(batch)
+            elapsed = time.perf_counter() - t0
+        rows.append({
+            "batch_size": len(batch),
+            "elapsed_s": round(elapsed, 4),
+            "tables_per_s": round(len(batch) / max(elapsed, 1e-9), 1),
+            "index_calls": counter.calls,
+        })
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=None,
+                        help="base corpus scale factor (default 1.0)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--num-shards", type=int, default=4)
+    parser.add_argument("--queries", type=int, default=None,
+                        help="workload queries to probe (default: all 59)")
+    parser.add_argument("--reps", type=int, default=None,
+                        help="probe repetitions per query (default 3)")
+    parser.add_argument("--batch-size", type=int, default=None,
+                        help="ingest batch size (default 50)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast sweep for CI; fills any unset "
+                             "option with scale 0.15, 12 queries, 3 reps, "
+                             "batch 25")
+    parser.add_argument("--out", metavar="PATH",
+                        default=str(REPO_ROOT / "results"
+                                    / "BENCH_incremental.json"))
+    args = parser.parse_args(argv)
+
+    smoke_defaults = (0.15, 12, 3, 25)
+    full_defaults = (1.0, None, 3, 50)
+    for name, value in zip(
+        ("scale", "queries", "reps", "batch_size"),
+        smoke_defaults if args.smoke else full_defaults,
+    ):
+        if getattr(args, name) is None:
+            setattr(args, name, value)
+
+    print(f"generating base corpus (scale={args.scale}, "
+          f"seed={args.seed})...", flush=True)
+    synthetic = generate_corpus(
+        CorpusConfig(seed=args.seed, scale=args.scale),
+        num_shards=args.num_shards,
+    )
+    queries = [wq.query for wq in WORKLOAD[: args.queries]]
+    base_n = synthetic.num_tables
+    # Two live streams: ~5% of the corpus, then up to ~20% cumulative.
+    stream = list(iter_tables(
+        CorpusConfig(seed=args.seed + 1, scale=args.scale * 0.2),
+        id_prefix="live-",
+    ))
+    cut = max(1, round(base_n * 0.05))
+    stages = [("5pct", stream[:cut]), ("20pct", stream[cut:])]
+    print(f"  {base_n} base tables; live stream of {len(stream)}; "
+          f"probing {len(queries)} queries x {args.reps} reps", flush=True)
+
+    report_rows = []
+    ingest_rows = []
+    with tempfile.TemporaryDirectory(prefix="bench_incr_") as tmp:
+        path = Path(tmp) / "corpus"
+        synthetic.corpus.save(path)
+        corpus = load_corpus(path)
+        try:
+            row = {"stage": "journal_depth_0", "journal_depth": 0,
+                   "num_tables": corpus.num_tables}
+            row.update(probe_latencies(corpus, queries, args.reps))
+            report_rows.append(row)
+
+            for stage_name, tables in stages:
+                if not tables:
+                    continue
+                ingest = ingest_in_batches(corpus, tables, args.batch_size)
+                for r in ingest:
+                    r["stage"] = stage_name
+                ingest_rows.extend(ingest)
+                row = {
+                    "stage": f"journal_{stage_name}",
+                    "journal_depth": corpus.journal_depth,
+                    "num_tables": corpus.num_tables,
+                }
+                row.update(probe_latencies(corpus, queries, args.reps))
+                report_rows.append(row)
+
+            with IndexCallCounter() as counter:
+                t0 = time.perf_counter()
+                folded = corpus.compact()
+                compact_s = time.perf_counter() - t0
+            row = {
+                "stage": "post_compact",
+                "journal_depth": corpus.journal_depth,
+                "num_tables": corpus.num_tables,
+            }
+            row.update(probe_latencies(corpus, queries, args.reps))
+            report_rows.append(row)
+        finally:
+            corpus.close()
+
+    for row in report_rows:
+        print(f"  {row['stage']:<18} depth={row['journal_depth']:>4} "
+              f"search p50 {row['search_p50_ms']:.2f}ms "
+              f"probe p50 {row['probe_p50_ms']:.1f}ms "
+              f"p95 {row['probe_p95_ms']:.1f}ms", flush=True)
+    total_added = sum(r["batch_size"] for r in ingest_rows)
+    total_ingest_s = sum(r["elapsed_s"] for r in ingest_rows)
+    total_calls = sum(r["index_calls"] for r in ingest_rows)
+    print(f"  ingest: {total_added} tables in {total_ingest_s:.2f}s "
+          f"({total_added / max(total_ingest_s, 1e-9):.0f} tables/s, "
+          f"{total_calls} indexing calls); "
+          f"compact folded {folded} records in {compact_s:.2f}s "
+          f"(+{counter.calls} indexing calls)", flush=True)
+
+    report = {
+        "benchmark": "incremental",
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "config": {
+            "scale": args.scale,
+            "seed": args.seed,
+            "num_shards": args.num_shards,
+            "base_tables": base_n,
+            "stream_tables": len(stream),
+            "num_queries": len(queries),
+            "reps": args.reps,
+            "batch_size": args.batch_size,
+            "smoke": args.smoke,
+        },
+        "ingest": ingest_rows,
+        "ingest_tables_per_s": round(
+            total_added / max(total_ingest_s, 1e-9), 1
+        ),
+        "ingest_index_calls": total_calls,
+        "ingest_tables_added": total_added,
+        "compact_s": round(compact_s, 4),
+        "compact_records_folded": folded,
+        "compact_index_calls": counter.calls,
+        "probes": report_rows,
+    }
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2), encoding="utf-8")
+    print(f"wrote {out}")
+
+    # The structural guarantee, asserted on every run: journaling N tables
+    # costs exactly N indexing calls — existing shards are never touched.
+    if total_calls != total_added:
+        print(f"ERROR: ingest made {total_calls} indexing calls for "
+              f"{total_added} added tables (shards were re-indexed)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -34,11 +34,12 @@ Package map (see DESIGN.md for the full inventory):
 
 from .consolidate import AnswerRow, AnswerTable
 from .core import DEFAULT_PARAMS, ModelParams, build_problem
-from .corpus import CorpusConfig, GroundTruth, generate_corpus
+from .corpus import CorpusConfig, GroundTruth, generate_corpus, iter_tables
 from .evaluation import build_environment, f1_error, run_method
 from .index import (
     CorpusProtocol,
     IndexedCorpus,
+    JournaledCorpus,
     ShardedCorpus,
     build_corpus_index,
     build_sharded_corpus,
@@ -75,6 +76,7 @@ __all__ = [
     "EngineConfig",
     "GroundTruth",
     "IndexedCorpus",
+    "JournaledCorpus",
     "ShardedCorpus",
     "InferenceRegistry",
     "MappingResult",
@@ -97,6 +99,7 @@ __all__ = [
     "f1_error",
     "generate_corpus",
     "get_algorithm",
+    "iter_tables",
     "load_corpus",
     "register_algorithm",
     "run_method",

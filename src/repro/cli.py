@@ -5,14 +5,22 @@ Commands
 ``query``    answer a column-keyword query against a generated corpus
 ``batch``    answer many queries through the service (caching + fan-out)
 ``corpus``   generate a corpus and print its census / save the table store
-``index``    ``build`` a persisted (optionally sharded) corpus; ``info`` it
+``index``    ``build`` a persisted (optionally sharded) corpus; ``add``
+             journal new tables into it; ``compact`` fold the journal into
+             fresh snapshots; ``info`` describe it
 ``eval``     run one or more methods over the 59-query workload
 ``workload`` list the workload queries with their Table 1 statistics
 
 ``query`` and ``batch`` are fronted by :class:`repro.service.WWTService`;
 ``--config`` loads a JSON :class:`~repro.service.EngineConfig`, and
 ``--index`` serves a corpus persisted by ``index build`` instead of
-generating one.
+generating one.  The incremental flow is ``index build`` once, then
+``index add`` as new tables arrive, then ``index compact`` when the
+journal is deep (see DESIGN.md, "Incremental updates")::
+
+    python -m repro index build --out corpus-dir --num-shards 4
+    python -m repro index add corpus-dir --scale 0.05 --prefix live-
+    python -m repro index compact corpus-dir
 """
 
 from __future__ import annotations
@@ -91,6 +99,23 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--num-shards", type=int, default=None,
                        help="hash-partition across N shards "
                             "(default: monolithic single index)")
+    add = isub.add_parser(
+        "add", help="generate fresh tables and journal them into a corpus"
+    )
+    add.add_argument("path", metavar="DIR", help="corpus directory")
+    add.add_argument("--scale", type=float, default=0.05,
+                     help="scale of the freshly generated stream "
+                          "(default 0.05)")
+    add.add_argument("--seed", type=int, default=7)
+    add.add_argument("--prefix", default="live-",
+                     help="table-id prefix for the new tables; page ids "
+                          "are deterministic, so a distinct prefix keeps "
+                          "them from colliding with the built corpus "
+                          "(default 'live-')")
+    compact = isub.add_parser(
+        "compact", help="fold the journal into fresh shard snapshots"
+    )
+    compact.add_argument("path", metavar="DIR", help="corpus directory")
     info = isub.add_parser("info", help="describe a persisted corpus")
     info.add_argument("path", metavar="DIR", help="corpus directory")
 
@@ -245,10 +270,51 @@ def _cmd_index(args: argparse.Namespace, out) -> int:
               file=out)
         return 0
 
+    if args.index_command == "add":
+        from .corpus.generator import iter_tables
+        from .index.sharded import load_corpus
+
+        with load_corpus(args.path) as corpus:
+            t0 = time.perf_counter()
+            tables = list(iter_tables(
+                CorpusConfig(seed=args.seed, scale=args.scale),
+                id_prefix=args.prefix,
+            ))
+            generate_s = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            corpus.add_tables(tables)
+            append_s = time.perf_counter() - t0
+            print(f"journaled {len(tables)} tables into {args.path} "
+                  f"(generate {generate_s:.2f}s, append {append_s:.2f}s)",
+                  file=out)
+            print(f"num_tables: {corpus.num_tables}", file=out)
+            print(f"journal_depth: {corpus.journal_depth}", file=out)
+        return 0
+
+    if args.index_command == "compact":
+        from .index.sharded import load_corpus
+
+        with load_corpus(args.path) as corpus:
+            t0 = time.perf_counter()
+            folded = corpus.compact()
+            compact_s = time.perf_counter() - t0
+            print(f"folded {folded} journal records into fresh snapshots "
+                  f"at {args.path} in {compact_s:.2f}s", file=out)
+            print(f"num_tables: {corpus.num_tables}", file=out)
+            print(f"journal_depth: {corpus.journal_depth}", file=out)
+        return 0
+
+    # `index info` prints the on-disk spec's field names verbatim
+    # (DESIGN.md, "On-disk corpus format, version 2") so the output can be
+    # checked against the spec mechanically.
+    from .index.journal import journal_depth_on_disk
+
     manifest = read_manifest(args.path)
-    print(f"kind: {manifest['kind']}", file=out)
-    print(f"tables: {manifest['num_tables']}", file=out)
-    print(f"shards: {manifest['num_shards']}", file=out)
+    for key in ("format", "version", "kind", "num_shards", "num_tables",
+                "journal_seq"):
+        print(f"{key}: {manifest[key]}", file=out)
+    print(f"journal_depth: {journal_depth_on_disk(args.path, manifest)}",
+          file=out)
     print(f"boosts: {manifest['boosts']}", file=out)
     total_bytes = sum(
         f.stat().st_size for f in Path(args.path).rglob("*") if f.is_file()

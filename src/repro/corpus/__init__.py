@@ -1,7 +1,7 @@
 """Synthetic web corpus: the substitute for the paper's 25M-table crawl."""
 
 from .domains import REGISTRY, Attribute, Domain, build_registry
-from .generator import CorpusConfig, SyntheticCorpus, generate_corpus
+from .generator import CorpusConfig, SyntheticCorpus, generate_corpus, iter_tables
 from .groundtruth import GroundTruth, TableLabel, TableProvenance, label_table
 from .pages import GeneratedPage, render_page
 
@@ -17,6 +17,7 @@ __all__ = [
     "TableProvenance",
     "build_registry",
     "generate_corpus",
+    "iter_tables",
     "label_table",
     "render_page",
 ]

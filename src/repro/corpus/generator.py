@@ -22,7 +22,7 @@ from .domains import REGISTRY, Domain
 from .groundtruth import TableProvenance
 from .pages import GeneratedPage, render_page
 
-__all__ = ["CorpusConfig", "SyntheticCorpus", "generate_corpus"]
+__all__ = ["CorpusConfig", "SyntheticCorpus", "generate_corpus", "iter_tables"]
 
 
 @dataclass(frozen=True)
@@ -67,6 +67,88 @@ def _scaled_pages(domain: Domain, scale: float) -> int:
     return max(1, round(domain.num_pages * scale))
 
 
+def _extracted_tables(
+    config: CorpusConfig,
+    registry: Dict[str, Domain],
+    census: ExtractionCensus,
+    id_prefix: str = "",
+    pages_out: Optional[List[GeneratedPage]] = None,
+    provenance_out: Optional[Dict[str, TableProvenance]] = None,
+):
+    """Render, parse, and extract tables page by page (the streaming core).
+
+    One generator shared by :func:`generate_corpus` (which collects
+    everything) and :func:`iter_tables` (which streams) so both paths push
+    the HTML through the identical extraction pipeline.
+    """
+    rng = random.Random(config.seed)
+    keys = config.domains if config.domains is not None else tuple(sorted(registry))
+    all_topics = tuple(
+        registry[k].topic_phrase for k in sorted(registry) if not k.startswith("d_")
+    )
+    for key in keys:
+        domain = registry[key]
+        related = tuple(t for t in all_topics if t != domain.topic_phrase)
+        for page_idx in range(_scaled_pages(domain, config.scale)):
+            page = render_page(
+                domain, page_idx, rng,
+                max_rows=config.max_rows_per_table,
+                related_topics=related,
+            )
+            if pages_out is not None:
+                pages_out.append(page)
+            root = parse_html(page.html)
+            extracted = extract_tables(
+                root,
+                url=page.url,
+                id_prefix=f"{id_prefix}{page.page_id}_t",
+                census=census,
+            )
+            data_tables = [
+                t for t in extracted if t.num_cols == len(page.column_attrs)
+            ]
+            if len(data_tables) != 1:
+                raise RuntimeError(
+                    f"page {page.page_id}: expected exactly one data table, "
+                    f"got {len(data_tables)} (of {len(extracted)} extracted)"
+                )
+            table = data_tables[0]
+            if provenance_out is not None:
+                provenance_out[table.table_id] = TableProvenance(
+                    table_id=table.table_id,
+                    domain_key=page.domain_key,
+                    column_attrs=page.column_attrs,
+                    is_distractor=page.is_distractor,
+                )
+            yield table
+
+
+def iter_tables(
+    config: CorpusConfig = CorpusConfig(),
+    registry: Optional[Dict[str, Domain]] = None,
+    id_prefix: str = "",
+):
+    """Stream freshly extracted tables without building an index.
+
+    The ingestion path for incremental updates: generated pages go through
+    the full real extraction pipeline, but the tables are *yielded* one by
+    one instead of being indexed, ready for
+    :meth:`~repro.index.journal.JournaledCorpus.add_tables`::
+
+        corpus = load_corpus("corpus-dir")
+        corpus.add_tables(iter_tables(CorpusConfig(scale=0.05),
+                                      id_prefix="live-"))
+
+    Page ids are deterministic functions of domain and page index, so
+    ``id_prefix`` is how a stream destined for an existing corpus avoids
+    colliding with the ids the original build already took.
+    """
+    registry = registry if registry is not None else REGISTRY
+    yield from _extracted_tables(
+        config, registry, ExtractionCensus(), id_prefix=id_prefix
+    )
+
+
 def generate_corpus(
     config: CorpusConfig = CorpusConfig(),
     registry: Optional[Dict[str, Domain]] = None,
@@ -84,49 +166,13 @@ def generate_corpus(
     indexed once here rather than generated monolithic and re-indexed.
     """
     registry = registry if registry is not None else REGISTRY
-    rng = random.Random(config.seed)
     pages: List[GeneratedPage] = []
-    tables: List[WebTable] = []
     provenance: Dict[str, TableProvenance] = {}
     census = ExtractionCensus()
-
-    keys = config.domains if config.domains is not None else tuple(sorted(registry))
-    all_topics = tuple(
-        registry[k].topic_phrase for k in sorted(registry) if not k.startswith("d_")
-    )
-    for key in keys:
-        domain = registry[key]
-        related = tuple(t for t in all_topics if t != domain.topic_phrase)
-        for page_idx in range(_scaled_pages(domain, config.scale)):
-            page = render_page(
-                domain, page_idx, rng,
-                max_rows=config.max_rows_per_table,
-                related_topics=related,
-            )
-            pages.append(page)
-            root = parse_html(page.html)
-            extracted = extract_tables(
-                root,
-                url=page.url,
-                id_prefix=f"{page.page_id}_t",
-                census=census,
-            )
-            data_tables = [
-                t for t in extracted if t.num_cols == len(page.column_attrs)
-            ]
-            if len(data_tables) != 1:
-                raise RuntimeError(
-                    f"page {page.page_id}: expected exactly one data table, "
-                    f"got {len(data_tables)} (of {len(extracted)} extracted)"
-                )
-            table = data_tables[0]
-            tables.append(table)
-            provenance[table.table_id] = TableProvenance(
-                table_id=table.table_id,
-                domain_key=page.domain_key,
-                column_attrs=page.column_attrs,
-                is_distractor=page.is_distractor,
-            )
+    tables: List[WebTable] = list(_extracted_tables(
+        config, registry, census,
+        pages_out=pages, provenance_out=provenance,
+    ))
 
     corpus = build_corpus_index(
         tables, num_shards=num_shards, probe_workers=probe_workers

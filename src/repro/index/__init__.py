@@ -3,11 +3,15 @@
 Two interchangeable backends implement :class:`CorpusProtocol`:
 :class:`IndexedCorpus` (one in-memory index) and :class:`ShardedCorpus`
 (hash-partitioned scatter-gather over N of them, with directory
-persistence via ``save``/:func:`load_corpus`).
+persistence via ``save``/:func:`load_corpus`).  :class:`JournaledCorpus`
+wraps either with a crash-safe write-ahead journal for live
+``add_tables``/``delete_tables`` mutation and ``compact()`` folding —
+:func:`load_corpus` returns one for any persisted directory.
 """
 
-from .builder import IndexedCorpus, build_corpus_index
+from .builder import IndexedCorpus, analyze_table, build_corpus_index
 from .inverted import FIELD_BOOSTS, InvertedIndex, SearchHit
+from .journal import JournaledCorpus
 from .protocol import CorpusProtocol
 from .sharded import ShardedCorpus, build_sharded_corpus, load_corpus, shard_of
 from .store import TableStore
@@ -17,9 +21,11 @@ __all__ = [
     "FIELD_BOOSTS",
     "IndexedCorpus",
     "InvertedIndex",
+    "JournaledCorpus",
     "SearchHit",
     "ShardedCorpus",
     "TableStore",
+    "analyze_table",
     "build_corpus_index",
     "build_sharded_corpus",
     "load_corpus",

@@ -18,7 +18,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Set, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
 
 from ..tables.table import WebTable
 from ..text.tfidf import TermStatistics
@@ -26,18 +26,29 @@ from ..text.tokenize import tokenize
 from .inverted import FIELD_BOOSTS, InvertedIndex, SearchHit
 from .store import TableStore
 
-__all__ = ["IndexedCorpus", "build_corpus_index", "INDEX_FORMAT", "INDEX_VERSION"]
+__all__ = [
+    "IndexedCorpus",
+    "analyze_table",
+    "build_corpus_index",
+    "INDEX_FORMAT",
+    "INDEX_VERSION",
+]
 
 #: Manifest ``format`` marker of the persisted corpus directory layout.
 INDEX_FORMAT = "repro-index"
-#: Manifest ``version``; bump on incompatible layout changes.
-INDEX_VERSION = 1
+#: Manifest ``version``; bump on incompatible layout changes.  Version 2
+#: added the ``journal_seq`` manifest key and per-shard write-ahead
+#: journals (see DESIGN.md, "On-disk corpus format, version 2").
+INDEX_VERSION = 2
 
 #: File names inside a persisted corpus directory (see DESIGN.md).
 MANIFEST_FILE = "manifest.json"
 STATS_FILE = "stats.json"
 SHARD_INDEX_FILE = "index.json"
 SHARD_TABLES_FILE = "tables.jsonl"
+#: Per-shard write-ahead journal (``repro.index.journal``), living next to
+#: the shard snapshot it mutates.
+JOURNAL_FILE = "journal.jsonl"
 
 
 @dataclass
@@ -82,6 +93,12 @@ class IndexedCorpus:
         """All table ids in insertion order."""
         return self.store.ids()
 
+    def __contains__(self, table_id: str) -> bool:
+        return table_id in self.store
+
+    def __iter__(self):
+        return iter(self.store)
+
     # -- persistence -----------------------------------------------------------
 
     def save(self, path: Union[str, Path]) -> Path:
@@ -98,8 +115,18 @@ class IndexedCorpus:
         )
 
     @classmethod
-    def load(cls, path: Union[str, Path]) -> "IndexedCorpus":
-        """Load a corpus saved by :meth:`save` (O(read), no re-indexing)."""
+    def load(
+        cls, path: Union[str, Path], ignore_journal: bool = False
+    ) -> "IndexedCorpus":
+        """Load a corpus saved by :meth:`save` (O(read), no re-indexing).
+
+        This reads the *snapshot* only.  If the directory carries an
+        unfolded write-ahead journal (``repro.index.journal``), loading
+        just the snapshot would silently drop the journaled mutations, so
+        this refuses unless ``ignore_journal=True`` (which
+        :func:`~repro.index.sharded.load_corpus` passes before replaying
+        the journal itself).
+        """
         path = Path(path)
         manifest = read_manifest(path)
         if manifest["kind"] != "monolithic":
@@ -107,6 +134,8 @@ class IndexedCorpus:
                 f"{path} holds a {manifest['kind']!r} corpus; "
                 "use repro.index.sharded.load_corpus"
             )
+        if not ignore_journal:
+            _refuse_unfolded_journal(path, manifest)
         stats = load_stats(path)
         index, store = _load_shard(path / manifest["shards"][0]["dir"])
         return cls(index=index, store=store, stats=stats)
@@ -145,6 +174,34 @@ def _load_shard(shard_dir: Path) -> tuple:
     return index, store
 
 
+def journal_paths(path: Union[str, Path], manifest: dict) -> List[Path]:
+    """Existing, non-empty per-shard journal files of a corpus directory.
+
+    Compaction replaces the whole directory (journals included), so any
+    surviving non-empty ``journal.jsonl`` holds mutations not yet folded
+    into the shard snapshots.
+    """
+    path = Path(path)
+    out = []
+    for entry in manifest["shards"]:
+        journal = path / entry["dir"] / JOURNAL_FILE
+        if journal.is_file() and journal.stat().st_size > 0:
+            out.append(journal)
+    return out
+
+
+def _refuse_unfolded_journal(path: Path, manifest: dict) -> None:
+    """Raise if a snapshot-only loader would drop journaled mutations."""
+    pending = journal_paths(path, manifest)
+    if pending:
+        raise ValueError(
+            f"{path} has an unfolded write-ahead journal "
+            f"({', '.join(p.parent.name for p in pending)}); load it with "
+            "repro.index.load_corpus (which replays the journal) or fold "
+            "it first with compact()"
+        )
+
+
 def load_stats(path: Path) -> TermStatistics:
     """Read the shared ``stats.json`` of a persisted corpus directory."""
     stats_path = Path(path) / STATS_FILE
@@ -163,11 +220,15 @@ def save_corpus_dir(
     shard_pairs: Sequence[tuple],
     stats: TermStatistics,
     kind: str,
+    journal_seq: int = 0,
 ) -> Path:
     """Write the persisted corpus layout — the one writer for both kinds.
 
     ``shard_pairs`` is a list of ``(InvertedIndex, TableStore)`` tuples, one
-    per shard; ``kind`` is ``"monolithic"`` or ``"sharded"``.
+    per shard; ``kind`` is ``"monolithic"`` or ``"sharded"``;
+    ``journal_seq`` is the highest write-ahead-journal sequence number
+    folded into the snapshots being written (0 for a fresh build — see
+    ``repro.index.journal``).
 
     The write is crash-safe: everything (manifest last) goes into a
     temporary sibling directory which is then swapped into place, so an
@@ -207,6 +268,7 @@ def save_corpus_dir(
         "kind": kind,
         "num_shards": len(shard_entries),
         "num_tables": sum(e["num_tables"] for e in shard_entries),
+        "journal_seq": journal_seq,
         "boosts": dict(shard_pairs[0][0].boosts),
         "shards": shard_entries,
     }
@@ -222,7 +284,9 @@ def save_corpus_dir(
 
 
 #: Manifest keys every loader indexes unconditionally.
-_MANIFEST_REQUIRED = ("kind", "num_shards", "num_tables", "boosts", "shards")
+_MANIFEST_REQUIRED = (
+    "kind", "num_shards", "num_tables", "journal_seq", "boosts", "shards",
+)
 
 
 def read_manifest(path: Union[str, Path]) -> dict:
@@ -261,6 +325,20 @@ def read_manifest(path: Union[str, Path]) -> dict:
     return manifest
 
 
+def analyze_table(table: WebTable) -> Dict[str, List[str]]:
+    """Tokenize one table into its three boosted document fields.
+
+    THE analysis path: the monolithic builder, the sharded builder, the
+    journal's delta index, and compaction all tokenize through this one
+    function, so "a journaled table is analyzed exactly as a rebuilt one"
+    is structural rather than a convention four call sites must honor.
+    """
+    return {
+        name: tokenize(table.field_text(name))
+        for name in ("header", "context", "content")
+    }
+
+
 def _index_one(
     table: WebTable,
     index: InvertedIndex,
@@ -272,15 +350,10 @@ def _index_one(
     The single analysis path used by BOTH the monolithic and the sharded
     builders — one document with the three boosted fields of Section 2.1,
     document frequencies counting each table once per term across all its
-    fields.  Keeping it shared is what makes the sharded build's "analyzed
-    exactly as the monolithic build" guarantee structural rather than a
-    convention two loops must honor.
+    fields (see :func:`analyze_table`).
     """
     store.add(table)
-    fields = {
-        name: tokenize(table.field_text(name))
-        for name in ("header", "context", "content")
-    }
+    fields = analyze_table(table)
     index.add_document(table.table_id, fields)
     stats.add_document([t for toks in fields.values() for t in toks])
 

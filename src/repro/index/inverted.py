@@ -95,6 +95,29 @@ class InvertedIndex:
         """Index one document given raw field text (tokenized here)."""
         self.add_document(doc_id, {f: tokenize(t) for f, t in fields.items()})
 
+    def remove_document(self, doc_id: str, fields: Mapping[str, Sequence[str]]) -> None:
+        """Un-index one document, given the same token lists it was added with.
+
+        The caller supplies the fields (re-analyzing the document is
+        cheaper than keeping a forward index here) and the posting entries
+        are deleted term by term — O(document), not O(index).  Used by the
+        journal's in-memory delta; persisted shard snapshots stay
+        append-only by design (deletes are folded at compaction).
+        """
+        if doc_id not in self._doc_ids:
+            raise KeyError(doc_id)
+        self._doc_ids.discard(doc_id)
+        for field, tokens in fields.items():
+            if field not in self._postings:
+                continue
+            for term in set(tokens):
+                postings = self._postings[field].get(term)
+                if postings is not None:
+                    postings.pop(doc_id, None)
+                    if not postings:
+                        del self._postings[field][term]
+            self._field_lengths[field].pop(doc_id, None)
+
     # -- statistics -----------------------------------------------------------
 
     @property

@@ -32,7 +32,19 @@ __all__ = ["CorpusProtocol"]
 
 @runtime_checkable
 class CorpusProtocol(Protocol):
-    """What a corpus backend must provide to serve the query pipeline."""
+    """What a corpus backend must provide to serve the query pipeline.
+
+    Code written against this contract runs unchanged on every backend —
+    monolithic, sharded, or journaled::
+
+        def candidate_ids(corpus: CorpusProtocol, tokens):
+            hits = corpus.search(tokens, limit=60)
+            return [h.doc_id for h in hits]
+
+        candidate_ids(build_corpus_index(tables), tokens)       # monolithic
+        candidate_ids(build_sharded_corpus(tables, 4), tokens)  # sharded
+        candidate_ids(load_corpus("corpus-dir"), tokens)        # journaled
+    """
 
     #: Corpus-global document-frequency table.  Both backends expose the
     #: statistics of the *whole* corpus here (never of one shard), which is

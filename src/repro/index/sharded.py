@@ -43,6 +43,8 @@ from .builder import (
     IndexedCorpus,
     _index_one,
     _load_shard,
+    _refuse_unfolded_journal,
+    MANIFEST_FILE,
     load_stats,
     read_manifest,
     save_corpus_dir,
@@ -67,7 +69,14 @@ class ShardedCorpus:
 
     Every shard's ``stats`` attribute is the *shared corpus-global*
     :class:`TermStatistics`, and every probe scores with the corpus-global
-    IDF — the invariant that makes rankings shard-invariant.
+    IDF — the invariant that makes rankings shard-invariant::
+
+        from repro.index import build_sharded_corpus, load_corpus
+
+        sharded = build_sharded_corpus(tables, num_shards=4)
+        hits = sharded.search(["country", "currency"], limit=20)
+        sharded.save("corpus-dir")              # manifest + per-shard files
+        reloaded = load_corpus("corpus-dir")    # O(read), journal-aware
     """
 
     def __init__(
@@ -265,11 +274,22 @@ class ShardedCorpus:
 
     @classmethod
     def load(
-        cls, path: Union[str, Path], probe_workers: int = 1
+        cls,
+        path: Union[str, Path],
+        probe_workers: int = 1,
+        ignore_journal: bool = False,
     ) -> "ShardedCorpus":
-        """Load a corpus saved by :meth:`save` in O(read) — no re-indexing."""
+        """Load a corpus saved by :meth:`save` in O(read) — no re-indexing.
+
+        Snapshot only: refuses directories carrying an unfolded
+        write-ahead journal unless ``ignore_journal=True`` (see
+        :meth:`IndexedCorpus.load`); :func:`load_corpus` is the journal-
+        aware entry point.
+        """
         path = Path(path)
         manifest = read_manifest(path)
+        if not ignore_journal:
+            _refuse_unfolded_journal(path, manifest)
         stats = load_stats(path)
         shards = []
         for entry in manifest["shards"]:
@@ -316,18 +336,72 @@ def build_sharded_corpus(
     )
 
 
+def _restore_backup_if_orphaned(path: Path) -> None:
+    """Recover from a crash between the two renames of a save/compaction.
+
+    :func:`~repro.index.builder.save_corpus_dir` swaps directories as
+    ``path -> .path.replaced`` then ``tmp -> path``; a kill between the
+    renames leaves the corpus alive only as the backup sibling.  A retried
+    *save* already restores it — this makes a plain *load* after the crash
+    self-healing too.
+    """
+    backup = path.parent / f".{path.name}.replaced"
+    if backup.is_dir() and not (path / MANIFEST_FILE).is_file():
+        if path.exists():
+            # A half-written non-corpus dir at `path` would block the
+            # rename; save_corpus_dir never leaves one (it writes to the
+            # temp sibling), so anything here is foreign — keep it and
+            # let read_manifest report the problem.
+            return
+        backup.rename(path)
+
+
 def load_corpus(
-    path: Union[str, Path], probe_workers: int = 1
+    path: Union[str, Path],
+    probe_workers: int = 1,
+    mutable: bool = True,
+    stats_staleness: int = 0,
 ):
     """Open a persisted corpus directory, whichever kind it holds.
 
-    Returns an :class:`IndexedCorpus` for ``kind: monolithic`` manifests
-    (``probe_workers`` is irrelevant there) and a :class:`ShardedCorpus`
-    for ``kind: sharded``.
+    The journal-aware entry point, and the one serving processes should
+    use::
+
+        from repro.index import load_corpus
+
+        corpus = load_corpus("corpus-dir")       # replays any journal
+        corpus.add_tables(new_tables)            # durable live mutation
+        corpus.compact()                         # fold into snapshots
+
+    Loads the shard snapshots in O(read), replays any surviving
+    write-ahead journal (``repro.index.journal``), and returns a mutable
+    :class:`~repro.index.journal.JournaledCorpus` wrapping the snapshot
+    backend — an :class:`IndexedCorpus` for ``kind: monolithic`` manifests
+    (``probe_workers`` is irrelevant there), a :class:`ShardedCorpus` for
+    ``kind: sharded``.  A crash that interrupted a previous save or
+    compaction between its two directory renames is healed here by
+    restoring the backup sibling.
+
+    ``mutable=False`` returns the bare snapshot backend instead (PR 2
+    behaviour); it refuses directories with unfolded journal records
+    rather than silently dropping them.  ``stats_staleness`` is forwarded
+    to the journaled wrapper (0 = rankings always exact).
     """
+    from .journal import JournaledCorpus
+
+    path = Path(path)
+    _restore_backup_if_orphaned(path)
     manifest = read_manifest(path)
     if manifest["kind"] == "monolithic":
-        return IndexedCorpus.load(path)
-    if manifest["kind"] == "sharded":
-        return ShardedCorpus.load(path, probe_workers=probe_workers)
-    raise ValueError(f"{path}: unknown corpus kind {manifest['kind']!r}")
+        base = IndexedCorpus.load(path, ignore_journal=mutable)
+    elif manifest["kind"] == "sharded":
+        base = ShardedCorpus.load(
+            path, probe_workers=probe_workers, ignore_journal=mutable
+        )
+    else:
+        raise ValueError(f"{path}: unknown corpus kind {manifest['kind']!r}")
+    if not mutable:
+        return base
+    return JournaledCorpus.open(
+        path, base, manifest, stats_staleness=stats_staleness
+    )

@@ -37,6 +37,14 @@ class TableStore:
         """Fetch a table by id (KeyError if absent)."""
         return self._tables[table_id]
 
+    def remove(self, table_id: str) -> WebTable:
+        """Remove and return a table by id (KeyError if absent).
+
+        O(1); used by the journal's delta store when a journaled add is
+        itself deleted.  Insertion order of the survivors is preserved.
+        """
+        return self._tables.pop(table_id)
+
     def get_many(self, table_ids: Iterable[str]) -> List[WebTable]:
         """Fetch several tables, preserving input order, skipping unknowns."""
         return [self._tables[i] for i in table_ids if i in self._tables]

@@ -36,7 +36,14 @@ class EngineConfig:
     """Everything a :class:`~repro.service.WWTService` needs, in one value.
 
     ``params`` and ``probe`` carry the paper's tunables; the rest are
-    serving knobs.  A cache size of 0 disables that cache.
+    serving knobs.  A cache size of 0 disables that cache.  Round-trips
+    through plain dicts, so a service is configurable from one JSON file::
+
+        config = EngineConfig(inference="bp", cache_size=512)
+        assert EngineConfig.from_dict(config.to_dict()) == config
+        service_cfg = EngineConfig.from_dict(
+            {"index_path": "corpus-dir", "auto_compact_threshold": 1000}
+        )
     """
 
     params: ModelParams = field(default_factory=ModelParams)
@@ -64,6 +71,11 @@ class EngineConfig:
     #: Scatter-gather width for sharded probes (1 = serial scatter, which
     #: wins for small in-memory shards; raise it for large/disk shards).
     probe_workers: int = 1
+    #: Journal depth at which :meth:`WWTService.add_tables` /
+    #: :meth:`WWTService.delete_tables` trigger an automatic ``compact()``
+    #: of the served corpus (``None`` = never; compact manually or via
+    #: ``repro index compact``).
+    auto_compact_threshold: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.inference not in DEFAULT_REGISTRY:
@@ -81,6 +93,13 @@ class EngineConfig:
             raise ValueError("num_shards must be >= 1 (None for monolithic)")
         if self.probe_workers < 1:
             raise ValueError("probe_workers must be >= 1")
+        if (
+            self.auto_compact_threshold is not None
+            and self.auto_compact_threshold < 1
+        ):
+            raise ValueError(
+                "auto_compact_threshold must be >= 1 (None disables)"
+            )
         if self.index_path is not None and not isinstance(self.index_path, str):
             # Paths arrive as pathlib.Path from callers; freeze as str so
             # to_dict() stays JSON-safe and equality is well-defined.
@@ -112,6 +131,7 @@ class EngineConfig:
             "num_shards": self.num_shards,
             "index_path": self.index_path,
             "probe_workers": self.probe_workers,
+            "auto_compact_threshold": self.auto_compact_threshold,
         }
 
     @classmethod
@@ -139,6 +159,7 @@ class EngineConfig:
             "inference", "cache_size", "probe_cache_size",
             "max_workers", "page_size",
             "num_shards", "index_path", "probe_workers",
+            "auto_compact_threshold",
         }
         unknown = sorted(set(data) - top_known)
         if unknown:

@@ -71,6 +71,13 @@ class WWTService:
     (``repro index build``).  With no corpus argument at all, the config's
     ``index_path`` is loaded — so a service is fully constructible from one
     JSON config file.
+
+    A service over a persisted directory can also mutate it live — new
+    tables are journaled durably and searchable immediately::
+
+        service = WWTService("corpus-dir")
+        service.add_tables(new_tables)      # caches invalidated
+        service.compact()                   # fold journal into snapshots
     """
 
     def __init__(
@@ -277,6 +284,66 @@ class WWTService:
             return [self.answer(r) for r in coerced]
         with ThreadPoolExecutor(max_workers=width) as pool:
             return list(pool.map(self.answer, coerced))
+
+    # -- live mutation -----------------------------------------------------
+
+    def _mutable_corpus(self):
+        """The served corpus, if it supports journaled mutation.
+
+        Corpora loaded from a persisted directory (``WWTService(path)`` or
+        ``EngineConfig.index_path``) are
+        :class:`~repro.index.journal.JournaledCorpus` instances and
+        mutable; an in-memory corpus object passed in by the caller
+        usually is not.
+        """
+        if not hasattr(self.corpus, "add_tables"):
+            raise ValueError(
+                "the served corpus is immutable; serve a persisted corpus "
+                "directory (repro index build + WWTService(path)) to get "
+                "journaled add_tables/delete_tables"
+            )
+        return self.corpus
+
+    def add_tables(self, tables) -> int:
+        """Journal new tables into the served corpus, live.
+
+        The tables are searchable by the next query — both caches are
+        dropped (cached answers were computed against the smaller corpus)
+        — and the mutation is durable before this returns.  When the
+        config sets ``auto_compact_threshold`` and the journal has grown
+        to that depth, the corpus is compacted in the same call.  Returns
+        the number of tables added.
+        """
+        corpus = self._mutable_corpus()
+        added = corpus.add_tables(tables)
+        self.clear_caches()
+        self._maybe_auto_compact()
+        return added
+
+    def delete_tables(self, table_ids) -> int:
+        """Remove tables from the served corpus, live (see :meth:`add_tables`)."""
+        corpus = self._mutable_corpus()
+        deleted = corpus.delete_tables(table_ids)
+        self.clear_caches()
+        self._maybe_auto_compact()
+        return deleted
+
+    def compact(self) -> int:
+        """Fold the served corpus's journal into fresh shard snapshots.
+
+        Returns the number of journal records folded.  Cached answers stay
+        valid (compaction preserves rankings exactly), so the caches are
+        left alone.
+        """
+        return self._mutable_corpus().compact()
+
+    def _maybe_auto_compact(self) -> None:
+        threshold = self.config.auto_compact_threshold
+        if (
+            threshold is not None
+            and getattr(self.corpus, "journal_depth", 0) >= threshold
+        ):
+            self.corpus.compact()
 
     # -- operations -------------------------------------------------------
 

@@ -103,7 +103,7 @@ class TestIndexCommands:
         assert main(["index", "info", corpus_dir], out=out) == 0
         info_text = out.getvalue()
         assert "kind: sharded" in info_text
-        assert "shards: 3" in info_text
+        assert "num_shards: 3" in info_text
         assert "shard-0000" in info_text
 
         out = io.StringIO()
@@ -127,6 +127,86 @@ class TestIndexCommands:
         out = io.StringIO()
         assert main(["index", "info", corpus_dir], out=out) == 0
         assert "kind: monolithic" in out.getvalue()
+
+    def test_incremental_add_compact_flow(self, tmp_path):
+        """The README quickstart: index build -> add -> compact."""
+        corpus_dir = str(tmp_path / "corpus")
+        out = io.StringIO()
+        assert main(
+            ["index", "build", "--out", corpus_dir, "--scale", "0.05",
+             "--num-shards", "2"],
+            out=out,
+        ) == 0
+
+        out = io.StringIO()
+        assert main(
+            ["index", "add", corpus_dir, "--scale", "0.02",
+             "--prefix", "live-"],
+            out=out,
+        ) == 0
+        add_text = out.getvalue()
+        assert "journaled" in add_text
+        assert "journal_depth:" in add_text
+
+        out = io.StringIO()
+        assert main(["index", "info", corpus_dir], out=out) == 0
+        info_text = out.getvalue()
+        assert "journal_seq: 0" in info_text
+        assert "journal_depth: 0" not in info_text  # journal is non-empty
+
+        # Queries serve the journaled corpus (snapshot + replayed journal).
+        out = io.StringIO()
+        assert main(
+            ["query", "country | currency", "--index", corpus_dir,
+             "--rows", "2"],
+            out=out,
+        ) == 0
+
+        out = io.StringIO()
+        assert main(["index", "compact", corpus_dir], out=out) == 0
+        compact_text = out.getvalue()
+        assert "folded" in compact_text
+        assert "journal_depth: 0" in compact_text
+
+        out = io.StringIO()
+        assert main(["index", "info", corpus_dir], out=out) == 0
+        info_text = out.getvalue()
+        assert "journal_depth: 0" in info_text
+        assert "journal_seq: 0" not in info_text  # seq advanced
+
+    def test_add_with_colliding_prefix_is_cli_error(self, tmp_path, capsys):
+        corpus_dir = str(tmp_path / "corpus")
+        out = io.StringIO()
+        assert main(
+            ["index", "build", "--out", corpus_dir, "--scale", "0.05"],
+            out=out,
+        ) == 0
+        # An empty prefix regenerates ids the build already took.
+        code = main(
+            ["index", "add", corpus_dir, "--scale", "0.05", "--seed", "42",
+             "--prefix", ""],
+            out=io.StringIO(),
+        )
+        assert code == 2
+        assert "already in corpus" in capsys.readouterr().err
+
+    def test_info_field_names_match_spec(self, tmp_path):
+        """`index info` keys must equal the DESIGN.md spec's field names."""
+        corpus_dir = str(tmp_path / "corpus")
+        assert main(
+            ["index", "build", "--out", corpus_dir, "--scale", "0.05"],
+            out=io.StringIO(),
+        ) == 0
+        out = io.StringIO()
+        assert main(["index", "info", corpus_dir], out=out) == 0
+        keys = [
+            line.split(":")[0] for line in out.getvalue().splitlines()
+            if ":" in line and not line.startswith(" ")
+        ]
+        assert keys[:8] == [
+            "format", "version", "kind", "num_shards", "num_tables",
+            "journal_seq", "journal_depth", "boosts",
+        ]
 
     def test_info_on_non_corpus_is_cli_error(self, tmp_path, capsys):
         out = io.StringIO()

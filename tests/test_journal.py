@@ -1,0 +1,551 @@
+"""Tests for ``repro.index.journal``: live mutation, crash recovery,
+ranking equivalence against full rebuilds, and the no-reindex guarantee."""
+
+import json
+
+import pytest
+
+from repro.index import (
+    IndexedCorpus,
+    InvertedIndex,
+    JournaledCorpus,
+    ShardedCorpus,
+    build_corpus_index,
+    build_sharded_corpus,
+    load_corpus,
+)
+from repro.index.builder import JOURNAL_FILE, read_manifest
+from repro.index.journal import append_records, read_journal
+from repro.pipeline.probe import ProbeConfig, two_stage_probe
+from repro.query.workload import WORKLOAD
+from repro.service import EngineConfig, WWTService
+from repro.tables.table import WebTable
+
+
+def make_tables(n=12, prefix="t", start=0):
+    return [
+        WebTable.from_rows(
+            [[f"val{i}a", f"{i}"], [f"val{i}b", f"{i + 1}"]],
+            header=["name", "rank"],
+            table_id=f"{prefix}{i}",
+        )
+        for i in range(start, start + n)
+    ]
+
+
+@pytest.fixture(scope="module")
+def corpus_tables(small_env):
+    """The small shared environment's extracted tables, in index order."""
+    return list(small_env.synthetic.corpus.store)
+
+
+def built_dir(tmp_path, tables, num_shards=None, name="c"):
+    """Build + persist, then reload the journal-aware way."""
+    build_corpus_index(tables, num_shards=num_shards, save=tmp_path / name)
+    return load_corpus(tmp_path / name)
+
+
+def hits_of(corpus, terms, limit=60):
+    return [(h.doc_id, round(h.score, 9)) for h in corpus.search(terms, limit=limit)]
+
+
+class TestMutation:
+    def test_added_tables_visible_immediately(self, tmp_path):
+        corpus = built_dir(tmp_path, make_tables(8), num_shards=2)
+        new = make_tables(2, prefix="new", start=0)
+        assert corpus.add_tables(new) == 2
+        assert corpus.num_tables == 10
+        assert "new0" in corpus
+        assert corpus.get_table("new1").table_id == "new1"
+        assert {h.doc_id for h in corpus.search(["name"], limit=20)} >= {
+            "new0", "new1"
+        }
+        assert "new0" in corpus.docs_containing_all(["name"], ["header"])
+
+    def test_deleted_tables_invisible_immediately(self, tmp_path):
+        corpus = built_dir(tmp_path, make_tables(8), num_shards=2)
+        corpus.delete_tables(["t3"])
+        assert corpus.num_tables == 7
+        assert "t3" not in corpus
+        assert "t3" not in {h.doc_id for h in corpus.search(["name"], limit=20)}
+        assert "t3" not in corpus.docs_containing_all(["name"], ["header"])
+        assert corpus.get_many(["t3", "t4"]) == [corpus.get_table("t4")]
+        with pytest.raises(KeyError):
+            corpus.get_table("t3")
+
+    def test_delete_of_journaled_add(self, tmp_path):
+        corpus = built_dir(tmp_path, make_tables(6))
+        corpus.add_tables(make_tables(2, prefix="new"))
+        corpus.delete_tables(["new0"])
+        assert corpus.num_tables == 7
+        assert "new0" not in corpus and "new1" in corpus
+        assert corpus.journal_depth == 3
+        # The WAL is append-only: reload replays add then delete.
+        reloaded = load_corpus(tmp_path / "c")
+        assert sorted(reloaded.ids()) == sorted(corpus.ids())
+
+    def test_duplicate_and_unknown_ids_rejected_atomically(self, tmp_path):
+        corpus = built_dir(tmp_path, make_tables(4))
+        with pytest.raises(ValueError, match="already in corpus"):
+            corpus.add_tables(make_tables(1, prefix="t"))
+        with pytest.raises(ValueError, match="in batch"):
+            corpus.add_tables(
+                make_tables(1, prefix="x") + make_tables(1, prefix="x")
+            )
+        with pytest.raises(KeyError):
+            corpus.delete_tables(["t0", "nope"])
+        # Failed batches must leave no partial state and no journal records.
+        assert corpus.num_tables == 4
+        assert "t0" in corpus
+        assert corpus.journal_depth == 0
+
+    def test_delete_then_readd_same_id(self, tmp_path):
+        corpus = built_dir(tmp_path, make_tables(4), num_shards=2)
+        replacement = WebTable.from_rows(
+            [["fresh", "1"]], header=["name", "rank"], table_id="t2"
+        )
+        corpus.delete_tables(["t2"])
+        corpus.add_tables([replacement])
+        assert corpus.num_tables == 4
+        assert corpus.get_table("t2").body_cell(0, 0).text == "fresh"
+        reloaded = load_corpus(tmp_path / "c")
+        assert reloaded.get_table("t2").body_cell(0, 0).text == "fresh"
+
+    def test_ephemeral_journal_without_path(self, corpus_tables):
+        base = build_sharded_corpus(corpus_tables[:-2], 2)
+        corpus = JournaledCorpus(base)
+        corpus.add_tables(corpus_tables[-2:])
+        assert corpus.num_tables == len(corpus_tables)
+        assert corpus.compact() == 2
+        assert corpus.journal_depth == 0
+        assert corpus.base.num_tables == len(corpus_tables)
+
+
+class TestExportAndConcurrency:
+    def test_save_exports_live_state_without_touching_journal(
+        self, tmp_path
+    ):
+        """`save` must never drop journaled mutations (it folds a copy)."""
+        corpus = built_dir(tmp_path, make_tables(10), num_shards=2)
+        corpus.add_tables(make_tables(3, prefix="new"))
+        corpus.delete_tables(["t1"])
+        exported = corpus.save(tmp_path / "export")
+        copy = load_corpus(exported)
+        assert sorted(copy.ids()) == sorted(corpus.ids())
+        assert copy.journal_depth == 0  # folded: nothing left to replay
+        assert hits_of(copy, ["name"]) == hits_of(corpus, ["name"])
+        # The source instance is untouched: same journal, same live state.
+        assert corpus.journal_depth == 4
+        assert corpus.base.num_tables == 10
+        assert load_corpus(tmp_path / "c").journal_depth == 4
+
+    def test_failed_append_rolls_back_cleanly(self, tmp_path, monkeypatch):
+        """A mid-batch WAL failure must leave memory AND disk unchanged."""
+        from repro.index import journal as journal_mod
+
+        corpus = built_dir(tmp_path, make_tables(12), num_shards=4)
+        state_before = sorted(corpus.ids())
+        calls = {"n": 0}
+        original = journal_mod.append_records
+
+        def flaky(path, records):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise OSError("disk full")
+            return original(path, records)
+
+        monkeypatch.setattr(journal_mod, "append_records", flaky)
+        batch = make_tables(8, prefix="new")  # spans several shards
+        with pytest.raises(OSError):
+            corpus.add_tables(batch)
+        monkeypatch.setattr(journal_mod, "append_records", original)
+        assert sorted(corpus.ids()) == state_before
+        assert corpus.journal_depth == 0
+        assert load_corpus(tmp_path / "c").num_tables == 12  # no resurrection
+        # The journal stays usable after the rollback.
+        corpus.add_tables(batch)
+        assert load_corpus(tmp_path / "c").num_tables == 20
+
+    def test_probes_concurrent_with_mutations(self, tmp_path):
+        """Probes racing adds/deletes/compaction: no torn reads, no dups."""
+        import threading
+
+        corpus = built_dir(tmp_path, make_tables(30), num_shards=4)
+        corpus.add_tables(make_tables(5, prefix="seed"))  # start dirty
+        errors = []
+        stop = threading.Event()
+
+        def prober():
+            try:
+                while not stop.is_set():
+                    hits = corpus.search(["name"], limit=40)
+                    ids = [h.doc_id for h in hits]
+                    assert len(ids) == len(set(ids)), "duplicate hits"
+                    corpus.docs_containing_all(["name"], ["header"])
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=prober) for _ in range(3)]
+        for t in threads:
+            t.start()
+        try:
+            for i in range(12):
+                corpus.add_tables(make_tables(3, prefix=f"w{i}_"))
+                if i % 4 == 3:
+                    corpus.delete_tables([f"w{i}_0"])
+                    corpus.compact()
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+        assert not errors, errors[:1]
+
+    def test_stale_window_serves_one_consistent_idf_vintage(self, tmp_path):
+        """Within the staleness bound, cached and uncached terms must agree
+        on the corpus vintage (here: the base, pre-sync)."""
+        from repro.index.inverted import lucene_idf
+
+        tables = make_tables(10)
+        build_corpus_index(tables, save=tmp_path / "c")
+        corpus = load_corpus(tmp_path / "c", stats_staleness=50)
+        base = corpus.base
+        corpus.add_tables(make_tables(4, prefix="new"))
+        corpus.search(["name"], limit=5)  # populate some idf cache entries
+        for term in ("name", "rank", "val2a"):  # mix of cached/uncached
+            assert corpus._effective_idf(term) == pytest.approx(
+                lucene_idf(
+                    base.num_tables, base.index.document_frequency(term)
+                ),
+                abs=1e-12,
+            )
+
+
+class TestRankingEquivalence:
+    """A journaled corpus must answer exactly like a full rebuild —
+    acceptance regimes (a) non-empty journal and (b) post-compaction."""
+
+    @pytest.fixture(scope="class")
+    def split(self, corpus_tables):
+        """(kept_base, added, deleted_ids, live_tables)."""
+        base = corpus_tables[:-6]
+        added = corpus_tables[-6:]
+        deleted = [base[3].table_id, base[17].table_id]
+        live = [t for t in base if t.table_id not in deleted] + added
+        return base, added, deleted, live
+
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_journaled_matches_rebuild_full_workload(
+        self, tmp_path, split, k
+    ):
+        base, added, deleted, live = split
+        build_corpus_index(base, num_shards=k, save=tmp_path / f"c{k}")
+        corpus = load_corpus(tmp_path / f"c{k}")
+        corpus.add_tables(added)
+        corpus.delete_tables(deleted)
+        assert corpus.journal_depth == len(added) + len(deleted)
+        rebuilt = build_sharded_corpus(live, k)
+        for wq in WORKLOAD:
+            tokens = wq.query.all_tokens()
+            assert hits_of(corpus, tokens) == hits_of(rebuilt, tokens), (
+                wq.query_id
+            )
+        assert corpus.stats.to_dict() == rebuilt.stats.to_dict()
+        corpus.close()
+
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_compacted_matches_fresh_build_full_workload(
+        self, tmp_path, split, k
+    ):
+        base, added, deleted, live = split
+        build_corpus_index(base, num_shards=k, save=tmp_path / f"c{k}")
+        corpus = load_corpus(tmp_path / f"c{k}")
+        corpus.add_tables(added)
+        corpus.delete_tables(deleted)
+        assert corpus.compact() == len(added) + len(deleted)
+        assert corpus.journal_depth == 0
+        fresh = build_sharded_corpus(live, k)
+        reloaded = load_corpus(tmp_path / f"c{k}")
+        for wq in WORKLOAD:
+            tokens = wq.query.all_tokens()
+            expected = hits_of(fresh, tokens)
+            assert hits_of(corpus, tokens) == expected, wq.query_id
+            assert hits_of(reloaded, tokens) == expected, wq.query_id
+        assert corpus.stats.to_dict() == fresh.stats.to_dict()
+        corpus.close()
+        reloaded.close()
+
+    def test_two_stage_probe_matches_rebuild(self, tmp_path, split):
+        base, added, deleted, live = split
+        build_corpus_index(base, num_shards=2, save=tmp_path / "c")
+        corpus = load_corpus(tmp_path / "c")
+        corpus.add_tables(added)
+        corpus.delete_tables(deleted)
+        rebuilt = build_sharded_corpus(live, 2)
+        config = ProbeConfig(seed=9)
+        for wq in WORKLOAD[:8]:
+            a = two_stage_probe(wq.query, corpus, config)
+            b = two_stage_probe(wq.query, rebuilt, config)
+            assert a.stage1_ids == b.stage1_ids, wq.query_id
+            assert a.stage2_ids == b.stage2_ids, wq.query_id
+            assert [t.table_id for t in a.tables] == [
+                t.table_id for t in b.tables
+            ]
+        corpus.close()
+
+    def test_untouched_corpus_stats_identity(self, tmp_path):
+        """Empty journal: the wrapper serves the base's objects verbatim."""
+        corpus = built_dir(tmp_path, make_tables(6), num_shards=2)
+        assert corpus.stats is corpus.base.stats
+        assert hits_of(corpus, ["name"]) == hits_of(corpus.base, ["name"])
+
+
+class TestStaleness:
+    def test_default_staleness_zero_is_exact(self, tmp_path):
+        corpus = built_dir(tmp_path, make_tables(6))
+        before = corpus.stats.num_docs
+        corpus.add_tables(make_tables(1, prefix="new"))
+        assert corpus.stats.num_docs == before + 1
+
+    def test_positive_staleness_defers_stats_refresh(self, tmp_path):
+        tables = make_tables(10)
+        build_corpus_index(tables, save=tmp_path / "c")
+        corpus = load_corpus(tmp_path / "c", stats_staleness=5)
+        base_docs = corpus.base.stats.num_docs
+        corpus.add_tables(make_tables(3, prefix="new"))
+        # Within the bound: the derived stats may (and here do) lag...
+        assert corpus.stats.num_docs == base_docs
+        corpus.add_tables(make_tables(3, prefix="more"))
+        # ...but past it the next read is exact.
+        assert corpus.stats.num_docs == base_docs + 6
+        # Visibility never lags: journaled tables are searchable at once.
+        assert "more2" in {h.doc_id for h in corpus.search(["name"], limit=30)}
+
+    def test_negative_staleness_rejected(self, tmp_path):
+        build_corpus_index(make_tables(2), save=tmp_path / "c")
+        with pytest.raises(ValueError, match="stats_staleness"):
+            load_corpus(tmp_path / "c", stats_staleness=-1)
+
+
+class TestCrashRecovery:
+    def test_torn_final_append_is_dropped(self, tmp_path):
+        corpus = built_dir(tmp_path, make_tables(8), num_shards=1)
+        corpus.add_tables(make_tables(2, prefix="new"))
+        journal = tmp_path / "c" / "shard-0000" / JOURNAL_FILE
+        lines = journal.read_text().splitlines()
+        torn = "\n".join(lines[:-1] + [lines[-1][: len(lines[-1]) // 2]])
+        journal.write_text(torn + "\n")  # no trailing newline mid-record
+        recovered = load_corpus(tmp_path / "c")
+        assert recovered.num_tables == 9  # the torn add never committed
+        assert "new0" in recovered and "new1" not in recovered
+        # The journal stays writable: the torn seq is reused by the next add.
+        recovered.add_tables(make_tables(1, prefix="again"))
+        assert load_corpus(tmp_path / "c").num_tables == 10
+
+    def test_corrupt_middle_record_names_path_and_line(self, tmp_path):
+        corpus = built_dir(tmp_path, make_tables(4), num_shards=1)
+        corpus.add_tables(make_tables(2, prefix="new"))
+        journal = tmp_path / "c" / "shard-0000" / JOURNAL_FILE
+        lines = journal.read_text().splitlines()
+        lines[0] = lines[0][:10]  # corrupt a NON-final record
+        journal.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match=r"journal\.jsonl:1"):
+            load_corpus(tmp_path / "c")
+
+    def test_backwards_sequence_rejected(self, tmp_path):
+        built_dir(tmp_path, make_tables(2), num_shards=1)
+        journal = tmp_path / "c" / "shard-0000" / JOURNAL_FILE
+        append_records(journal, [
+            {"seq": 5, "op": "delete", "table_id": "t0"},
+            {"seq": 4, "op": "delete", "table_id": "t1"},
+            {"seq": 9, "op": "delete", "table_id": "t1"},  # non-final
+        ])
+        with pytest.raises(ValueError, match="backwards"):
+            load_corpus(tmp_path / "c")
+
+    def test_already_folded_records_are_skipped(self, tmp_path):
+        """Records with seq <= manifest journal_seq were compacted in."""
+        corpus = built_dir(tmp_path, make_tables(6), num_shards=1)
+        corpus.add_tables(make_tables(1, prefix="new"))
+        corpus.compact()
+        # Simulate a resurrected pre-compaction journal fragment.
+        append_records(
+            tmp_path / "c" / "shard-0000" / JOURNAL_FILE,
+            [{"seq": 1, "op": "add",
+              "table": make_tables(1, prefix="new")[0].to_dict()}],
+        )
+        recovered = load_corpus(tmp_path / "c")
+        assert recovered.num_tables == 7  # not applied twice
+        assert recovered.journal_depth == 0
+
+    def test_orphaned_compaction_tmp_dir_is_harmless(self, tmp_path):
+        corpus = built_dir(tmp_path, make_tables(6), num_shards=2)
+        corpus.add_tables(make_tables(2, prefix="new"))
+        orphan = tmp_path / ".c.saving"
+        orphan.mkdir()
+        (orphan / "garbage.json").write_text("{")
+        recovered = load_corpus(tmp_path / "c")
+        assert recovered.num_tables == 8
+        recovered.compact()
+        assert not orphan.exists()  # pruned by the atomic writer
+        assert load_corpus(tmp_path / "c").num_tables == 8
+
+    def test_crash_between_compaction_renames_heals_on_load(self, tmp_path):
+        corpus = built_dir(tmp_path, make_tables(6), num_shards=2)
+        corpus.add_tables(make_tables(2, prefix="new"))
+        # Simulate dying after `path -> backup` but before `tmp -> path`.
+        (tmp_path / "c").rename(tmp_path / ".c.replaced")
+        recovered = load_corpus(tmp_path / "c")
+        assert recovered.num_tables == 8
+        assert recovered.journal_depth == 2  # journal survived the crash
+        assert not (tmp_path / ".c.replaced").exists()
+
+    def test_snapshot_loaders_refuse_unfolded_journal(self, tmp_path):
+        sharded = built_dir(tmp_path, make_tables(8), num_shards=2,
+                            name="s")
+        sharded.add_tables(make_tables(1, prefix="new"))
+        with pytest.raises(ValueError, match="unfolded"):
+            ShardedCorpus.load(tmp_path / "s")
+        with pytest.raises(ValueError, match="unfolded"):
+            load_corpus(tmp_path / "s", mutable=False)
+        mono = built_dir(tmp_path, make_tables(8), name="m")
+        mono.add_tables(make_tables(1, prefix="new"))
+        with pytest.raises(ValueError, match="unfolded"):
+            IndexedCorpus.load(tmp_path / "m")
+        # After compaction the snapshot is complete again.
+        mono.compact()
+        assert IndexedCorpus.load(tmp_path / "m").num_tables == 9
+
+    def test_compaction_removes_journals_and_advances_seq(self, tmp_path):
+        corpus = built_dir(tmp_path, make_tables(8), num_shards=2)
+        corpus.add_tables(make_tables(3, prefix="new"))
+        corpus.delete_tables(["t1"])
+        corpus.compact()
+        assert list((tmp_path / "c").rglob(JOURNAL_FILE)) == []
+        manifest = read_manifest(tmp_path / "c")
+        assert manifest["journal_seq"] == 4
+        assert manifest["num_tables"] == 10
+
+    def test_read_journal_round_trip(self, tmp_path):
+        journal = tmp_path / JOURNAL_FILE
+        records = [
+            {"seq": 1, "op": "add",
+             "table": make_tables(1)[0].to_dict()},
+            {"seq": 3, "op": "delete", "table_id": "t0"},
+        ]
+        append_records(journal, records)
+        assert read_journal(journal) == records
+
+
+class TestNoReindex:
+    """Adding tables must never touch existing shard snapshots."""
+
+    def counting(self, monkeypatch):
+        calls = []
+        original = InvertedIndex.add_document
+
+        def counted(self, doc_id, fields):
+            calls.append(doc_id)
+            return original(self, doc_id, fields)
+
+        monkeypatch.setattr(InvertedIndex, "add_document", counted)
+        return calls
+
+    def test_add_indexes_only_the_new_tables(self, tmp_path, monkeypatch):
+        build_corpus_index(make_tables(40), num_shards=4, save=tmp_path / "c")
+        corpus = load_corpus(tmp_path / "c")
+        calls = self.counting(monkeypatch)
+        corpus.add_tables(make_tables(1, prefix="new"))
+        assert calls == ["new0"]  # 1 delta-index call; 0 shard re-indexing
+
+    def test_addonly_compact_indexes_only_the_delta(
+        self, tmp_path, monkeypatch
+    ):
+        build_corpus_index(make_tables(40), num_shards=4, save=tmp_path / "c")
+        corpus = load_corpus(tmp_path / "c")
+        corpus.add_tables(make_tables(2, prefix="new"))
+        calls = self.counting(monkeypatch)
+        corpus.compact()
+        assert sorted(calls) == ["new0", "new1"]
+
+    def test_delete_compact_reindexes_only_affected_shards(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.index import shard_of
+
+        tables = make_tables(40)
+        build_corpus_index(tables, num_shards=4, save=tmp_path / "c")
+        corpus = load_corpus(tmp_path / "c")
+        victim = tables[0].table_id
+        shard = shard_of(victim, 4)
+        shard_size = corpus.base.shard_sizes()[shard]
+        corpus.delete_tables([victim])
+        calls = self.counting(monkeypatch)
+        corpus.compact()
+        # Only the victim's shard is rebuilt (its survivors re-indexed).
+        assert len(calls) == shard_size - 1
+
+
+class TestServiceIntegration:
+    def test_add_tables_passthrough_and_cache_invalidation(
+        self, tmp_path, corpus_tables
+    ):
+        build_corpus_index(corpus_tables[:-4], num_shards=2,
+                           save=tmp_path / "c")
+        with WWTService(tmp_path / "c") as service:
+            first = service.answer("country | currency")
+            assert service.answer("country | currency").cache_hit
+            assert service.add_tables(corpus_tables[-4:]) == 4
+            after = service.answer("country | currency")
+            assert not after.cache_hit  # caches dropped on mutation
+            assert first.header == after.header
+            assert service.corpus.journal_depth == 4
+            assert service.compact() == 4
+            assert service.corpus.journal_depth == 0
+
+    def test_auto_compact_threshold(self, tmp_path):
+        build_corpus_index(make_tables(10), num_shards=2, save=tmp_path / "c")
+        config = EngineConfig(auto_compact_threshold=3)
+        with WWTService(tmp_path / "c", config) as service:
+            service.add_tables(make_tables(2, prefix="a"))
+            assert service.corpus.journal_depth == 2  # below threshold
+            service.add_tables(make_tables(2, prefix="b"))
+            assert service.corpus.journal_depth == 0  # compacted at >= 3
+            assert read_manifest(tmp_path / "c")["num_tables"] == 14
+
+    def test_immutable_corpus_rejects_mutation(self, corpus_tables):
+        service = WWTService(build_sharded_corpus(corpus_tables[:10], 2))
+        with pytest.raises(ValueError, match="immutable"):
+            service.add_tables(make_tables(1, prefix="new"))
+        with pytest.raises(ValueError, match="immutable"):
+            service.delete_tables(["x"])
+
+    def test_config_round_trips_auto_compact(self):
+        config = EngineConfig(auto_compact_threshold=100)
+        assert EngineConfig.from_dict(config.to_dict()) == config
+        with pytest.raises(ValueError, match="auto_compact_threshold"):
+            EngineConfig(auto_compact_threshold=0)
+
+
+class TestStreamingIngestion:
+    def test_iter_tables_streams_the_extraction_pipeline(self):
+        from repro.corpus.generator import CorpusConfig, iter_tables
+
+        tables = list(iter_tables(CorpusConfig(seed=3, scale=0.02),
+                                  id_prefix="live-"))
+        assert tables
+        assert all(t.table_id.startswith("live-") for t in tables)
+        # Same config without the prefix: identical content, shifted ids.
+        plain = list(iter_tables(CorpusConfig(seed=3, scale=0.02)))
+        assert [t.table_id for t in tables] == [
+            f"live-{t.table_id}" for t in plain
+        ]
+
+    def test_iter_tables_matches_generate_corpus(self):
+        from repro.corpus.generator import (
+            CorpusConfig, generate_corpus, iter_tables,
+        )
+
+        config = CorpusConfig(seed=5, scale=0.02)
+        streamed = [t.table_id for t in iter_tables(config)]
+        generated = generate_corpus(config).corpus.ids()
+        assert streamed == generated

@@ -11,6 +11,7 @@ from repro.index import (
     CorpusProtocol,
     IndexedCorpus,
     InvertedIndex,
+    JournaledCorpus,
     ShardedCorpus,
     build_corpus_index,
     build_sharded_corpus,
@@ -162,7 +163,10 @@ class TestPersistence:
         sharded = sharded_by_k[4]
         path = sharded.save(tmp_path / "corpus")
         loaded = load_corpus(path, probe_workers=2)
-        assert isinstance(loaded, ShardedCorpus)
+        # load_corpus wraps the snapshot in a mutable JournaledCorpus;
+        # with an empty journal it is a transparent front for the base.
+        assert isinstance(loaded, JournaledCorpus)
+        assert isinstance(loaded.base, ShardedCorpus)
         assert loaded.num_shards == 4
         assert loaded.num_tables == sharded.num_tables
         assert loaded.stats.num_docs == sharded.stats.num_docs
@@ -177,7 +181,8 @@ class TestPersistence:
         corpus = build_corpus_index(make_tables(8))
         corpus.save(tmp_path / "mono")
         loaded = load_corpus(tmp_path / "mono")
-        assert isinstance(loaded, IndexedCorpus)
+        assert isinstance(loaded, JournaledCorpus)
+        assert isinstance(loaded.base, IndexedCorpus)
         assert loaded.ids() == corpus.ids()  # insertion order preserved
         assert loaded.stats.num_docs == corpus.stats.num_docs
         a = corpus.search(["name", "rank"], limit=10)
@@ -214,7 +219,7 @@ class TestPersistence:
         # Monolithic re-save over a sharded dir replaces it wholesale.
         build_corpus_index(tables).save(tmp_path / "c")
         assert not (tmp_path / "c" / "shard-0001").exists()
-        assert isinstance(load_corpus(tmp_path / "c"), IndexedCorpus)
+        assert isinstance(load_corpus(tmp_path / "c").base, IndexedCorpus)
         # The atomic-swap scaffolding must not leak siblings.
         assert sorted(p.name for p in tmp_path.iterdir()) == ["c"]
 

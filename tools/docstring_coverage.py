@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Docstring coverage gate, stdlib-only.
+
+Counts docstrings on the *public* surface — modules, public classes, and
+public functions/methods (names not starting with ``_``) — of the given
+files/packages and fails when coverage drops below ``--fail-under``.
+
+This is the in-tree twin of the ``interrogate`` CI gate: CI installs the
+real tool, while this script keeps the same bar enforceable anywhere the
+repo runs (it needs nothing beyond the standard library), including from
+the test suite (``tests/test_docstrings.py``).
+
+Usage::
+
+    python tools/docstring_coverage.py --fail-under 95 \
+        src/repro/service src/repro/index src/repro/cli.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+
+def _public_defs(tree: ast.Module) -> Iterable[Tuple[str, ast.AST]]:
+    """Yield ``(qualified_name, node)`` for the module's public surface."""
+    yield "<module>", tree
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if not node.name.startswith("_"):
+                yield node.name, node
+        elif isinstance(node, ast.ClassDef):
+            if node.name.startswith("_"):
+                continue
+            yield node.name, node
+            for sub in node.body:
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if not sub.name.startswith("_"):
+                        yield f"{node.name}.{sub.name}", sub
+
+
+def inspect_file(path: Path) -> Tuple[int, int, List[str]]:
+    """``(documented, total, missing_names)`` for one source file."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    documented, total, missing = 0, 0, []
+    for name, node in _public_defs(tree):
+        total += 1
+        if ast.get_docstring(node):
+            documented += 1
+        else:
+            missing.append(name)
+    return documented, total, missing
+
+
+def iter_sources(targets: Iterable[str]) -> Iterable[Path]:
+    """Expand files/directories into ``.py`` files, sorted."""
+    for target in targets:
+        path = Path(target)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        else:
+            yield path
+
+
+def check(targets: Iterable[str], verbose: bool = False) -> Tuple[float, List[str]]:
+    """``(coverage_percent, missing)`` over all targets."""
+    documented = total = 0
+    missing: List[str] = []
+    for source in iter_sources(targets):
+        d, t, m = inspect_file(source)
+        documented += d
+        total += t
+        missing.extend(f"{source}: {name}" for name in m)
+        if verbose:
+            pct = 100.0 * d / t if t else 100.0
+            print(f"{source}: {d}/{t} ({pct:.0f}%)")
+    coverage = 100.0 * documented / total if total else 100.0
+    return coverage, missing
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("targets", nargs="+",
+                        help="files or package directories to inspect")
+    parser.add_argument("--fail-under", type=float, default=95.0,
+                        help="minimum coverage percent (default 95)")
+    parser.add_argument("-v", "--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    coverage, missing = check(args.targets, verbose=args.verbose)
+    if missing:
+        print("missing docstrings:")
+        for name in missing:
+            print(f"  {name}")
+    print(f"public docstring coverage: {coverage:.1f}% "
+          f"(gate: {args.fail_under:.0f}%)")
+    return 0 if coverage >= args.fail_under else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
