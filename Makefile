@@ -1,7 +1,7 @@
 # Convenience targets; everything also runs as the plain commands shown.
 PYTHONPATH := src
 
-.PHONY: test docs docs-coverage bench-incremental bench-shards
+.PHONY: test docs docs-coverage bench-incremental bench-shards bench-hotpath
 
 test:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest -x -q
@@ -24,3 +24,6 @@ bench-incremental:
 
 bench-shards:
 	PYTHONPATH=$(PYTHONPATH) python benchmarks/bench_shard_scaling.py --smoke
+
+bench-hotpath:
+	PYTHONPATH=$(PYTHONPATH) python benchmarks/bench_hotpath.py --smoke

@@ -33,13 +33,14 @@ Package map (see DESIGN.md for the full inventory):
 """
 
 from .consolidate import AnswerRow, AnswerTable
-from .core import DEFAULT_PARAMS, ModelParams, build_problem
+from .core import DEFAULT_PARAMS, FeatureCache, ModelParams, build_problem
 from .corpus import CorpusConfig, GroundTruth, generate_corpus, iter_tables
 from .evaluation import build_environment, f1_error, run_method
 from .index import (
     CorpusProtocol,
     IndexedCorpus,
     JournaledCorpus,
+    NaiveScorer,
     ShardedCorpus,
     build_corpus_index,
     build_sharded_corpus,
@@ -64,7 +65,7 @@ from .service import (
     WWTService,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ALGORITHMS",
@@ -74,9 +75,11 @@ __all__ = [
     "CorpusProtocol",
     "DEFAULT_PARAMS",
     "EngineConfig",
+    "FeatureCache",
     "GroundTruth",
     "IndexedCorpus",
     "JournaledCorpus",
+    "NaiveScorer",
     "ShardedCorpus",
     "InferenceRegistry",
     "MappingResult",

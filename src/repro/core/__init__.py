@@ -1,6 +1,7 @@
 """The paper's core contribution: the column mapper's graphical model."""
 
 from .edges import MappingEdge, build_edges, column_pair_similarity
+from .features import BoundedCache, FeatureCache, query_feature_key
 from .labels import LabelSpace
 from .model import ColumnFeatures, ColumnMappingProblem, build_problem
 from .params import (
@@ -21,8 +22,10 @@ from .segsim import (
 )
 
 __all__ = [
+    "BoundedCache",
     "ColumnFeatures",
     "ColumnMappingProblem",
+    "FeatureCache",
     "DEFAULT_PARAMS",
     "DEFAULT_RELIABILITIES",
     "LabelSpace",
@@ -37,6 +40,7 @@ __all__ = [
     "column_pair_similarity",
     "enumerate_grid",
     "estimate_reliabilities",
+    "query_feature_key",
     "segmented_similarity",
     "train_parameters",
     "unsegmented_similarity",

@@ -1,0 +1,279 @@
+"""Query-scoped feature memoization for the column-mapping hot path.
+
+The pipeline evaluates :class:`~repro.core.model.ColumnFeatures` (SegSim,
+Cover, PMI² per query column) twice for every stage-1 table of every query:
+once inside ``two_stage_probe``'s confidence pass and again when the
+serving facade assembles the full inference problem moments later.  The
+features depend only on the query's analyzed keywords, the table's
+content, and the corpus statistics — none of which change between the two
+calls — so :class:`FeatureCache` memoizes them per ``(query, table)`` and
+:func:`~repro.core.model.build_problem` consults it, turning the facade's
+second assembly into an incremental extension that computes features for
+stage-2 tables only.
+
+**Invalidation** is by regime identity (see DESIGN.md, "Hot-path
+engine"): a cache is valid for one ``(stats, reliabilities, pmi_scorer)``
+triple, pinned by object identity on first use and auto-cleared whenever a
+different triple arrives.  That rule is correct by construction for live
+corpora served with the default exact statistics —
+:class:`~repro.index.journal.JournaledCorpus` materializes a *new* merged
+:class:`~repro.text.tfidf.TermStatistics` object whenever a stats refresh
+folds journaled mutations, so the identity flip clears the cache exactly
+when features could go stale.  One caveat inherits the journal's own
+contract: under ``stats_staleness > 0`` the stats object (and therefore
+this cache) may lag mutations by up to that bound — including a
+delete-then-re-add of a table id with changed content inside the window —
+so callers who mutate a corpus served with a positive bound must clear
+the cache on mutation themselves.  The serving facade always does
+(``WWTService.clear_caches`` runs on every ``add_tables``/
+``delete_tables``), which is why serving is safe at any staleness
+setting.
+
+:class:`BoundedCache` is the underlying thread-safe LRU; it also backs the
+corpus-level PMI² containment-probe caches
+(:class:`~repro.core.pmi.PmiScorer`), which this module sizes.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+from ..query.model import Query
+from ..text.tokenize import tokenize
+
+__all__ = [
+    "BoundedCache",
+    "FeatureCache",
+    "PMI_B_CACHE_SIZE",
+    "PMI_H_CACHE_SIZE",
+    "query_feature_key",
+]
+
+#: Default capacity of the corpus-level PMI² ``H(Q_l)`` cache (keyed by
+#: query-column text — small key space, hit constantly within a query).
+PMI_H_CACHE_SIZE = 1024
+#: Default capacity of the corpus-level PMI² ``B(cell)`` cache (keyed by
+#: cell text — the large key space that made the per-scorer dicts grow
+#: without bound before they were promoted to bounded corpus-level caches).
+PMI_B_CACHE_SIZE = 32768
+
+_MISS = object()
+
+
+class BoundedCache:
+    """Thread-safe bounded LRU map with hit/miss counters.
+
+    The core-layer twin of the service LRU (``repro.core`` cannot import
+    ``repro.service``): capacity 0 disables it, eviction drops the
+    least-recently-used entry, and the counters feed cache-hit-rate
+    reporting in ``WWTService.stats()`` and ``bench_hotpath``.  Eviction
+    only ever costs recomputation — never correctness — so every consumer
+    may size it freely.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, key: Hashable) -> Any:
+        """The cached value for ``key``, or ``None``; a hit refreshes recency."""
+        return self.lookup(key)[1]
+
+    def lookup(self, key: Hashable) -> Tuple[bool, Optional[Any]]:
+        """``(hit, value)`` — distinguishes a stored ``None`` from a miss.
+
+        The service-layer adapter (`repro.service.cache.LRUCache`) is
+        built on this form; :meth:`get` is the convenience collapse for
+        consumers that never store ``None``.
+        """
+        with self._lock:
+            value = self._data.get(key, _MISS)
+            if value is _MISS:
+                self._misses += 1
+                return False, None
+            self._data.move_to_end(key)
+            self._hits += 1
+            return True, value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/refresh ``key``, evicting the LRU entry when full."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept)."""
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Membership probe that counts as neither hit nor miss."""
+        with self._lock:
+            return key in self._data
+
+    @property
+    def hits(self) -> int:
+        """Lookups served from the cache since construction."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Lookups that missed since construction."""
+        return self._misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        lookups = self._hits + self._misses
+        return self._hits / lookups if lookups else 0.0
+
+    def stats(self) -> Dict[str, Any]:
+        """Plain-dict counter snapshot for logging and benchmark reports."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "size": len(self._data),
+                "capacity": self.capacity,
+                "hit_rate": round(self.hit_rate, 4),
+            }
+
+
+def query_feature_key(query: Query) -> str:
+    """Canonical query component of a feature-cache key.
+
+    Analyzer-normalized column keywords, so two surface forms that
+    tokenize identically (case, punctuation, whitespace) share cache
+    entries — the same normalization the service layer uses for its
+    result and probe caches.
+    """
+    return " | ".join(" ".join(tokenize(column)) for column in query.columns)
+
+
+class FeatureCache:
+    """Bounded memo of per-``(query, table)`` column features.
+
+    Stores ``(col_features, relevance)`` — the tuple of
+    :class:`~repro.core.model.ColumnFeatures` for every column of one
+    table against one query, plus the table-relevance ``R(Q, t)`` derived
+    from them — keyed on the normalized query, the table id, and the
+    feature-shape flags (``use_segmented``, whether PMI² was evaluated).
+    Weights (``w1..w5``, ``we``) are deliberately *not* part of the key:
+    they recombine cached features, they never change them (the same
+    property ``ColumnMappingProblem.with_params`` exploits).
+
+    One cache is valid for one ``(stats, reliabilities, pmi_scorer)``
+    regime; :meth:`pin` enforces that by identity and auto-clears on
+    change, so a cache accidentally shared across corpora degrades to a
+    correct cold cache instead of serving stale features.
+
+    Thread-safe — ``WWTService.answer_batch`` fans concurrent pipelines
+    over one shared instance.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self._cache = BoundedCache(capacity)
+        self._regime: Optional[Tuple[Any, Any, Any]] = None
+        self._regime_lock = threading.Lock()
+        self._generation = 0
+
+    def pin(self, stats: Any, reliabilities: Any, pmi_scorer: Any) -> int:
+        """Bind the cache to one feature regime, clearing it on change.
+
+        Identity (``is``) comparison on every element: a live corpus
+        materializes a new ``stats`` object whenever mutations change the
+        statistics, so a regime flip is exactly a potential feature
+        change.
+
+        Returns the current *generation* token.  A writer that computed
+        features under this regime passes the token back to :meth:`put`,
+        which drops the insert if the regime (or an explicit
+        :meth:`clear`) has moved on in the meantime — otherwise a query
+        racing a live mutation could park stale-stats features in the
+        freshly cleared cache.
+        """
+        with self._regime_lock:
+            regime = self._regime
+            if (
+                regime is not None
+                and regime[0] is stats
+                and regime[1] is reliabilities
+                and regime[2] is pmi_scorer
+            ):
+                return self._generation
+            if regime is not None:
+                self._cache.clear()
+                self._generation += 1
+            self._regime = (stats, reliabilities, pmi_scorer)
+            return self._generation
+
+    def get(self, key: Hashable, generation: Optional[int] = None) -> Any:
+        """The cached ``(col_features, relevance)`` for ``key``, or ``None``.
+
+        ``generation`` (from :meth:`pin`) makes the read refuse entries
+        from a *newer* regime: a reader still working under an old pin
+        must recompute rather than consume features a concurrent query
+        cached after an invalidation — the keys deliberately omit the
+        regime, so the token is what keeps one problem's features on one
+        stats vintage.  The stale read counts as neither hit nor miss.
+        """
+        with self._regime_lock:
+            if generation is not None and generation != self._generation:
+                return None
+            return self._cache.get(key)
+
+    def put(self, key: Hashable, value: Any, generation: Optional[int] = None) -> None:
+        """Store one table's features under ``key``.
+
+        ``generation`` (from :meth:`pin`) guards against the
+        compute-during-invalidation race: an insert carrying a superseded
+        token is silently dropped.
+        """
+        with self._regime_lock:
+            if generation is not None and generation != self._generation:
+                return
+            self._cache.put(key, value)
+
+    def clear(self) -> None:
+        """Drop all entries and retire outstanding :meth:`pin` tokens
+        (counters and the pinned regime itself are kept)."""
+        with self._regime_lock:
+            self._cache.clear()
+            self._generation += 1
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of (query, table) entries retained."""
+        return self._cache.capacity
+
+    @property
+    def hits(self) -> int:
+        """Lookups served from the cache since construction."""
+        return self._cache.hits
+
+    @property
+    def misses(self) -> int:
+        """Lookups that missed since construction."""
+        return self._cache.misses
+
+    def stats(self) -> Dict[str, Any]:
+        """Plain-dict counter snapshot (see :meth:`BoundedCache.stats`)."""
+        return self._cache.stats()

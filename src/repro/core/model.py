@@ -17,6 +17,7 @@ from ..query.model import Query
 from ..tables.table import WebTable
 from ..text.tfidf import TermStatistics
 from .edges import MappingEdge, build_edges
+from .features import FeatureCache, query_feature_key
 from .labels import LabelSpace
 from .params import DEFAULT_PARAMS, ModelParams
 from .pmi import PmiScorer
@@ -205,53 +206,93 @@ def build_problem(
     params: ModelParams = DEFAULT_PARAMS,
     pmi_scorer: Optional[PmiScorer] = None,
     reliabilities: Reliabilities = DEFAULT_RELIABILITIES,
+    feature_cache: Optional[FeatureCache] = None,
 ) -> ColumnMappingProblem:
     """Evaluate all features and assemble the labeling problem.
 
     ``pmi_scorer`` is only consulted when ``params.w3`` is non-zero (PMI² is
     expensive — Section 5.1 measures a ~6x query slowdown with it on).
+
+    ``feature_cache`` memoizes each table's :class:`ColumnFeatures` (and
+    its relevance ``R(Q, t)``) per query, so re-assembling a problem over
+    an overlapping table set — the probe's confidence pass followed by the
+    facade's full inference — computes features only for tables not seen
+    before; everything downstream of the features (node potentials, edges)
+    is still evaluated fresh.  The cache is pinned to this call's
+    ``(stats, reliabilities, pmi_scorer)`` regime and auto-clears if a
+    different regime arrives (see
+    :meth:`~repro.core.features.FeatureCache.pin`).
     """
     q = query.q
-    labels = LabelSpace(q)
     query_tokens = [query.column_tokens(l) for l in range(q)]
+    pmi_active = params.w3 != 0.0 and pmi_scorer is not None
+
+    cache_prefix: Optional[Tuple] = None
+    cache_generation = 0
+    if feature_cache is not None:
+        cache_generation = feature_cache.pin(
+            stats, reliabilities, pmi_scorer if pmi_active else None
+        )
+        cache_prefix = (
+            query_feature_key(query), params.use_segmented, pmi_active
+        )
 
     node_potentials: Dict[Tuple[int, int], List[float]] = {}
     features: Dict[Tuple[int, int], ColumnFeatures] = {}
     table_relevance: List[float] = []
 
     for ti, table in enumerate(tables):
-        part_index = TablePartIndex(table, stats)
         nt = table.num_cols
-        col_features: List[ColumnFeatures] = []
-        for ci in range(nt):
-            seg: List[float] = []
-            cov: List[float] = []
-            pmi: List[float] = []
-            for l in range(q):
-                if params.use_segmented:
-                    scores = segmented_similarity(
-                        query_tokens[l], part_index, ci, stats, reliabilities
-                    )
-                else:
-                    scores = unsegmented_similarity(
-                        query_tokens[l], part_index, ci, stats
-                    )
-                seg.append(scores.segsim)
-                cov.append(scores.cover)
-                if params.w3 != 0.0 and pmi_scorer is not None:
-                    pmi.append(pmi_scorer.score(query.columns[l], table, ci))
-                else:
-                    pmi.append(0.0)
-            col_features.append(
-                ColumnFeatures(tuple(seg), tuple(cov), tuple(pmi))
+        cached = (
+            feature_cache.get(
+                cache_prefix + (table.table_id,),
+                generation=cache_generation,
             )
-
-        # Table relevance R(Q, t) of Eq. 2.
-        cover_sum = sum(
-            max(col_features[ci].cover[l] for ci in range(nt))
-            for l in range(q)
+            if cache_prefix is not None else None
         )
-        relevance = _clip(cover_sum, min(q, 1.5)) / q
+        if cached is not None:
+            col_features, relevance = cached
+        else:
+            part_index = TablePartIndex(table, stats)
+            col_features = []
+            for ci in range(nt):
+                seg: List[float] = []
+                cov: List[float] = []
+                pmi: List[float] = []
+                for l in range(q):
+                    if params.use_segmented:
+                        scores = segmented_similarity(
+                            query_tokens[l], part_index, ci, stats,
+                            reliabilities,
+                        )
+                    else:
+                        scores = unsegmented_similarity(
+                            query_tokens[l], part_index, ci, stats
+                        )
+                    seg.append(scores.segsim)
+                    cov.append(scores.cover)
+                    if pmi_active:
+                        pmi.append(
+                            pmi_scorer.score(query.columns[l], table, ci)
+                        )
+                    else:
+                        pmi.append(0.0)
+                col_features.append(
+                    ColumnFeatures(tuple(seg), tuple(cov), tuple(pmi))
+                )
+
+            # Table relevance R(Q, t) of Eq. 2.
+            cover_sum = sum(
+                max(col_features[ci].cover[l] for ci in range(nt))
+                for l in range(q)
+            )
+            relevance = _clip(cover_sum, min(q, 1.5)) / q
+            if cache_prefix is not None:
+                feature_cache.put(
+                    cache_prefix + (table.table_id,),
+                    (tuple(col_features), relevance),
+                    generation=cache_generation,
+                )
         table_relevance.append(relevance)
 
         nr_potential = params.w4 * (min(q, nt) / nt) * (1.0 - relevance)

@@ -16,10 +16,11 @@ here to reproduce the PMI² baseline and the cost comparison of Section 5.1.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Optional, Sequence
 
 from ..tables.table import WebTable
 from ..text.tokenize import tokenize
+from .features import PMI_B_CACHE_SIZE, PMI_H_CACHE_SIZE, BoundedCache
 
 __all__ = ["PmiScorer"]
 
@@ -32,13 +33,37 @@ class PmiScorer:
     :class:`~repro.index.IndexedCorpus`, or the scatter-gather
     :class:`~repro.index.ShardedCorpus` (whose union-over-shards
     conjunction returns the identical set).
+
+    The ``H(Q_l)`` / ``B(cell)`` containment-probe results are cached in
+    bounded, thread-safe corpus-level caches
+    (:class:`~repro.core.features.BoundedCache`).  Pass ``h_cache`` /
+    ``b_cache`` to share them across scorers — the serving facade keeps
+    one pair per corpus so every query of an ``answer_batch`` (and every
+    batch after it) reuses earlier probes; by default each scorer gets a
+    private pair.  Eviction only ever costs a recomputed probe, never a
+    different score.
     """
 
-    def __init__(self, index, max_rows: int = 30) -> None:
+    def __init__(
+        self,
+        index,
+        max_rows: int = 30,
+        h_cache: Optional[BoundedCache] = None,
+        b_cache: Optional[BoundedCache] = None,
+    ) -> None:
         self.index = index
         self.max_rows = max_rows
-        self._h_cache: Dict[str, frozenset] = {}
-        self._b_cache: Dict[str, frozenset] = {}
+        self._h_cache = h_cache if h_cache is not None else BoundedCache(
+            PMI_H_CACHE_SIZE
+        )
+        self._b_cache = b_cache if b_cache is not None else BoundedCache(
+            PMI_B_CACHE_SIZE
+        )
+
+    def clear_caches(self) -> None:
+        """Drop both probe caches (after the indexed corpus mutates)."""
+        self._h_cache.clear()
+        self._b_cache.clear()
 
     def _h_set(self, query_text: str) -> frozenset:
         """H(Q_l): tables containing all query tokens in header or context."""
@@ -48,7 +73,7 @@ class PmiScorer:
             cached = frozenset(
                 self.index.docs_containing_all(tokens, ("header", "context"))
             )
-            self._h_cache[query_text] = cached
+            self._h_cache.put(query_text, cached)
         return cached
 
     def _b_set(self, cell_text: str) -> frozenset:
@@ -57,7 +82,7 @@ class PmiScorer:
         if cached is None:
             tokens = tokenize(cell_text)
             cached = frozenset(self.index.docs_containing_all(tokens, ("content",)))
-            self._b_cache[cell_text] = cached
+            self._b_cache.put(cell_text, cached)
         return cached
 
     def score(self, query_text: str, table: WebTable, col: int) -> float:

@@ -10,7 +10,7 @@ wraps either with a crash-safe write-ahead journal for live
 """
 
 from .builder import IndexedCorpus, analyze_table, build_corpus_index
-from .inverted import FIELD_BOOSTS, InvertedIndex, SearchHit
+from .inverted import FIELD_BOOSTS, InvertedIndex, NaiveScorer, SearchHit
 from .journal import JournaledCorpus
 from .protocol import CorpusProtocol
 from .sharded import ShardedCorpus, build_sharded_corpus, load_corpus, shard_of
@@ -22,6 +22,7 @@ __all__ = [
     "IndexedCorpus",
     "InvertedIndex",
     "JournaledCorpus",
+    "NaiveScorer",
     "SearchHit",
     "ShardedCorpus",
     "TableStore",

@@ -71,9 +71,18 @@ class IndexedCorpus:
         terms: Sequence[str],
         limit: int = 100,
         fields: Optional[Iterable[str]] = None,
+        with_field_scores: bool = False,
     ) -> List[SearchHit]:
-        """Disjunctive boosted TF-IDF retrieval (delegates to the index)."""
-        return self.index.search(terms, limit=limit, fields=fields)
+        """Disjunctive boosted TF-IDF retrieval (delegates to the index).
+
+        ``with_field_scores`` forwards to
+        :meth:`~repro.index.inverted.InvertedIndex.search`; the serving
+        path leaves it off (the per-field breakdown is diagnostic only).
+        """
+        return self.index.search(
+            terms, limit=limit, fields=fields,
+            with_field_scores=with_field_scores,
+        )
 
     def docs_containing_all(
         self, terms: Sequence[str], fields: Iterable[str]

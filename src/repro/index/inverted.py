@@ -1,4 +1,4 @@
-"""A fielded inverted index with Lucene-classic scoring.
+"""A fielded inverted index with Lucene-classic scoring, compiled for speed.
 
 WWT indexes every extracted table as a document with three text fields —
 ``header``, ``context``, ``content`` — boosted 2.0 / 1.5 / 1.0 respectively
@@ -12,11 +12,34 @@ Scoring follows Lucene's classic TF-IDF similarity:
 ``idf(t) = 1 + ln(N / (df+1))`` and ``norm_f(d) = 1/sqrt(len_f(d))`` —
 close enough to Lucene 3.x (which the paper would have used in 2012) that
 ranking behaviour is preserved.
+
+**Compiled layout** (the hot-path engine, see DESIGN.md "Hot-path
+engine"): document ids are interned to dense integers at add time, each
+``(field, term)`` posting list is a :class:`_PostingList` of parallel
+``array`` columns (doc numbers, raw tfs, precomputed ``sqrt(tf)``), and
+per-field length norms ``1/sqrt(len)`` live in one dense list indexed by
+doc number.  The score loop therefore performs only array reads and float
+multiplies — no per-document dict lookups, no ``math.sqrt`` calls — and
+top-k selection uses a bounded heap (``heapq.nsmallest``) instead of a
+full sort.  Per-term document frequencies are maintained incrementally in
+:meth:`InvertedIndex.add_document` / :meth:`InvertedIndex.remove_document`
+so :meth:`InvertedIndex.document_frequency`, :meth:`InvertedIndex.idf`,
+and :meth:`InvertedIndex.term_statistics` are O(1)/O(vocab) reads instead
+of set unions over every posting list.
+
+Every floating-point expression keeps the pre-compilation association
+order, and posting arrays preserve the insertion order the old dict
+postings had (ordered deletion, not swap-deletion), so scores — not just
+rankings — are bit-identical to the naive implementation, which is
+retained as :class:`NaiveScorer` for equivalence tests and as the
+benchmark baseline.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
+from array import array
 from collections import Counter, defaultdict
 from typing import (
     Callable,
@@ -33,7 +56,13 @@ from typing import (
 from ..text.tfidf import TermStatistics
 from ..text.tokenize import tokenize
 
-__all__ = ["FIELD_BOOSTS", "SearchHit", "InvertedIndex", "lucene_idf"]
+__all__ = [
+    "FIELD_BOOSTS",
+    "SearchHit",
+    "InvertedIndex",
+    "NaiveScorer",
+    "lucene_idf",
+]
 
 #: Field boosts from Section 2.1.
 FIELD_BOOSTS: Dict[str, float] = {"header": 2.0, "context": 1.5, "content": 1.0}
@@ -51,7 +80,13 @@ def lucene_idf(num_docs: int, df: int) -> float:
 
 
 class SearchHit:
-    """One ranked retrieval result."""
+    """One ranked retrieval result.
+
+    ``field_scores`` is populated only when the search requested the
+    per-field breakdown (``with_field_scores=True``) — the serving path
+    never needs it, and skipping it keeps one dict write per
+    (document, field) pair off the hot loop.
+    """
 
     __slots__ = ("doc_id", "score", "field_scores")
 
@@ -64,32 +99,111 @@ class SearchHit:
         return f"SearchHit({self.doc_id!r}, {self.score:.3f})"
 
 
+class _PostingList:
+    """One ``(field, term)`` posting list as parallel array columns.
+
+    ``doc_nums[i]`` is the interned document number, ``tfs[i]`` the raw
+    term frequency (kept for persistence and inspection), ``weights[i]``
+    the precomputed ``boost * sqrt(tf)`` the score loop reads — the
+    field's boost is constant per posting list, and ``boost * sqrt(tf)``
+    is exactly the first (left-associative) product of the classic score
+    expression, so baking it in at add time changes no bits.  Entries
+    stay in insertion order; deletion shifts (``del``) rather than
+    swap-deletes so score accumulation order — and therefore the
+    accumulated float — is identical to the dict-based implementation
+    this replaced.
+    """
+
+    __slots__ = ("doc_nums", "tfs", "weights")
+
+    def __init__(self) -> None:
+        self.doc_nums = array("q")
+        self.tfs = array("q")
+        self.weights = array("d")
+
+    def __len__(self) -> int:
+        return len(self.doc_nums)
+
+    def append(self, doc_num: int, tf: int, boost: float) -> None:
+        """Add one posting entry (amortized O(1))."""
+        self.doc_nums.append(doc_num)
+        self.tfs.append(tf)
+        self.weights.append(boost * math.sqrt(tf))
+
+    def discard(self, doc_num: int) -> bool:
+        """Remove ``doc_num``'s entry, preserving order; False if absent."""
+        try:
+            i = self.doc_nums.index(doc_num)
+        except ValueError:
+            return False
+        del self.doc_nums[i]
+        del self.tfs[i]
+        del self.weights[i]
+        return True
+
+
 class InvertedIndex:
-    """In-memory fielded inverted index over token streams."""
+    """In-memory fielded inverted index over token streams.
+
+    Construction interns every document id to a dense integer and compiles
+    postings into parallel arrays (see the module docstring); the public
+    surface still speaks document-id strings everywhere.
+    """
 
     def __init__(self, boosts: Optional[Mapping[str, float]] = None) -> None:
         self.boosts: Dict[str, float] = dict(boosts or FIELD_BOOSTS)
-        # postings[field][term] -> {doc_id: term frequency}
-        self._postings: Dict[str, Dict[str, Dict[str, int]]] = {
-            f: defaultdict(dict) for f in self.boosts
+        # postings[field][term] -> _PostingList (parallel array columns).
+        self._postings: Dict[str, Dict[str, _PostingList]] = {
+            f: {} for f in self.boosts
         }
-        self._field_lengths: Dict[str, Dict[str, int]] = {f: {} for f in self.boosts}
-        self._doc_ids: Set[str] = set()
+        # Dense per-field norms 1/sqrt(max(len, 1)) indexed by doc number;
+        # slots default to 1.0 (the norm of a document without the field).
+        self._norms: Dict[str, List[float]] = {f: [] for f in self.boosts}
+        # Raw per-field token counts, keyed by doc number (persistence).
+        self._lengths: Dict[str, Dict[int, int]] = {f: {} for f in self.boosts}
+        # Interning tables: id -> dense number, number -> id (None = removed;
+        # numbers are never reused, so a stale posting can't alias a new doc).
+        self._doc_nums: Dict[str, int] = {}
+        self._doc_names: List[Optional[str]] = []
+        # Incremental per-term document frequency across all fields (each
+        # document counted once per term), maintained by add/remove.
+        self._df: Counter = Counter()
+        self._num_docs = 0
 
     # -- construction -----------------------------------------------------------
 
+    def _intern(self, doc_id: str) -> int:
+        """Assign the next dense document number to ``doc_id``."""
+        num = len(self._doc_names)
+        self._doc_names.append(doc_id)
+        self._doc_nums[doc_id] = num
+        for norms in self._norms.values():
+            norms.append(1.0)
+        return num
+
     def add_document(self, doc_id: str, fields: Mapping[str, Sequence[str]]) -> None:
         """Index one document given pre-tokenized field token lists."""
-        if doc_id in self._doc_ids:
+        if doc_id in self._doc_nums:
             raise ValueError(f"duplicate document id {doc_id!r}")
-        self._doc_ids.add(doc_id)
+        num = self._intern(doc_id)
+        indexed_terms: Set[str] = set()
         for field, tokens in fields.items():
-            if field not in self._postings:
+            postings = self._postings.get(field)
+            if postings is None:
                 continue
+            boost = self.boosts.get(field, 1.0)
             counts = Counter(tokens)
             for term, tf in counts.items():
-                self._postings[field][term][doc_id] = tf
-            self._field_lengths[field][doc_id] = len(tokens)
+                plist = postings.get(term)
+                if plist is None:
+                    plist = postings[term] = _PostingList()
+                plist.append(num, tf, boost)
+            indexed_terms.update(counts)
+            self._lengths[field][num] = len(tokens)
+            self._norms[field][num] = 1.0 / math.sqrt(max(len(tokens), 1))
+        for term in indexed_terms:
+            self._df[term] += 1
+        self._num_docs += 1
 
     def add_text_document(self, doc_id: str, fields: Mapping[str, str]) -> None:
         """Index one document given raw field text (tokenized here)."""
@@ -100,57 +214,73 @@ class InvertedIndex:
 
         The caller supplies the fields (re-analyzing the document is
         cheaper than keeping a forward index here) and the posting entries
-        are deleted term by term — O(document), not O(index).  Used by the
-        journal's in-memory delta; persisted shard snapshots stay
-        append-only by design (deletes are folded at compaction).
+        are deleted term by term — O(document · posting length), not
+        O(index).  Used by the journal's in-memory delta; persisted shard
+        snapshots stay append-only by design (deletes are folded at
+        compaction).  The df counters are decremented for exactly the
+        terms whose posting entries were found and removed, so they stay
+        consistent with the posting structure even on caller error.
         """
-        if doc_id not in self._doc_ids:
-            raise KeyError(doc_id)
-        self._doc_ids.discard(doc_id)
+        num = self._doc_nums.pop(doc_id)  # KeyError(doc_id) when absent
+        self._doc_names[num] = None
+        removed_terms: Set[str] = set()
         for field, tokens in fields.items():
-            if field not in self._postings:
+            postings = self._postings.get(field)
+            if postings is None:
                 continue
             for term in set(tokens):
-                postings = self._postings[field].get(term)
-                if postings is not None:
-                    postings.pop(doc_id, None)
-                    if not postings:
-                        del self._postings[field][term]
-            self._field_lengths[field].pop(doc_id, None)
+                plist = postings.get(term)
+                if plist is not None and plist.discard(num):
+                    removed_terms.add(term)
+                    if not plist:
+                        del postings[term]
+            self._lengths[field].pop(num, None)
+            self._norms[field][num] = 1.0
+        for term in removed_terms:
+            remaining = self._df[term] - 1
+            if remaining > 0:
+                self._df[term] = remaining
+            else:
+                del self._df[term]
+        self._num_docs -= 1
 
     # -- statistics -----------------------------------------------------------
 
     @property
     def num_docs(self) -> int:
         """Number of indexed documents."""
-        return len(self._doc_ids)
+        return self._num_docs
 
     def document_frequency(self, term: str, fields: Optional[Iterable[str]] = None) -> int:
-        """Number of documents containing ``term`` in any of ``fields``."""
-        docs: Set[str] = set()
-        for field in fields or self._postings:
-            docs.update(self._postings[field].get(term, ()))
+        """Number of documents containing ``term`` in any of ``fields``.
+
+        The default (all fields) reads the incrementally maintained
+        counter — O(1).  An explicit field subset unions the relevant
+        posting lists (the rare diagnostic path).
+        """
+        if fields is None:
+            return self._df.get(term, 0)
+        docs: Set[int] = set()
+        for field in fields:
+            plist = self._postings[field].get(term)
+            if plist is not None:
+                docs.update(plist.doc_nums)
         return len(docs)
 
     def idf(self, term: str) -> float:
-        """Lucene-classic idf across all fields."""
-        return lucene_idf(self.num_docs, self.document_frequency(term))
+        """Lucene-classic idf across all fields (O(1) df lookup)."""
+        return lucene_idf(self._num_docs, self._df.get(term, 0))
 
     def term_statistics(self) -> TermStatistics:
         """Export corpus-wide document frequencies as :class:`TermStatistics`.
 
         Every downstream TF-IDF similarity (SegSim, Cover, column content)
         draws its IDF weights from this one table so scores are comparable.
+        O(vocabulary): the df counters are already maintained, nothing is
+        re-derived from posting lists.
         """
-        df: Dict[str, Set[str]] = defaultdict(set)
-        for field, terms in self._postings.items():
-            for term, postings in terms.items():
-                df[term].update(postings)
-        stats = TermStatistics()
-        # Reconstruct through the public API: one synthetic doc per real doc
-        # would be wasteful; instead fill internals via from_dict for exactness.
         return TermStatistics.from_dict(
-            {"num_docs": self.num_docs, "df": {t: len(d) for t, d in df.items()}}
+            {"num_docs": self._num_docs, "df": dict(self._df)}
         )
 
     # -- retrieval -----------------------------------------------------------
@@ -161,6 +291,7 @@ class InvertedIndex:
         limit: int = 100,
         fields: Optional[Iterable[str]] = None,
         idf: Optional[Callable[[str], float]] = None,
+        with_field_scores: bool = False,
     ) -> List[SearchHit]:
         """Disjunctive (OR) boosted TF-IDF retrieval.
 
@@ -172,7 +303,202 @@ class InvertedIndex:
         :meth:`idf`).  A sharded corpus passes a corpus-global IDF here so
         every shard scores documents exactly as one monolithic index would —
         tf, field length, and boost are per-document quantities, so a global
-        IDF is the only ingredient needed for shard-invariant scores.
+        IDF is the only ingredient needed for shard-invariant scores.  The
+        override is evaluated once per term per search (cached locally),
+        never once per field.
+
+        ``with_field_scores=True`` additionally fills each hit's
+        ``field_scores`` breakdown; the default skips that bookkeeping on
+        the hot path.
+        """
+        if self._num_docs == 0:
+            return []
+        idf_of = idf if idf is not None else self.idf
+        wanted = list(dict.fromkeys(terms))
+        scores: Dict[int, float] = {}
+        per_field: Dict[int, Dict[str, float]] = {}
+        idf_cache: Dict[str, float] = {}
+        get = scores.get
+        for field in fields or self._postings:
+            norms = self._norms[field]
+            postings = self._postings[field]
+            for term in wanted:
+                plist = postings.get(term)
+                if not plist:
+                    continue
+                term_idf = idf_cache.get(term)
+                if term_idf is None:
+                    term_idf = idf_cache[term] = idf_of(term)
+                # weight = boost * sqrt(tf), baked at add time; the
+                # remaining multiplies keep the historical left-to-right
+                # association so accumulated floats stay bit-identical to
+                # NaiveScorer (tests assert score equality, not just order).
+                if with_field_scores:
+                    for d, weight in zip(plist.doc_nums, plist.weights):
+                        contrib = weight * term_idf * term_idf * norms[d]
+                        scores[d] = get(d, 0.0) + contrib
+                        breakdown = per_field.setdefault(d, {})
+                        breakdown[field] = breakdown.get(field, 0.0) + contrib
+                else:
+                    for d, weight in zip(plist.doc_nums, plist.weights):
+                        scores[d] = get(d, 0.0) + (
+                            weight * term_idf * term_idf * norms[d]
+                        )
+        names = self._doc_names
+        ranked = heapq.nsmallest(
+            limit, scores.items(), key=lambda kv: (-kv[1], names[kv[0]])
+        )
+        return [
+            SearchHit(names[d], score, per_field.get(d, {}))
+            for d, score in ranked
+        ]
+
+    def docs_containing_all(
+        self, terms: Sequence[str], fields: Iterable[str]
+    ) -> Set[str]:
+        """Documents containing *every* term in at least one of ``fields``.
+
+        This is the containment probe PMI² needs: ``H(Q_l)`` uses
+        ``fields=("header", "context")``; ``B(cell)`` uses
+        ``fields=("content",)``.  An empty term list yields the empty set
+        (a contentless probe matches nothing useful).
+        """
+        wanted = list(dict.fromkeys(terms))
+        if not wanted:
+            return set()
+        field_list = list(fields)
+        result: Optional[Set[int]] = None
+        for term in wanted:
+            docs: Set[int] = set()
+            for field in field_list:
+                plist = self._postings.get(field, {}).get(term)
+                if plist is not None:
+                    docs.update(plist.doc_nums)
+            result = docs if result is None else (result & docs)
+            if not result:
+                return set()
+        names = self._doc_names
+        return {names[d] for d in result}
+
+    def postings(self, field: str, term: str) -> Dict[str, int]:
+        """Raw posting list (doc -> tf) for inspection and tests."""
+        plist = self._postings.get(field, {}).get(term)
+        if plist is None:
+            return {}
+        names = self._doc_names
+        return {names[d]: tf for d, tf in zip(plist.doc_nums, plist.tfs)}
+
+    # -- persistence -----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible snapshot of the full posting structure.
+
+        Loading a snapshot (:meth:`from_dict`) restores the index in O(read)
+        — no re-tokenization, no re-counting — which is what makes a
+        persisted corpus cheap to open.  The format is unchanged from the
+        pre-compiled index (string-keyed postings and field lengths), so
+        snapshots round-trip across the compilation boundary.
+        """
+        names = self._doc_names
+        return {
+            "boosts": dict(self.boosts),
+            "doc_ids": sorted(self._doc_nums),
+            "field_lengths": {
+                f: {names[num]: n for num, n in lengths.items()}
+                for f, lengths in self._lengths.items()
+            },
+            "postings": {
+                f: {
+                    t: {names[d]: tf for d, tf in zip(p.doc_nums, p.tfs)}
+                    for t, p in terms.items()
+                }
+                for f, terms in self._postings.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "InvertedIndex":
+        """Inverse of :meth:`to_dict` — compiles the snapshot on load."""
+        index = cls(boosts={str(f): float(b) for f, b in dict(data["boosts"]).items()})
+        for doc_id in data["doc_ids"]:
+            index._intern(str(doc_id))
+        index._num_docs = len(index._doc_names)
+        nums = index._doc_nums
+        for field, lengths in dict(data["field_lengths"]).items():
+            if field not in index._lengths:
+                continue
+            field_lengths = index._lengths[field]
+            field_norms = index._norms[field]
+            for doc_id, n in dict(lengths).items():
+                num = nums[str(doc_id)]
+                n = int(n)
+                field_lengths[num] = n
+                field_norms[num] = 1.0 / math.sqrt(max(n, 1))
+        df_docs: Dict[str, Set[int]] = defaultdict(set)
+        for field, terms in dict(data["postings"]).items():
+            if field not in index._postings:
+                continue
+            postings = index._postings[field]
+            boost = index.boosts.get(field, 1.0)
+            for term, entries in dict(terms).items():
+                term = str(term)
+                plist = postings.get(term)
+                if plist is None:
+                    plist = postings[term] = _PostingList()
+                term_docs = df_docs[term]
+                for doc_id, tf in dict(entries).items():
+                    num = nums[str(doc_id)]
+                    plist.append(num, int(tf), boost)
+                    term_docs.add(num)
+        index._df = Counter({t: len(d) for t, d in df_docs.items()})
+        return index
+
+
+class NaiveScorer:
+    """The pre-compilation reference scorer, retained for verification.
+
+    Snapshots an :class:`InvertedIndex` back into the dict-of-dicts
+    posting structure the index used before the hot-path compilation and
+    scores it with the original algorithm: per-field idf evaluation,
+    per-document length-dict lookups, ``math.sqrt`` in the loop, and a
+    full sort of every scored document.  Equivalence tests assert the
+    compiled :meth:`InvertedIndex.search` matches this hit-for-hit
+    (including scores, bit-exactly); ``benchmarks/bench_hotpath.py`` uses
+    it as the honest *before* baseline — the snapshot is taken at
+    construction, outside the timed region.
+    """
+
+    def __init__(self, index: InvertedIndex) -> None:
+        self.boosts = dict(index.boosts)
+        self._postings: Dict[str, Dict[str, Dict[str, int]]] = {}
+        self._field_lengths: Dict[str, Dict[str, int]] = {}
+        names = index._doc_names
+        for field, terms in index._postings.items():
+            self._postings[field] = {
+                term: {names[d]: tf for d, tf in zip(p.doc_nums, p.tfs)}
+                for term, p in terms.items()
+            }
+            self._field_lengths[field] = {
+                names[num]: n for num, n in index._lengths[field].items()
+            }
+        self.num_docs = index.num_docs
+        self._df = {term: index.document_frequency(term) for term in index._df}
+
+    def idf(self, term: str) -> float:
+        """Lucene-classic idf over the snapshot's counts."""
+        return lucene_idf(self.num_docs, self._df.get(term, 0))
+
+    def search(
+        self,
+        terms: Sequence[str],
+        limit: int = 100,
+        fields: Optional[Iterable[str]] = None,
+        idf: Optional[Callable[[str], float]] = None,
+    ) -> List[SearchHit]:
+        """The original dict-walking search loop, verbatim.
+
+        Always computes the per-field breakdown and full-sorts all scored
+        documents — exactly what the index did before compilation.
         """
         if self.num_docs == 0:
             return []
@@ -198,73 +524,3 @@ class InvertedIndex:
             SearchHit(doc_id, score, dict(per_field[doc_id]))
             for doc_id, score in ranked
         ]
-
-    def docs_containing_all(
-        self, terms: Sequence[str], fields: Iterable[str]
-    ) -> Set[str]:
-        """Documents containing *every* term in at least one of ``fields``.
-
-        This is the containment probe PMI² needs: ``H(Q_l)`` uses
-        ``fields=("header", "context")``; ``B(cell)`` uses
-        ``fields=("content",)``.  An empty term list yields the empty set
-        (a contentless probe matches nothing useful).
-        """
-        wanted = list(dict.fromkeys(terms))
-        if not wanted:
-            return set()
-        field_list = list(fields)
-        result: Optional[Set[str]] = None
-        for term in wanted:
-            docs: Set[str] = set()
-            for field in field_list:
-                docs.update(self._postings.get(field, {}).get(term, ()))
-            result = docs if result is None else (result & docs)
-            if not result:
-                return set()
-        return result or set()
-
-    def postings(self, field: str, term: str) -> Dict[str, int]:
-        """Raw posting list (doc -> tf) for inspection and tests."""
-        return dict(self._postings.get(field, {}).get(term, {}))
-
-    # -- persistence -----------------------------------------------------------
-
-    def to_dict(self) -> Dict[str, object]:
-        """JSON-compatible snapshot of the full posting structure.
-
-        Loading a snapshot (:meth:`from_dict`) restores the index in O(read)
-        — no re-tokenization, no re-counting — which is what makes a
-        persisted corpus cheap to open.
-        """
-        return {
-            "boosts": dict(self.boosts),
-            "doc_ids": sorted(self._doc_ids),
-            "field_lengths": {
-                f: dict(lengths) for f, lengths in self._field_lengths.items()
-            },
-            "postings": {
-                f: {t: dict(p) for t, p in terms.items()}
-                for f, terms in self._postings.items()
-            },
-        }
-
-    @classmethod
-    def from_dict(cls, data: Mapping[str, object]) -> "InvertedIndex":
-        """Inverse of :meth:`to_dict`."""
-        index = cls(boosts={str(f): float(b) for f, b in dict(data["boosts"]).items()})
-        index._doc_ids = set(data["doc_ids"])
-        for field, lengths in dict(data["field_lengths"]).items():
-            if field in index._field_lengths:
-                index._field_lengths[field] = {
-                    str(d): int(n) for d, n in dict(lengths).items()
-                }
-        for field, terms in dict(data["postings"]).items():
-            if field in index._postings:
-                index._postings[field] = defaultdict(
-                    dict,
-                    {
-                        str(t): {str(d): int(tf) for d, tf in dict(p).items()}
-                        for t, p in dict(terms).items()
-                    },
-                )
-        return index

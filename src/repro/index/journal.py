@@ -36,6 +36,7 @@ compaction loses nothing.
 
 from __future__ import annotations
 
+import heapq
 import json
 import os
 import threading
@@ -579,8 +580,13 @@ class JournaledCorpus:
         terms: Sequence[str],
         limit: int = 100,
         fields: Optional[Iterable[str]] = None,
+        with_field_scores: bool = False,
     ) -> List[SearchHit]:
         """Ranked retrieval over base + delta, tombstones excluded.
+
+        ``with_field_scores`` requests the diagnostic per-field breakdown
+        on every hit (off on the hot path); it is forwarded to the base
+        scatter and the delta probe alike.
 
         Base shards are scattered with the *live* IDF (not the base's
         cached one) and asked for ``limit + |tombstones|`` hits each, which
@@ -594,7 +600,10 @@ class JournaledCorpus:
         probe never iterates structures a mutation is rewriting.
         """
         if self._clean:
-            return self.base.search(terms, limit=limit, fields=fields)
+            return self.base.search(
+                terms, limit=limit, fields=fields,
+                with_field_scores=with_field_scores,
+            )
         with self._lock:
             self._maybe_refresh()
             field_list = list(fields) if fields is not None else None
@@ -605,12 +614,14 @@ class JournaledCorpus:
                     lambda s: s.index.search(
                         terms, limit=eff_limit, fields=field_list,
                         idf=self._effective_idf,
+                        with_field_scores=with_field_scores,
                     )
                 )
             else:
                 results = [self.base.index.search(
                     terms, limit=eff_limit, fields=field_list,
                     idf=self._effective_idf,
+                    with_field_scores=with_field_scores,
                 )]
             merged = [
                 hit for hits in results for hit in hits
@@ -619,9 +630,11 @@ class JournaledCorpus:
             merged.extend(self._delta_index.search(
                 terms, limit=limit, fields=field_list,
                 idf=self._effective_idf,
+                with_field_scores=with_field_scores,
             ))
-        merged.sort(key=lambda h: (-h.score, h.doc_id))
-        return merged[:limit]
+        return heapq.nsmallest(
+            limit, merged, key=lambda h: (-h.score, h.doc_id)
+        )
 
     def docs_containing_all(
         self, terms: Sequence[str], fields: Iterable[str]

@@ -61,8 +61,13 @@ class CorpusProtocol(Protocol):
         terms: Sequence[str],
         limit: int = 100,
         fields: Optional[Iterable[str]] = None,
+        with_field_scores: bool = False,
     ) -> List[SearchHit]:
-        """Disjunctive boosted TF-IDF retrieval: top ``limit`` hits."""
+        """Disjunctive boosted TF-IDF retrieval: top ``limit`` hits.
+
+        ``with_field_scores`` opts in to the diagnostic per-field score
+        breakdown on every hit; the serving hot path leaves it off.
+        """
         ...
 
     def docs_containing_all(

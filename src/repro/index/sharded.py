@@ -32,6 +32,7 @@ monolithic or a sharded layout in O(read).
 
 from __future__ import annotations
 
+import heapq
 import zlib
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
@@ -170,27 +171,32 @@ class ShardedCorpus:
         terms: Sequence[str],
         limit: int = 100,
         fields: Optional[Iterable[str]] = None,
+        with_field_scores: bool = False,
     ) -> List[SearchHit]:
         """Parallel scatter-gather disjunctive retrieval.
 
         Each shard returns its local top-``limit`` scored with
-        :meth:`global_idf`; the gather concatenates, re-sorts by
-        ``(-score, doc_id)``, and truncates.  Any document in the global
-        top-``limit`` is necessarily in its own shard's top-``limit``
-        (a shard holds a subset of its competitors), so the merge equals
-        the monolithic ranking.
+        :meth:`global_idf`; the gather concatenates, selects the global
+        top-``limit`` by ``(-score, doc_id)`` with a bounded heap, and
+        returns it.  Any document in the global top-``limit`` is
+        necessarily in its own shard's top-``limit`` (a shard holds a
+        subset of its competitors), so the merge equals the monolithic
+        ranking.  ``with_field_scores`` requests the diagnostic per-field
+        breakdown on every hit (off on the hot path).
         """
         if self._num_tables == 0:
             return []
         field_list = list(fields) if fields is not None else None
         results = self._map_shards(
             lambda s: s.index.search(
-                terms, limit=limit, fields=field_list, idf=self.global_idf
+                terms, limit=limit, fields=field_list, idf=self.global_idf,
+                with_field_scores=with_field_scores,
             )
         )
         merged = [hit for hits in results for hit in hits]
-        merged.sort(key=lambda h: (-h.score, h.doc_id))
-        return merged[:limit]
+        return heapq.nsmallest(
+            limit, merged, key=lambda h: (-h.score, h.doc_id)
+        )
 
     def docs_containing_all(
         self, terms: Sequence[str], fields: Iterable[str]

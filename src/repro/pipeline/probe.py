@@ -11,11 +11,14 @@ contributed about half of all relevant tables.
 from __future__ import annotations
 
 import random
+import time as _time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Set, Tuple
 
+from ..core.features import FeatureCache
 from ..core.model import build_problem
 from ..core.params import DEFAULT_PARAMS, ModelParams
+from ..core.pmi import PmiScorer
 from ..index.protocol import CorpusProtocol
 from ..query.model import Query
 from ..tables.table import WebTable
@@ -67,9 +70,14 @@ def _table_confidences(
     tables: Sequence[WebTable],
     corpus: CorpusProtocol,
     params: ModelParams,
+    feature_cache: Optional[FeatureCache] = None,
+    pmi_scorer: Optional[PmiScorer] = None,
 ) -> List[float]:
     """Per-table relevance confidence from independent max-marginals."""
-    problem = build_problem(query, tables, corpus.stats, params)
+    problem = build_problem(
+        query, tables, corpus.stats, params,
+        pmi_scorer=pmi_scorer, feature_cache=feature_cache,
+    )
     distributions = column_distributions(problem, all_max_marginals(problem))
     confidences = []
     for ti in range(len(tables)):
@@ -89,6 +97,8 @@ def two_stage_probe(
     params: ModelParams = DEFAULT_PARAMS,
     timings: Optional[dict] = None,
     rng: Optional[random.Random] = None,
+    feature_cache: Optional[FeatureCache] = None,
+    pmi_scorer: Optional[PmiScorer] = None,
 ) -> ProbeResult:
     """Run the Section 2.2.1 candidate retrieval.
 
@@ -107,9 +117,14 @@ def two_stage_probe(
     are bit-reproducible.  Pass ``rng`` to thread your own generator
     instead (it is consumed; share one only for deliberately coupled
     sampling sequences).
-    """
-    import time as _time
 
+    ``feature_cache`` (when given) is populated by the confidence pass's
+    :func:`~repro.core.model.build_problem` call, so a caller assembling
+    the full inference problem right after this probe — the serving
+    facade — reuses every stage-1 table's features instead of recomputing
+    them (see DESIGN.md, "Hot-path engine").  ``pmi_scorer`` forwards to
+    the same call (only consulted when ``params.w3`` is non-zero).
+    """
     if config is None:
         config = ProbeConfig()
 
@@ -126,6 +141,10 @@ def two_stage_probe(
         if not hits:
             return hits
         floor = hits[0].score * config.min_score_fraction
+        if hits[-1].score >= floor:
+            # Hits arrive sorted best-first, so when even the weakest one
+            # clears the floor there is nothing to drop — skip the rescan.
+            return hits
         return [h for h in hits if h.score >= floor]
 
     t0 = _time.perf_counter()
@@ -142,7 +161,10 @@ def two_stage_probe(
             tables=[], stage1_ids=[], stage2_ids=[], used_second_stage=False
         )
 
-    confidences = _table_confidences(query, stage1_tables, corpus, params)
+    confidences = _table_confidences(
+        query, stage1_tables, corpus, params,
+        feature_cache=feature_cache, pmi_scorer=pmi_scorer,
+    )
     ranked = sorted(
         range(len(stage1_tables)), key=lambda i: -confidences[i]
     )

@@ -3,18 +3,21 @@
 Backs both service caches: the query-result cache (full pipeline outputs
 keyed on normalized query text) and the probe cache (candidate-retrieval
 outputs).  Counters feed ``WWTService.stats()``.
+
+One eviction/locking implementation lives in the codebase —
+:class:`~repro.core.features.BoundedCache`; :class:`LRUCache` is the
+service-layer adapter over it, keeping this layer's historical API
+(``get`` returning ``(hit, value)``, ``CacheStats`` snapshots).
 """
 
 from __future__ import annotations
 
-import threading
-from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, Hashable, Optional, Tuple
 
-__all__ = ["CacheStats", "LRUCache"]
+from ..core.features import BoundedCache
 
-_MISS = object()
+__all__ = ["CacheStats", "LRUCache"]
 
 
 @dataclass(frozen=True)
@@ -54,10 +57,7 @@ class LRUCache:
         if capacity < 0:
             raise ValueError("capacity must be >= 0")
         self.capacity = capacity
-        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
-        self._lock = threading.Lock()
-        self._hits = 0
-        self._misses = 0
+        self._cache = BoundedCache(capacity)
 
     @property
     def enabled(self) -> bool:
@@ -66,44 +66,28 @@ class LRUCache:
 
     def get(self, key: Hashable) -> Tuple[bool, Optional[Any]]:
         """``(hit, value)``; a hit refreshes the key's recency."""
-        with self._lock:
-            value = self._data.get(key, _MISS) if self.enabled else _MISS
-            if value is _MISS:
-                self._misses += 1
-                return False, None
-            self._data.move_to_end(key)
-            self._hits += 1
-            return True, value
+        return self._cache.lookup(key)
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert/refresh a key, evicting the LRU entry when full."""
-        if not self.enabled:
-            return
-        with self._lock:
-            self._data[key] = value
-            self._data.move_to_end(key)
-            while len(self._data) > self.capacity:
-                self._data.popitem(last=False)
+        self._cache.put(key, value)
 
     def __contains__(self, key: Hashable) -> bool:
-        with self._lock:
-            return key in self._data
+        return key in self._cache
 
     def __len__(self) -> int:
-        with self._lock:
-            return len(self._data)
+        return len(self._cache)
 
     def clear(self) -> None:
         """Drop all entries (counters are kept)."""
-        with self._lock:
-            self._data.clear()
+        self._cache.clear()
 
     def stats(self) -> CacheStats:
         """Snapshot of the counters."""
-        with self._lock:
-            return CacheStats(
-                hits=self._hits,
-                misses=self._misses,
-                size=len(self._data),
-                capacity=self.capacity,
-            )
+        snapshot = self._cache.stats()
+        return CacheStats(
+            hits=snapshot["hits"],
+            misses=snapshot["misses"],
+            size=snapshot["size"],
+            capacity=self.capacity,
+        )

@@ -54,6 +54,10 @@ class EngineConfig:
     cache_size: int = 256
     #: LRU capacity of the probe cache (candidate-retrieval outputs).
     probe_cache_size: int = 128
+    #: LRU capacity of the per-(query, table) feature cache shared between
+    #: the probe's confidence pass and the full inference assembly (the
+    #: hot-path memoization — see DESIGN.md, "Hot-path engine").
+    feature_cache_size: int = 4096
     #: Thread-pool width for :meth:`WWTService.answer_batch`.
     max_workers: int = 4
     #: Default answer-row page size for :class:`QueryResponse` pagination.
@@ -83,7 +87,11 @@ class EngineConfig:
                 f"unknown inference {self.inference!r}; "
                 f"options: {DEFAULT_REGISTRY.names()}"
             )
-        if self.cache_size < 0 or self.probe_cache_size < 0:
+        if (
+            self.cache_size < 0
+            or self.probe_cache_size < 0
+            or self.feature_cache_size < 0
+        ):
             raise ValueError("cache sizes must be >= 0 (0 disables the cache)")
         if self.max_workers < 1:
             raise ValueError("max_workers must be >= 1")
@@ -126,6 +134,7 @@ class EngineConfig:
             "inference": self.inference,
             "cache_size": self.cache_size,
             "probe_cache_size": self.probe_cache_size,
+            "feature_cache_size": self.feature_cache_size,
             "max_workers": self.max_workers,
             "page_size": self.page_size,
             "num_shards": self.num_shards,
@@ -157,7 +166,7 @@ class EngineConfig:
             )
         top_known = {
             "inference", "cache_size", "probe_cache_size",
-            "max_workers", "page_size",
+            "feature_cache_size", "max_workers", "page_size",
             "num_shards", "index_path", "probe_workers",
             "auto_compact_threshold",
         }

@@ -17,7 +17,9 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 
 from ..consolidate.merge import consolidate
 from ..consolidate.ranker import rank_answer
+from ..core.features import FeatureCache
 from ..core.model import build_problem
+from ..core.pmi import PmiScorer
 from ..index.protocol import CorpusProtocol
 from ..index.sharded import load_corpus
 from ..inference.registry import DEFAULT_REGISTRY
@@ -42,6 +44,9 @@ class ServiceStats:
     batches: int
     result_cache: CacheStats
     probe_cache: CacheStats
+    #: Per-(query, table) feature memoization counters (the hot-path
+    #: cache shared between probe confidence and full inference).
+    feature_cache: CacheStats
     #: Cumulative wall-clock seconds spent serving (cache hits included).
     total_time: float
 
@@ -53,6 +58,7 @@ class ServiceStats:
             "total_time": self.total_time,
             "result_cache": self.result_cache.to_dict(),
             "probe_cache": self.probe_cache.to_dict(),
+            "feature_cache": self.feature_cache.to_dict(),
         }
 
 
@@ -101,6 +107,17 @@ class WWTService:
         self.corpus = corpus
         self._result_cache = LRUCache(self.config.cache_size)
         self._probe_cache = LRUCache(self.config.probe_cache_size)
+        #: Per-(query, table) feature memo shared by the probe's
+        #: confidence pass and the full inference assembly, so stage-1
+        #: features are computed once per query instead of twice.
+        self._feature_cache = FeatureCache(self.config.feature_cache_size)
+        #: One corpus-level PMI² scorer (bounded H/B containment-probe
+        #: caches shared across every query and batch) — only when the
+        #: configured weights actually consult PMI².
+        self._pmi_scorer = (
+            PmiScorer(self.corpus)
+            if self.config.params.w3 != 0.0 else None
+        )
         self._lock = threading.Lock()
         #: Single-flight map: cache key -> Future of the leading computation,
         #: so concurrent identical queries compute the pipeline once.
@@ -128,7 +145,8 @@ class WWTService:
             raw = {}
             probe = two_stage_probe(
                 query, self.corpus, self.config.probe, self.config.params,
-                timings=raw,
+                timings=raw, feature_cache=self._feature_cache,
+                pmi_scorer=self._pmi_scorer,
             )
             self._probe_cache.put(probe_key, (probe, raw))
         timing.index1 = raw.get("index1", 0.0)
@@ -138,8 +156,12 @@ class WWTService:
         timing.read2 = raw.get("read2", 0.0)
 
         t0 = time.perf_counter()
+        # The feature cache makes this an incremental extension of the
+        # probe's confidence-pass problem: stage-1 table features come
+        # from the cache, only stage-2 tables are evaluated fresh.
         problem = build_problem(
-            query, probe.tables, self.corpus.stats, self.config.params
+            query, probe.tables, self.corpus.stats, self.config.params,
+            pmi_scorer=self._pmi_scorer, feature_cache=self._feature_cache,
         )
         mapping = algorithm(problem)
         timing.column_map = time.perf_counter() - t0
@@ -352,18 +374,34 @@ class WWTService:
         with self._lock:
             queries, batches = self._queries, self._batches
             total_time = self._total_time
+        feature = self._feature_cache.stats()  # one atomic snapshot
         return ServiceStats(
             queries=queries,
             batches=batches,
             result_cache=self._result_cache.stats(),
             probe_cache=self._probe_cache.stats(),
+            feature_cache=CacheStats(
+                hits=feature["hits"],
+                misses=feature["misses"],
+                size=feature["size"],
+                capacity=feature["capacity"],
+            ),
             total_time=total_time,
         )
 
     def clear_caches(self) -> None:
-        """Drop both caches (hit/miss counters are kept)."""
+        """Drop all serving caches (hit/miss counters are kept).
+
+        Covers the result and probe LRUs, the per-(query, table) feature
+        memo, and — when PMI² is configured — the corpus-level H/B
+        containment-probe caches; all of them key off corpus content, so
+        a live mutation invalidates the lot.
+        """
         self._result_cache.clear()
         self._probe_cache.clear()
+        self._feature_cache.clear()
+        if self._pmi_scorer is not None:
+            self._pmi_scorer.clear_caches()
 
     def close(self) -> None:
         """Release resources the service created (idempotent).

@@ -1,0 +1,417 @@
+"""Hot-path engine verification (compiled postings + feature memoization).
+
+Three guarantees the DESIGN.md "Hot-path engine" section promises:
+
+1. The compiled :meth:`InvertedIndex.search` matches the retained
+   :class:`NaiveScorer` reference hit-for-hit — doc ids, scores
+   (bit-exactly), and per-field breakdowns — on random corpora and on the
+   full 59-query workload, for every backend (monolithic, sharded,
+   journaled) including after add/delete/compact.
+2. The incrementally maintained df counters always equal the brute-force
+   set-union definition they replaced.
+3. Feature memoization (:class:`FeatureCache`) and the promoted PMI²
+   probe caches change *where time goes*, never what is computed:
+   cached and cacheless pipelines return identical problems and answers.
+"""
+
+import random
+
+import pytest
+
+from repro.core import DEFAULT_PARAMS, FeatureCache, build_problem
+from repro.core.features import BoundedCache, query_feature_key
+from repro.core.params import ModelParams
+from repro.core.pmi import PmiScorer
+from repro.index import (
+    InvertedIndex,
+    JournaledCorpus,
+    NaiveScorer,
+    build_corpus_index,
+    build_sharded_corpus,
+)
+from repro.query.model import Query
+from repro.service import EngineConfig, WWTService
+from repro.tables.table import WebTable
+
+KS = (1, 2, 4)
+VOCAB = [f"w{i:02d}" for i in range(40)]
+
+
+def random_fields(rng):
+    """One random pre-tokenized document over the small shared vocabulary."""
+    return {
+        "header": [rng.choice(VOCAB) for _ in range(rng.randint(0, 4))],
+        "context": [rng.choice(VOCAB) for _ in range(rng.randint(0, 6))],
+        "content": [rng.choice(VOCAB) for _ in range(rng.randint(0, 30))],
+    }
+
+
+def assert_hits_match(got, want, check_field_scores=False):
+    """Hit-for-hit equality: ids in order, scores bit-exact."""
+    assert [h.doc_id for h in got] == [h.doc_id for h in want]
+    assert [h.score for h in got] == [h.score for h in want]
+    if check_field_scores:
+        assert [h.field_scores for h in got] == [h.field_scores for h in want]
+
+
+def brute_force_df(docs):
+    """The definition the incremental df counters must match."""
+    df = {}
+    for fields in docs.values():
+        for term in {t for tokens in fields.values() for t in tokens}:
+            df[term] = df.get(term, 0) + 1
+    return df
+
+
+class TestCompiledMatchesNaive:
+    """Property tests on random corpora (multiple seeds, with churn)."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_corpus_hit_for_hit(self, seed):
+        rng = random.Random(seed)
+        index = InvertedIndex()
+        docs = {}
+        for i in range(rng.randint(5, 60)):
+            fields = random_fields(rng)
+            index.add_document(f"d{i:03d}", fields)
+            docs[f"d{i:03d}"] = fields
+        for doc_id in rng.sample(sorted(docs), k=len(docs) // 4):
+            index.remove_document(doc_id, docs.pop(doc_id))
+
+        naive = NaiveScorer(index)
+        for _ in range(15):
+            terms = [rng.choice(VOCAB) for _ in range(rng.randint(1, 5))]
+            for k in KS + (100,):
+                assert_hits_match(
+                    index.search(terms, limit=k, with_field_scores=True),
+                    naive.search(terms, limit=k),
+                    check_field_scores=True,
+                )
+                # The hot path (no breakdown) ranks and scores identically.
+                assert_hits_match(
+                    index.search(terms, limit=k), naive.search(terms, limit=k)
+                )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_df_counters_match_brute_force(self, seed):
+        rng = random.Random(1000 + seed)
+        index = InvertedIndex()
+        docs = {}
+        for i in range(40):
+            fields = random_fields(rng)
+            index.add_document(f"d{i}", fields)
+            docs[f"d{i}"] = fields
+        for doc_id in rng.sample(sorted(docs), k=10):
+            index.remove_document(doc_id, docs.pop(doc_id))
+
+        expected = brute_force_df(docs)
+        for term in VOCAB:
+            assert index.document_frequency(term) == expected.get(term, 0)
+        stats = index.term_statistics()
+        assert stats.num_docs == len(docs)
+        for term in VOCAB:
+            assert stats.document_frequency(term) == expected.get(term, 0)
+
+    def test_field_subset_df_still_supported(self):
+        index = InvertedIndex()
+        index.add_document("a", {"header": ["x"], "content": ["x", "y"]})
+        index.add_document("b", {"content": ["x"]})
+        assert index.document_frequency("x") == 2
+        assert index.document_frequency("x", fields=["header"]) == 1
+        assert index.document_frequency("y", fields=["header"]) == 0
+
+    def test_field_scores_opt_in(self):
+        index = InvertedIndex()
+        index.add_document("a", {"header": ["x"], "content": ["x"]})
+        assert index.search(["x"])[0].field_scores == {}
+        breakdown = index.search(["x"], with_field_scores=True)[0].field_scores
+        assert set(breakdown) == {"header", "content"}
+
+    def test_snapshot_round_trip_preserves_compiled_search(self):
+        rng = random.Random(7)
+        index = InvertedIndex()
+        for i in range(25):
+            index.add_document(f"d{i}", random_fields(rng))
+        reloaded = InvertedIndex.from_dict(index.to_dict())
+        assert reloaded.to_dict() == index.to_dict()
+        for term in VOCAB:
+            assert (
+                reloaded.document_frequency(term)
+                == index.document_frequency(term)
+            )
+        terms = [VOCAB[0], VOCAB[5], VOCAB[9]]
+        assert_hits_match(
+            reloaded.search(terms, limit=10, with_field_scores=True),
+            index.search(terms, limit=10, with_field_scores=True),
+            check_field_scores=True,
+        )
+
+
+class TestWorkloadEquivalence:
+    """The 59-query workload, hit-for-hit across all three backends."""
+
+    @pytest.fixture(scope="class")
+    def tables(self, small_env):
+        """The shared synthetic corpus's tables."""
+        return list(small_env.synthetic.corpus.store)
+
+    def _check_workload(self, corpus, naive, queries):
+        for wq in queries:
+            tokens = wq.query.all_tokens()
+            for k in KS:
+                assert_hits_match(
+                    corpus.search(tokens, limit=k),
+                    naive.search(tokens, limit=k),
+                )
+
+    def test_monolithic(self, small_env):
+        corpus = small_env.synthetic.corpus
+        naive = NaiveScorer(corpus.index)
+        self._check_workload(corpus, naive, small_env.queries)
+
+    def test_sharded(self, small_env, tables):
+        naive = NaiveScorer(small_env.synthetic.corpus.index)
+        sharded = build_sharded_corpus(tables, num_shards=4)
+        self._check_workload(sharded, naive, small_env.queries)
+
+    def test_field_scores_plumbed_through_all_backends(self, small_env, tables):
+        """Every CorpusProtocol backend honours the opt-in breakdown."""
+        naive = NaiveScorer(small_env.synthetic.corpus.index)
+        tokens = small_env.queries[0].query.all_tokens()
+        want = naive.search(tokens, limit=5)
+        backends = [
+            small_env.synthetic.corpus,
+            build_sharded_corpus(tables, num_shards=3),
+            JournaledCorpus(build_corpus_index(tables)),
+        ]
+        # Delete + re-add one table so the journaled backend exercises its
+        # dirty delta-merge path (net corpus content — and scores — are
+        # unchanged, but hits now flow through tombstone filter + delta).
+        backends[2].delete_tables([tables[0].table_id])
+        backends[2].add_tables([tables[0]])
+        for corpus in backends:
+            assert_hits_match(
+                corpus.search(tokens, limit=5, with_field_scores=True),
+                want, check_field_scores=True,
+            )
+            assert all(
+                h.field_scores == {} for h in corpus.search(tokens, limit=5)
+            )
+
+    def test_journaled_after_add_delete_compact(self, small_env, tables):
+        split = int(len(tables) * 0.8)
+        base_tables, extra = tables[:split], tables[split:]
+        journaled = JournaledCorpus(build_corpus_index(base_tables))
+        journaled.add_tables(extra)
+        doomed = [t.table_id for t in base_tables[::7]] + [
+            t.table_id for t in extra[::5]
+        ]
+        journaled.delete_tables(doomed)
+
+        live = [t for t in tables if t.table_id not in set(doomed)]
+        naive = NaiveScorer(build_corpus_index(live).index)
+        queries = small_env.queries
+        self._check_workload(journaled, naive, queries)
+
+        journaled.compact()
+        self._check_workload(journaled, naive, queries)
+
+
+class TestFeatureCache:
+    """Memoization must be invisible in the outputs."""
+
+    @pytest.fixture(scope="class")
+    def probe_setup(self, small_env):
+        """One workload query with its candidate tables and corpus stats."""
+        wq = small_env.queries[0]
+        tables = small_env.candidates[wq.query_id].tables
+        assert tables, "fixture query retrieved no candidates"
+        return wq.query, tables, small_env.synthetic.corpus.stats
+
+    def _problems_equal(self, a, b):
+        assert a.node_potentials == b.node_potentials
+        assert a.features == b.features
+        assert a.table_relevance == b.table_relevance
+        assert len(a.edges) == len(b.edges)
+
+    def test_cached_problem_identical_to_cacheless(self, probe_setup):
+        query, tables, stats = probe_setup
+        cold = build_problem(query, tables, stats, DEFAULT_PARAMS)
+        cache = FeatureCache()
+        first = build_problem(
+            query, tables, stats, DEFAULT_PARAMS, feature_cache=cache
+        )
+        assert cache.misses == len(tables) and cache.hits == 0
+        second = build_problem(
+            query, tables, stats, DEFAULT_PARAMS, feature_cache=cache
+        )
+        assert cache.hits == len(tables)
+        self._problems_equal(first, cold)
+        self._problems_equal(second, cold)
+
+    def test_incremental_extension_computes_only_new_tables(self, probe_setup):
+        query, tables, stats = probe_setup
+        if len(tables) < 2:
+            pytest.skip("needs at least two candidate tables")
+        stage1, full = tables[: len(tables) // 2], tables
+        cache = FeatureCache()
+        build_problem(query, stage1, stats, DEFAULT_PARAMS, feature_cache=cache)
+        misses_before = cache.misses
+        extended = build_problem(
+            query, full, stats, DEFAULT_PARAMS, feature_cache=cache
+        )
+        assert cache.misses - misses_before == len(full) - len(stage1)
+        self._problems_equal(
+            extended, build_problem(query, full, stats, DEFAULT_PARAMS)
+        )
+
+    def test_pin_auto_clears_on_stats_identity_change(self, probe_setup):
+        query, tables, stats = probe_setup
+        cache = FeatureCache()
+        build_problem(query, tables, stats, DEFAULT_PARAMS, feature_cache=cache)
+        assert len(cache) == len(tables)
+        from repro.text.tfidf import TermStatistics
+
+        other_stats = TermStatistics.from_dict(stats.to_dict())
+        build_problem(
+            query, tables, other_stats, DEFAULT_PARAMS, feature_cache=cache
+        )
+        # The regime flip dropped the old entries; only the re-computed
+        # ones (under the new stats object) remain.
+        assert len(cache) == len(tables)
+        assert cache.hits == 0
+
+    def test_stale_generation_put_is_dropped(self, probe_setup):
+        """A writer that pinned before an invalidation cannot cache stale
+        features into the freshly cleared cache (compute-vs-mutation race)."""
+        query, tables, stats = probe_setup
+        cache = FeatureCache()
+        old_generation = cache.pin(stats, None, None)
+        cache.clear()  # a mutation invalidated the cache mid-compute
+        cache.put(("stale",), ("stale-value",), generation=old_generation)
+        assert len(cache) == 0
+        fresh_generation = cache.pin(stats, None, None)
+        cache.put(("fresh",), ("fresh-value",), generation=fresh_generation)
+        assert len(cache) == 1
+        # The read side refuses cross-regime entries too: a reader still
+        # pinned to the old regime must miss (and recompute), never
+        # consume features cached under the new one.
+        assert cache.get(("fresh",), generation=old_generation) is None
+        assert cache.get(("fresh",), generation=fresh_generation) == (
+            "fresh-value",
+        )
+
+    def test_query_feature_key_normalizes_surface_forms(self):
+        assert query_feature_key(Query.parse("Country | Currency")) == (
+            query_feature_key(Query.parse("country|currency"))
+        )
+
+    def test_capacity_zero_disables_without_changing_results(self, probe_setup):
+        query, tables, stats = probe_setup
+        cache = FeatureCache(capacity=0)
+        problem = build_problem(
+            query, tables, stats, DEFAULT_PARAMS, feature_cache=cache
+        )
+        assert len(cache) == 0
+        self._problems_equal(
+            problem, build_problem(query, tables, stats, DEFAULT_PARAMS)
+        )
+
+
+class TestServiceHotPath:
+    """End-to-end: the serving facade with and without memoization."""
+
+    def test_answers_identical_with_and_without_feature_cache(self, small_env):
+        corpus = small_env.synthetic.corpus
+        queries = [wq.query for wq in small_env.queries[:6]]
+        memoized = WWTService(corpus, EngineConfig())
+        plain = WWTService(
+            corpus, EngineConfig(feature_cache_size=0, cache_size=0,
+                                 probe_cache_size=0)
+        )
+        for query in queries:
+            a = memoized.answer_full(query)
+            b = plain.answer_full(query)
+            assert a.answer.rows == b.answer.rows
+            assert a.mapping.labels == b.mapping.labels
+        stats = memoized.stats()
+        assert stats.feature_cache.hits > 0
+        assert "feature_cache" in stats.to_dict()
+
+    def test_clear_caches_drops_feature_entries(self, small_env):
+        service = WWTService(small_env.synthetic.corpus, EngineConfig())
+        service.answer_full(small_env.queries[0].query)
+        assert len(service._feature_cache) > 0
+        service.clear_caches()
+        assert len(service._feature_cache) == 0
+
+    def test_pmi_configured_service_builds_shared_scorer(self, small_env):
+        config = EngineConfig(params=ModelParams(w3=0.05))
+        service = WWTService(small_env.synthetic.corpus, config)
+        assert service._pmi_scorer is not None
+        response = service.answer(small_env.queries[0].query)
+        assert response.total_rows >= 0
+        # The corpus-level caches saw traffic from the containment probes.
+        h_stats = service._pmi_scorer._h_cache.stats()
+        b_stats = service._pmi_scorer._b_cache.stats()
+        assert h_stats["misses"] + b_stats["misses"] > 0
+        service.clear_caches()
+        assert len(service._pmi_scorer._h_cache) == 0
+
+
+class TestPmiPromotedCaches:
+    """Shared bounded H/B caches reuse probes across scorers."""
+
+    @staticmethod
+    def make_index():
+        index = InvertedIndex()
+        index.add_text_document(
+            "t1",
+            {"header": "explorer nationality", "context": "famous explorers",
+             "content": "magellan portugal"},
+        )
+        index.add_text_document(
+            "t2",
+            {"header": "explorer ship", "context": "",
+             "content": "magellan victoria"},
+        )
+        return index
+
+    def test_shared_caches_hit_across_scorers(self):
+        table = WebTable.from_rows(
+            [["magellan"], ["cook"]], header=["explorer"], table_id="w1"
+        )
+        index = self.make_index()
+        h_cache, b_cache = BoundedCache(64), BoundedCache(1024)
+        first = PmiScorer(index, h_cache=h_cache, b_cache=b_cache)
+        score = first.score("explorer", table, 0)
+        hits_before = h_cache.hits + b_cache.hits
+        second = PmiScorer(index, h_cache=h_cache, b_cache=b_cache)
+        assert second.score("explorer", table, 0) == score
+        assert h_cache.hits + b_cache.hits > hits_before
+
+    def test_bounded_cache_eviction_only_recomputes(self):
+        table = WebTable.from_rows(
+            [["magellan"], ["cook"]], header=["explorer"], table_id="w1"
+        )
+        index = self.make_index()
+        unbounded = PmiScorer(index)
+        tiny = PmiScorer(index, h_cache=BoundedCache(1), b_cache=BoundedCache(1))
+        for col_query in ("explorer", "ship", "explorer"):
+            assert tiny.score(col_query, table, 0) == unbounded.score(
+                col_query, table, 0
+            )
+
+    def test_bounded_cache_contract(self):
+        cache = BoundedCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1
+        cache.put("c", 3)  # evicts "b" (LRU)
+        assert "b" not in cache and "a" in cache and "c" in cache
+        assert cache.get("b") is None
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+        with pytest.raises(ValueError):
+            BoundedCache(-1)
