@@ -1,23 +1,31 @@
 # Convenience targets; everything also runs as the plain commands shown.
 PYTHONPATH := src
 
-.PHONY: test docs docs-coverage bench-incremental bench-shards bench-hotpath
+.PHONY: test lint docs docs-coverage bench-incremental bench-shards \
+	bench-hotpath bench-exec
 
 test:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest -x -q
+
+# Lint gate (rule set pinned in pyproject.toml). Needs `pip install ruff`
+# (the CI lint job installs it; the runtime itself stays stdlib-only).
+lint:
+	@command -v ruff >/dev/null 2>&1 || \
+		{ echo "ruff is not installed: pip install ruff"; exit 1; }
+	ruff check .
 
 # Generated API reference (docs/api/). Needs `pip install pdoc` (CI
 # installs it; the runtime itself stays stdlib-only).
 docs:
 	@python -c "import pdoc" 2>/dev/null || \
 		{ echo "pdoc is not installed: pip install pdoc"; exit 1; }
-	PYTHONPATH=$(PYTHONPATH) python -m pdoc repro.service repro.index repro.cli -o docs/api
+	PYTHONPATH=$(PYTHONPATH) python -m pdoc repro.service repro.index repro.exec repro.cli -o docs/api
 	@echo "API reference written to docs/api/"
 
 # Stdlib-only docstring gate (CI additionally runs interrogate).
 docs-coverage:
 	python tools/docstring_coverage.py --fail-under 95 -v \
-		src/repro/service src/repro/index src/repro/cli.py
+		src/repro/service src/repro/index src/repro/exec src/repro/cli.py
 
 bench-incremental:
 	PYTHONPATH=$(PYTHONPATH) python benchmarks/bench_incremental.py --smoke
@@ -27,3 +35,6 @@ bench-shards:
 
 bench-hotpath:
 	PYTHONPATH=$(PYTHONPATH) python benchmarks/bench_hotpath.py --smoke
+
+bench-exec:
+	PYTHONPATH=$(PYTHONPATH) python benchmarks/bench_exec.py --smoke

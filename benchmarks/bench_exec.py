@@ -1,0 +1,218 @@
+"""Execution-engine benchmark: per-stage latency, deadline sweep, quality.
+
+Measures what the staged executor (``repro.exec``) makes observable and
+enforceable:
+
+- **per-stage latency**: p50/p95 per pipeline stage (``parse`` through
+  ``rank``) over the workload, read off the service's span-fed
+  aggregates — the numbers behind Figure 7, now from the span tree;
+- **identity**: with no deadline, executor answers must match an
+  independent unbounded run row-for-row (``identity_diffs``, fatal under
+  ``--strict``);
+- **deadline sweep**: for each budget, the deadline-hit ratio, degraded
+  ratio, served-latency p50/p95, the p95 overshoot beyond the budget
+  (the "one stage granularity" slack), and the degraded answers'
+  quality vs the full answers (recall of the full answer's top-10 rows).
+
+Emits machine-readable ``BENCH_exec.json``; CI runs ``--smoke --strict``
+and uploads the artifact.  Latency ratios are recorded, never gated
+(shared-runner jitter); only correctness (identity diffs) is fatal.
+
+Run standalone (no pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_exec.py --smoke
+    PYTHONPATH=src python benchmarks/bench_exec.py \
+        --scale 0.4 --budgets 2 5 10 20 50 --out results/BENCH_exec.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.corpus.generator import CorpusConfig, generate_corpus  # noqa: E402
+from repro.exec.stats import percentile  # noqa: E402
+from repro.query.workload import WORKLOAD  # noqa: E402
+from repro.service import EngineConfig, WWTService  # noqa: E402
+
+#: Caches off: every answer runs the full plan, so stage aggregates and
+#: deadline behaviour are those of cold queries, not cache lookups.
+UNCACHED = dict(cache_size=0, probe_cache_size=0)
+
+
+def row_recall(full_rows, degraded_rows, top=10):
+    """Fraction of the full answer's top rows present in the degraded one."""
+    reference = [tuple(r.cells) for r in full_rows[:top]]
+    if not reference:
+        return 1.0
+    got = {tuple(r.cells) for r in degraded_rows}
+    return sum(1 for cells in reference if cells in got) / len(reference)
+
+
+def bench_stages(corpus, queries, reps):
+    """Per-stage p50/p95 (ms) over the workload, from the span-fed
+    aggregates, plus an executor-vs-executor identity check."""
+    service = WWTService(corpus, EngineConfig(**UNCACHED))
+    witness = WWTService(corpus, EngineConfig(**UNCACHED))
+    identity_diffs = 0
+    full_answers = {}
+    for rep in range(reps):
+        for query in queries:
+            full = service.answer_full(query, use_cache=False)
+            if rep == 0:
+                again = witness.answer_full(query, use_cache=False)
+                if [r.cells for r in full.answer.rows] != [
+                    r.cells for r in again.answer.rows
+                ]:
+                    identity_diffs += 1
+                full_answers[str(query)] = full.answer.rows
+    stages = {
+        name: {
+            "count": agg.count,
+            "p50_ms": round(agg.p50 * 1000.0, 3),
+            "p95_ms": round(agg.p95 * 1000.0, 3),
+            "mean_ms": round(agg.mean * 1000.0, 3),
+        }
+        for name, agg in sorted(service.stats().stages.items())
+    }
+    return stages, full_answers, identity_diffs
+
+
+def bench_budget(corpus, queries, budget_ms, full_answers):
+    """One deadline budget: hit/degraded ratios, latency, quality."""
+    service = WWTService(
+        corpus, EngineConfig(deadline_ms=budget_ms, **UNCACHED)
+    )
+    served_ms, overshoot_ms, recalls = [], [], []
+    degraded = 0
+    for query in queries:
+        t0 = time.perf_counter()
+        response = service.answer(query)
+        elapsed = (time.perf_counter() - t0) * 1000.0
+        served_ms.append(elapsed)
+        overshoot_ms.append(max(0.0, elapsed - budget_ms))
+        if response.degraded:
+            degraded += 1
+        recalls.append(
+            row_recall(full_answers[str(query)], response.rows)
+        )
+    stats = service.stats()
+    return {
+        "budget_ms": budget_ms,
+        "deadline_hit_ratio": round(stats.deadline_hits / len(queries), 3),
+        "degraded_ratio": round(degraded / len(queries), 3),
+        "served_p50_ms": round(percentile(served_ms, 0.50), 3),
+        "served_p95_ms": round(percentile(served_ms, 0.95), 3),
+        "overshoot_p95_ms": round(percentile(overshoot_ms, 0.95), 3),
+        "mean_row_recall_top10": round(statistics.mean(recalls), 3),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=None,
+                        help="corpus scale (default 0.4)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--queries", type=int, default=None,
+                        help="workload queries to run (default: all 59)")
+    parser.add_argument("--reps", type=int, default=None,
+                        help="stage-latency repetitions (default 3)")
+    parser.add_argument("--budgets", type=float, nargs="+", default=None,
+                        help="deadline budgets in ms for the sweep "
+                             "(default: 1 2 5 10 20 50)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast sweep for CI; fills any unset "
+                             "option with scale 0.1, 16 queries, 2 reps, "
+                             "budgets 1 5 20")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero on any identity diff (latency "
+                             "and quality numbers are recorded, never "
+                             "gated — shared CI runners are jittery)")
+    parser.add_argument("--out", metavar="PATH",
+                        default=str(REPO_ROOT / "results"
+                                    / "BENCH_exec.json"))
+    args = parser.parse_args(argv)
+
+    # --smoke only fills options the user left unset.
+    smoke_defaults = (0.1, 16, 2, [1.0, 5.0, 20.0])
+    full_defaults = (0.4, None, 3, [1.0, 2.0, 5.0, 10.0, 20.0, 50.0])
+    for name, value in zip(
+        ("scale", "queries", "reps", "budgets"),
+        smoke_defaults if args.smoke else full_defaults,
+    ):
+        if getattr(args, name) is None:
+            setattr(args, name, value)
+
+    queries = [wq.query for wq in WORKLOAD[: args.queries]]
+    t0 = time.perf_counter()
+    synthetic = generate_corpus(CorpusConfig(seed=args.seed, scale=args.scale))
+    corpus = synthetic.corpus
+    print(f"exec benchmark: scale={args.scale} "
+          f"({corpus.num_tables} tables, "
+          f"{time.perf_counter() - t0:.1f}s to build), "
+          f"{len(queries)} queries x {args.reps} reps, "
+          f"budgets={args.budgets}ms", flush=True)
+
+    stages, full_answers, identity_diffs = bench_stages(
+        corpus, queries, args.reps
+    )
+    for name, row in stages.items():
+        print(f"  {name:<18} p50 {row['p50_ms']:>7.2f}ms  "
+              f"p95 {row['p95_ms']:>7.2f}ms  (n={row['count']})",
+              flush=True)
+    print(f"  identity diffs (unbounded executor, independent runs): "
+          f"{identity_diffs}", flush=True)
+
+    sweep = []
+    for budget in args.budgets:
+        row = bench_budget(corpus, queries, budget, full_answers)
+        sweep.append(row)
+        print(f"  budget {budget:>6.1f}ms: "
+              f"hit {row['deadline_hit_ratio']:.0%}, "
+              f"degraded {row['degraded_ratio']:.0%}, "
+              f"served p95 {row['served_p95_ms']:.1f}ms "
+              f"(overshoot p95 {row['overshoot_p95_ms']:.1f}ms), "
+              f"recall@10 {row['mean_row_recall_top10']:.2f}", flush=True)
+
+    report = {
+        "benchmark": "exec",
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "config": {
+            "seed": args.seed,
+            "scale": args.scale,
+            "num_queries": len(queries),
+            "reps": args.reps,
+            "budgets_ms": args.budgets,
+            "smoke": args.smoke,
+        },
+        "stages": stages,
+        "identity_diffs": identity_diffs,
+        "deadline_sweep": sweep,
+    }
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2), encoding="utf-8")
+    print(f"wrote {out}")
+
+    if identity_diffs:
+        print(f"WARNING: {identity_diffs} identity diff(s) between "
+              "independent unbounded executor runs — determinism "
+              "regression", file=sys.stderr)
+        if args.strict:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

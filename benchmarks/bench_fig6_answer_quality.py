@@ -7,7 +7,6 @@ paper's shape: WWT yields significantly lower answer-row error than Basic
 in every group.
 """
 
-from repro.core.labels import LabelSpace
 from repro.evaluation.answer_quality import answer_row_error
 from repro.evaluation.harness import bin_queries, split_easy_hard
 

@@ -6,7 +6,9 @@ mapping and consolidation, with queries ordered by increasing total time.
 The paper's corpus is six orders of magnitude larger (disk-resident Lucene
 index), so absolute numbers differ; the *structure* — two index probes, the
 column mapper a modest fraction of the total — is what the reproduction
-shows.  Also reproduces Section 5.1's method-cost comparison (Basic vs WWT
+shows.  Since the execution-engine refactor every slice is read off the
+``repro.exec`` span tree (``QueryTiming`` is a view over it), the same
+source ``benchmarks/bench_exec.py`` aggregates into per-stage p50/p95.  Also reproduces Section 5.1's method-cost comparison (Basic vs WWT
 vs PMI²-augmented, where PMI² is several times slower) and measures the
 serving layer's batch + cache throughput over the workload.
 """

@@ -63,7 +63,6 @@ def test_constrained_cut(benchmark):
 def test_consolidation(env, benchmark):
     wq = env.queries[14]  # country | currency
     probe = env.candidates[wq.query_id]
-    relevant = env.truth.relevant_tables(wq.query_id)
     mappings = {}
     for ti, table in enumerate(probe.tables):
         label = env.truth.label(wq.query_id, table.table_id)

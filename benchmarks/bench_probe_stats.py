@@ -7,7 +7,7 @@ reports the same quantities on the synthetic corpus and measures the
 retrieval-recall gain of the second stage over a one-stage ablation.
 """
 
-from repro.pipeline.probe import ProbeConfig, two_stage_probe
+from repro.pipeline.probe import two_stage_probe
 
 from .conftest import write_result
 

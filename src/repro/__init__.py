@@ -36,6 +36,14 @@ from .consolidate import AnswerRow, AnswerTable
 from .core import DEFAULT_PARAMS, FeatureCache, ModelParams, build_problem
 from .corpus import CorpusConfig, GroundTruth, generate_corpus, iter_tables
 from .evaluation import build_environment, f1_error, run_method
+from .exec import (
+    CancellationToken,
+    DeadlineExceeded,
+    ExecutionContext,
+    ExecutionPlan,
+    Span,
+    Stage,
+)
 from .index import (
     CorpusProtocol,
     IndexedCorpus,
@@ -65,36 +73,43 @@ from .service import (
     WWTService,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "ALGORITHMS",
     "AnswerRow",
     "AnswerTable",
+    "CancellationToken",
     "CorpusConfig",
     "CorpusProtocol",
     "DEFAULT_PARAMS",
+    "DeadlineExceeded",
     "EngineConfig",
+    "ExecutionContext",
+    "ExecutionPlan",
     "FeatureCache",
     "GroundTruth",
     "IndexedCorpus",
-    "JournaledCorpus",
-    "NaiveScorer",
-    "ShardedCorpus",
     "InferenceRegistry",
+    "JournaledCorpus",
     "MappingResult",
     "ModelParams",
+    "NaiveScorer",
     "ProbeConfig",
     "Query",
     "QueryRequest",
     "QueryResponse",
     "REGISTRY",
     "ServiceStats",
+    "ShardedCorpus",
+    "Span",
+    "Stage",
     "UnknownAlgorithmError",
     "WORKLOAD",
     "WWTAnswer",
     "WWTEngine",
     "WWTService",
+    "__version__",
     "build_corpus_index",
     "build_environment",
     "build_problem",
@@ -106,5 +121,4 @@ __all__ = [
     "load_corpus",
     "register_algorithm",
     "run_method",
-    "__version__",
 ]

@@ -18,7 +18,7 @@ from ..core.edges import all_similar_pairs
 from ..query.model import Query
 from ..tables.table import WebTable
 from ..text.tfidf import TermStatistics
-from .basic import BasicParams, BaselineResult, basic_method, column_header_similarity
+from .basic import BasicParams, BaselineResult, column_header_similarity
 
 __all__ = ["nbrtext_method"]
 

@@ -14,7 +14,11 @@ Commands
 ``query`` and ``batch`` are fronted by :class:`repro.service.WWTService`;
 ``--config`` loads a JSON :class:`~repro.service.EngineConfig`, and
 ``--index`` serves a corpus persisted by ``index build`` instead of
-generating one.  The incremental flow is ``index build`` once, then
+generating one.  ``query --trace`` prints the execution span tree
+(stage, ms, skipped/degraded markers) and ``batch --deadline-ms``
+serves every query under a wall-clock budget with graceful degradation
+(see DESIGN.md, "Execution engine").  The incremental flow is
+``index build`` once, then
 ``index add`` as new tables arrive, then ``index compact`` when the
 journal is deep (see DESIGN.md, "Incremental updates")::
 
@@ -30,7 +34,7 @@ import json
 import sys
 import time
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from .corpus.generator import CorpusConfig, generate_corpus
 from .evaluation.harness import METHODS, build_environment, run_method
@@ -72,6 +76,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="1-based page of answer rows")
     query.add_argument("--explain", action="store_true",
                        help="print the probe/mapping explain payload")
+    query.add_argument("--trace", action="store_true",
+                       help="print the execution span tree (stage, ms, "
+                            "degraded markers)")
 
     batch = sub.add_parser(
         "batch", help="answer many queries via the service (batch + cache)"
@@ -83,6 +90,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="repeat the query list N times (cache demo)")
     batch.add_argument("--workers", type=int, default=None,
                        help="thread-pool width (default: config max_workers)")
+    batch.add_argument("--deadline-ms", type=float, default=None,
+                       help="per-query wall-clock budget in ms; queries "
+                            "that exceed it return degraded partial "
+                            "answers (see DESIGN.md, 'Execution engine')")
 
     index = sub.add_parser(
         "index", help="build / inspect a persisted (sharded) corpus"
@@ -146,6 +157,8 @@ def _build_service(args: argparse.Namespace) -> WWTService:
             config = EngineConfig.from_dict(json.load(fh))
     else:
         config = EngineConfig(inference=args.inference)
+    if getattr(args, "deadline_ms", None) is not None:
+        config = config.replace(deadline_ms=args.deadline_ms)
     def _warn_ignored_corpus_flags(source: str) -> None:
         # A persisted corpus has its scale/seed baked in; flags that shape
         # a generated corpus silently doing nothing would be a footgun.
@@ -181,12 +194,18 @@ def _cmd_query(args: argparse.Namespace, out) -> int:
     response = service.answer(request)
     print(f"query: {response.query}", file=out)
     explain = response.explain or {}
+    degraded = "  DEGRADED" if response.degraded else ""
     print(
         f"candidates: {explain.get('num_candidates', '?')}  "
         f"algorithm: {response.algorithm}  "
-        f"time: {response.timing.total:.2f}s",
+        f"time: {response.timing.total:.2f}s{degraded}",
         file=out,
     )
+    if args.trace and response.trace is not None:
+        print("\ntrace:", file=out)
+        for line in response.trace.format_tree(indent=1):
+            print(line, file=out)
+        print("", file=out)
     header = response.header
     print(" | ".join(header), file=out)
     print("-" * (sum(len(h) for h in header) + 3 * len(header)), file=out)
@@ -213,9 +232,10 @@ def _cmd_batch(args: argparse.Namespace, out) -> int:
     responses = service.answer_batch(requests, max_workers=args.workers)
     for response in responses:
         marker = "cache" if response.cache_hit else f"{response.served_in:.3f}s"
+        degraded = "  (degraded)" if response.degraded else ""
         print(
             f"[{marker:>8}] {str(response.query):<44} "
-            f"{response.total_rows:>4} rows",
+            f"{response.total_rows:>4} rows{degraded}",
             file=out,
         )
     stats = service.stats()
@@ -226,6 +246,13 @@ def _cmd_batch(args: argparse.Namespace, out) -> int:
         f"({cache.hit_rate:.0%})",
         file=out,
     )
+    if args.deadline_ms is not None:
+        print(
+            f"deadline {args.deadline_ms:g}ms: "
+            f"{stats.deadline_hits} deadline hits, "
+            f"{stats.degraded_answers} degraded answers",
+            file=out,
+        )
     return 0
 
 
@@ -362,7 +389,9 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return handlers[args.command](args, out)
     except (ValueError, OSError) as exc:
         # Bad query text, invalid --page/--rows, unreadable/invalid
-        # --config files: a CLI error line, not a traceback.
+        # --config files, or a DeadlineExceeded under degraded_ok=False
+        # (TimeoutError, which OSError already covers): a CLI error
+        # line, not a traceback.
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

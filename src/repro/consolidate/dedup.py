@@ -9,7 +9,7 @@ or one side empty).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Sequence
 
 from ..text.tokenize import normalize_cell, tokenize
 

@@ -9,7 +9,7 @@ track per-row support for the ranker.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..query.model import Query
 from ..tables.table import WebTable
@@ -83,8 +83,12 @@ def consolidate(
         answer.source_table_ids.append(table.table_id)
         inverse = {qc - 1: tc for tc, qc in mapping.items()}
         for row in table.body_rows():
+            # A mapping referencing a column beyond this row's width (a
+            # ragged source, or a stale mapping after table edits)
+            # projects as an empty cell rather than an IndexError.
             cells = [
-                row[inverse[l]].text if l in inverse else ""
+                row[inverse[l]].text
+                if l in inverse and inverse[l] < len(row) else ""
                 for l in range(query.q)
             ]
             if not any(c.strip() for c in cells):

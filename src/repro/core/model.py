@@ -207,11 +207,17 @@ def build_problem(
     pmi_scorer: Optional[PmiScorer] = None,
     reliabilities: Reliabilities = DEFAULT_RELIABILITIES,
     feature_cache: Optional[FeatureCache] = None,
+    with_edges: bool = True,
 ) -> ColumnMappingProblem:
     """Evaluate all features and assemble the labeling problem.
 
     ``pmi_scorer`` is only consulted when ``params.w3`` is non-zero (PMI² is
     expensive — Section 5.1 measures a ~6x query slowdown with it on).
+
+    ``with_edges=False`` skips the O(tables² x columns²) cross-table edge
+    construction (Section 3.3) — for solvers that never read edges, e.g.
+    the execution engine's non-collective degraded fallback, where edge
+    assembly would dominate the post-deadline cost.
 
     ``feature_cache`` memoizes each table's :class:`ColumnFeatures` (and
     its relevance ``R(Q, t)``) per query, so re-assembling a problem over
@@ -311,7 +317,7 @@ def build_problem(
             node_potentials[(ti, ci)] = theta
             features[(ti, ci)] = col_features[ci]
 
-    edges = build_edges(tables, stats)
+    edges = build_edges(tables, stats) if with_edges else []
     return ColumnMappingProblem(
         query=query,
         tables=tables,

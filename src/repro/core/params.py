@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, Iterable, Iterator, Optional, Sequence, Tuple
+from typing import Callable, Iterable, Iterator, Optional, Sequence, Tuple
 
 __all__ = ["ModelParams", "DEFAULT_PARAMS", "UNSEGMENTED_PARAMS", "enumerate_grid", "train_parameters"]
 

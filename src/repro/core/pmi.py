@@ -16,7 +16,7 @@ here to reproduce the PMI² baseline and the cost comparison of Section 5.1.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 from ..tables.table import WebTable
 from ..text.tokenize import tokenize

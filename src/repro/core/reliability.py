@@ -14,7 +14,6 @@ from typing import Dict, Tuple
 
 from ..corpus.groundtruth import GroundTruth
 from ..query.model import WorkloadQuery
-from ..tables.table import WebTable
 from ..text.tokenize import tokenize
 from .segsim import Reliabilities, TablePartIndex, estimate_reliabilities
 

@@ -10,8 +10,8 @@ extraction noise, not hand-built fixtures.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from ..html.parser import parse_html
 from ..index.builder import build_corpus_index

@@ -14,12 +14,12 @@ generator can derive exact ground truth after extraction.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from html import escape
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from .domains import Domain
-from .wordbanks import ADJECTIVES, NOUNS, pick
+from .wordbanks import ADJECTIVES, pick
 
 __all__ = ["GeneratedPage", "render_page"]
 

@@ -1,0 +1,323 @@
+"""Execution context: deadline budget, cancellation, and the span tree.
+
+An :class:`ExecutionContext` travels through one query's staged plan
+(see :mod:`repro.exec.plan`) carrying three things:
+
+- a **wall-clock budget** (``deadline_ms``) that the plan runner checks
+  between stages — exceeding it triggers graceful degradation (or
+  :class:`DeadlineExceeded` when ``degraded_ok`` is off);
+- a **cancellation token** callers can trip from another thread; and
+- a **span tree** of per-stage wall-clock timings and counters — the
+  single source of truth the serving layer's ``QueryTiming`` and
+  per-stage aggregates are views over.
+
+The context never preempts a running stage: deadline enforcement is
+*between* stages, so a response is late by at most one stage's own cost
+("budget + one stage granularity").
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
+
+__all__ = [
+    "CancellationToken",
+    "DeadlineExceeded",
+    "ExecutionCancelled",
+    "ExecutionContext",
+    "Span",
+    "SPAN_OK",
+    "SPAN_DEGRADED",
+    "SPAN_SKIPPED",
+    "SPAN_CACHED",
+]
+
+#: Span ran normally.
+SPAN_OK = "ok"
+#: Span ran a degraded fallback instead of its normal stage body.
+SPAN_DEGRADED = "degraded"
+#: Span was skipped outright under deadline pressure (zero duration).
+SPAN_SKIPPED = "skipped"
+#: Span was grafted from an earlier execution (e.g. a probe-cache hit);
+#: its duration reports the *original* cost, not this request's.
+SPAN_CACHED = "cached"
+
+
+class DeadlineExceeded(TimeoutError):
+    """A plan ran out of budget and degraded answers are not allowed.
+
+    Subclasses :class:`TimeoutError` so generic timeout handling (and the
+    CLI's error-to-exit-code mapping) applies.
+    """
+
+
+class ExecutionCancelled(RuntimeError):
+    """A plan was cancelled via its :class:`CancellationToken`."""
+
+
+class CancellationToken:
+    """Thread-safe one-way cancellation latch.
+
+    ::
+
+        token = CancellationToken()
+        # ... hand it to an ExecutionContext, then from any thread:
+        token.cancel()
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        """Trip the latch; every context holding this token stops at its
+        next between-stage check."""
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        """Has :meth:`cancel` been called?"""
+        return self._event.is_set()
+
+
+@dataclass
+class Span:
+    """One timed node of the execution trace.
+
+    ``duration`` is wall-clock seconds; ``status`` is one of
+    :data:`SPAN_OK`, :data:`SPAN_DEGRADED`, :data:`SPAN_SKIPPED`,
+    :data:`SPAN_CACHED`; ``note`` carries a short human-readable marker
+    (e.g. the fallback algorithm a degraded stage used).
+    """
+
+    name: str
+    duration: float = 0.0
+    status: str = SPAN_OK
+    note: str = ""
+    counters: Dict[str, float] = field(default_factory=dict)
+    children: List["Span"] = field(default_factory=list)
+
+    # -- queries ----------------------------------------------------------
+
+    def find(self, name: str) -> Optional["Span"]:
+        """First span named ``name`` in this subtree (depth-first)."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def leaves(self) -> Iterator["Span"]:
+        """Depth-first iterator over the subtree's leaf spans."""
+        if not self.children:
+            yield self
+            return
+        for child in self.children:
+            yield from child.leaves()
+
+    def total(self, name: str) -> float:
+        """Summed duration of every leaf named ``name`` in this subtree."""
+        return sum(s.duration for s in self.leaves() if s.name == name)
+
+    def stage_names(self) -> List[str]:
+        """Names of the leaf stages whose results this tree reflects.
+
+        Deadline-skipped stages are excluded; ``cached`` spans (a probe
+        replayed from the probe cache) are *included* — their outputs
+        feed the answer even though this request did not re-execute
+        them (``ServiceStats.stages`` is the executed-only view).
+        """
+        return [s.name for s in self.leaves() if s.status != SPAN_SKIPPED]
+
+    @property
+    def degraded(self) -> bool:
+        """Did any span in this subtree skip or degrade?"""
+        return any(
+            s.status in (SPAN_SKIPPED, SPAN_DEGRADED) for s in self.leaves()
+        )
+
+    # -- transforms -------------------------------------------------------
+
+    def copy(self, status: Optional[str] = None) -> "Span":
+        """Deep copy, optionally rewriting every node's status."""
+        return Span(
+            name=self.name,
+            duration=self.duration,
+            status=status if status is not None else self.status,
+            note=self.note,
+            counters=dict(self.counters),
+            children=[c.copy(status) for c in self.children],
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe nested form (durations in milliseconds)."""
+        data: Dict[str, Any] = {
+            "name": self.name,
+            "ms": self.duration * 1000.0,
+            "status": self.status,
+        }
+        if self.note:
+            data["note"] = self.note
+        if self.counters:
+            data["counters"] = dict(self.counters)
+        if self.children:
+            data["children"] = [c.to_dict() for c in self.children]
+        return data
+
+    def format_tree(self, indent: int = 0) -> List[str]:
+        """Human-readable trace lines (the CLI's ``query --trace`` view)."""
+        label = "  " * indent + self.name
+        if self.status == SPAN_SKIPPED:
+            line = f"{label:<32} {'--':>9}  skipped"
+        else:
+            line = f"{label:<32} {self.duration * 1000.0:>7.1f}ms"
+            if self.status != SPAN_OK:
+                line += f"  {self.status}"
+        if self.note:
+            line += f" ({self.note})"
+        if self.counters:
+            pairs = " ".join(
+                f"{k}={v:g}" for k, v in sorted(self.counters.items())
+            )
+            line += f"  [{pairs}]"
+        lines = [line]
+        for child in self.children:
+            lines.extend(child.format_tree(indent + 1))
+        return lines
+
+
+class ExecutionContext:
+    """Per-query execution state: budget, cancellation, span tree.
+
+    ::
+
+        ctx = ExecutionContext(deadline_ms=50.0)
+        with ctx.span("probe.index1"):
+            hits = corpus.search(tokens)
+            ctx.count("hits", len(hits))
+        if ctx.out_of_budget:
+            ...  # degrade
+
+    ``clock`` is injectable for deterministic tests; it must be a
+    monotonic ``() -> float`` in seconds (default
+    :func:`time.perf_counter`).
+    """
+
+    def __init__(
+        self,
+        deadline_ms: Optional[float] = None,
+        degraded_ok: bool = True,
+        token: Optional[CancellationToken] = None,
+        clock: Callable[[], float] = time.perf_counter,
+        root_name: str = "query",
+    ) -> None:
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ValueError("deadline_ms must be positive (None disables)")
+        self.deadline_ms = deadline_ms
+        #: When the budget runs out: degrade gracefully (True) or raise
+        #: :class:`DeadlineExceeded` (False).
+        self.degraded_ok = degraded_ok
+        self.token = token
+        self._clock = clock
+        self._started = clock()
+        #: Root of the span tree; stages append children as they run.
+        self.root = Span(root_name)
+        self._stack: List[Span] = [self.root]
+        #: Did any stage skip or fall back?  (The answer is partial.)
+        self.degraded = False
+        #: Did the budget run out at any between-stage check?
+        self.deadline_hit = False
+
+    # -- budget -----------------------------------------------------------
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Milliseconds since the context was created."""
+        return (self._clock() - self._started) * 1000.0
+
+    @property
+    def remaining_ms(self) -> Optional[float]:
+        """Budget left (may be negative); ``None`` when no deadline."""
+        if self.deadline_ms is None:
+            return None
+        return self.deadline_ms - self.elapsed_ms
+
+    @property
+    def out_of_budget(self) -> bool:
+        """Has the deadline passed?  Always False with no deadline."""
+        remaining = self.remaining_ms
+        return remaining is not None and remaining <= 0.0
+
+    def check_deadline(self) -> bool:
+        """Record (and return) whether the budget has run out.
+
+        With ``degraded_ok`` off, an exhausted budget raises
+        :class:`DeadlineExceeded` instead of returning.
+        """
+        if not self.out_of_budget:
+            return False
+        self.deadline_hit = True
+        if not self.degraded_ok:
+            raise DeadlineExceeded(
+                f"query exceeded its {self.deadline_ms:g}ms deadline "
+                f"after {self.elapsed_ms:.1f}ms (degraded_ok is off)"
+            )
+        return True
+
+    def check_cancelled(self) -> None:
+        """Raise :class:`ExecutionCancelled` if the token was tripped."""
+        if self.token is not None and self.token.cancelled:
+            raise ExecutionCancelled("execution cancelled by caller")
+
+    # -- spans ------------------------------------------------------------
+
+    @property
+    def current(self) -> Span:
+        """The innermost open span (the root between stages)."""
+        return self._stack[-1]
+
+    @contextmanager
+    def span(self, name: str, status: str = SPAN_OK):
+        """Open a child span; its duration is recorded on exit."""
+        node = Span(name, status=status)
+        self._stack[-1].children.append(node)
+        self._stack.append(node)
+        start = self._clock()
+        try:
+            yield node
+        finally:
+            node.duration += self._clock() - start
+            self._stack.pop()
+
+    def count(self, key: str, value: float) -> None:
+        """Set a counter on the innermost open span."""
+        self.current.counters[key] = value
+
+    def skip(self, name: str, note: str = "deadline") -> Span:
+        """Record a zero-duration skipped span and mark the run degraded."""
+        node = Span(name, status=SPAN_SKIPPED, note=note)
+        self._stack[-1].children.append(node)
+        self.degraded = True
+        return node
+
+    def mark_degraded(self) -> None:
+        """Flag the run as having returned a partial/degraded answer."""
+        self.degraded = True
+
+    def adopt(self, spans: Sequence[Span]) -> None:
+        """Graft copies of previously recorded spans into the tree.
+
+        Used by the probe cache: a hit replays the original probe's spans
+        (status rewritten to :data:`SPAN_CACHED`) so the response still
+        reports the probe's real cost — Figure 7's slices — instead of a
+        misleading zero.
+        """
+        for span in spans:
+            self._stack[-1].children.append(span.copy(status=SPAN_CACHED))

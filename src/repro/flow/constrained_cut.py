@@ -18,7 +18,7 @@ committed state stays incremental (max-flow resumes from the current flow).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, Sequence, Set, Tuple
 
 from .network import EPS, FlowNetwork
 

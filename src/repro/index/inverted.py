@@ -50,7 +50,6 @@ from typing import (
     Optional,
     Sequence,
     Set,
-    Tuple,
 )
 
 from ..text.tfidf import TermStatistics

@@ -19,7 +19,7 @@ repaired post hoc (see :mod:`repro.inference.repair`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..core.model import ColumnMappingProblem
 from .base import column_distributions, confident_map

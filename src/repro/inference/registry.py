@@ -12,7 +12,7 @@ ALGORITHMS``, ``ALGORITHMS.items()``) keeps working unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Mapping, Optional, TYPE_CHECKING
+from typing import Callable, Dict, Iterator, List, Mapping, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
     from ..core.model import ColumnMappingProblem
@@ -57,6 +57,10 @@ class AlgorithmInfo:
     #: (Section 3.3's collective signals).
     collective: bool = True
     description: str = ""
+    #: Relative running-cost hint used by :meth:`InferenceRegistry.fastest`
+    #: to pick a degraded-mode fallback (lower = cheaper; ties among
+    #: equally cheap algorithms break on ``collective`` then name).
+    cost_hint: float = 1.0
 
     @property
     def capability(self) -> str:
@@ -84,6 +88,7 @@ class InferenceRegistry(Mapping[str, InferenceFn]):
         exact: bool = False,
         collective: bool = True,
         description: str = "",
+        cost_hint: float = 1.0,
         replace: bool = False,
     ) -> Callable[[InferenceFn], InferenceFn]:
         """Decorator: register the wrapped function under ``name``."""
@@ -95,6 +100,7 @@ class InferenceRegistry(Mapping[str, InferenceFn]):
                 exact=exact,
                 collective=collective,
                 description=description,
+                cost_hint=cost_hint,
                 replace=replace,
             )
             return fn
@@ -109,6 +115,7 @@ class InferenceRegistry(Mapping[str, InferenceFn]):
         exact: bool = False,
         collective: bool = True,
         description: str = "",
+        cost_hint: float = 1.0,
         replace: bool = False,
     ) -> AlgorithmInfo:
         """Imperative registration (the decorator's workhorse)."""
@@ -125,6 +132,7 @@ class InferenceRegistry(Mapping[str, InferenceFn]):
             exact=exact,
             collective=collective,
             description=description or (fn.__doc__ or "").strip().split("\n")[0],
+            cost_hint=cost_hint,
         )
         self._algorithms[name] = info
         return info
@@ -151,6 +159,23 @@ class InferenceRegistry(Mapping[str, InferenceFn]):
     def names(self) -> List[str]:
         """Sorted registered names."""
         return sorted(self._algorithms)
+
+    def fastest(self) -> str:
+        """Name of the cheapest registered algorithm.
+
+        The execution engine's degraded mode falls back to this solver
+        when a query's deadline expires before column mapping (see
+        DESIGN.md, "Execution engine").  Ordering: lowest ``cost_hint``
+        first, non-collective before collective (per-table matching skips
+        the cross-table message passing, Table 2's cheap column), name as
+        the deterministic tie-break.
+        """
+        if not self._algorithms:
+            raise UnknownAlgorithmError("<fastest>", [])
+        return min(
+            self._algorithms.values(),
+            key=lambda info: (info.cost_hint, info.collective, info.name),
+        ).name
 
     def infos(self) -> List[AlgorithmInfo]:
         """All metadata records, sorted by name."""
@@ -181,6 +206,7 @@ def register_algorithm(
     exact: bool = False,
     collective: bool = True,
     description: str = "",
+    cost_hint: float = 1.0,
     replace: bool = False,
 ) -> Callable[[InferenceFn], InferenceFn]:
     """Decorator registering into :data:`DEFAULT_REGISTRY`."""
@@ -189,5 +215,6 @@ def register_algorithm(
         exact=exact,
         collective=collective,
         description=description,
+        cost_hint=cost_hint,
         replace=replace,
     )

@@ -19,7 +19,7 @@ from typing import Dict, List, Tuple
 
 from ..core.model import ColumnMappingProblem
 from .base import MappingResult
-from .pairwise import PairwiseModel, PairwiseTerm, build_pairwise_model
+from .pairwise import PairwiseTerm, build_pairwise_model
 from .registry import register_algorithm
 from .repair import repair_assignment
 

@@ -6,14 +6,21 @@ augments the keywords with a random sample of rows from the stage-1 tables
 the column mapper is *most confident* about — retrieving tables by content
 overlap.  The paper reports the second stage fired for 65% of queries and
 contributed about half of all relevant tables.
+
+Since the execution-engine refactor the probe is defined as the staged
+sub-plan ``probe.index1 -> probe.read1 -> probe.confidence ->
+probe.index2 -> probe.read2`` (stage bodies in :mod:`repro.exec.query`);
+:func:`two_stage_probe` runs that plan under an
+:class:`~repro.exec.context.ExecutionContext`, so callers that never
+touch the engine keep the exact pre-refactor behaviour while budgeted
+callers get per-stage spans and graceful degradation for free.
 """
 
 from __future__ import annotations
 
 import random
-import time as _time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from ..core.features import FeatureCache
 from ..core.model import build_problem
@@ -22,11 +29,33 @@ from ..core.pmi import PmiScorer
 from ..index.protocol import CorpusProtocol
 from ..query.model import Query
 from ..tables.table import WebTable
-from ..text.tokenize import tokenize
 from ..inference.base import column_distributions
 from ..inference.max_marginals import all_max_marginals
 
-__all__ = ["ProbeConfig", "ProbeResult", "two_stage_probe"]
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..exec.context import ExecutionContext
+
+__all__ = [
+    "PROBE_TIMING_SPANS",
+    "ProbeConfig",
+    "ProbeResult",
+    "two_stage_probe",
+    "table_confidences",
+    "trim_hits",
+]
+
+#: The probe's ``QueryTiming`` field <-> execution span name mapping, in
+#: stage order — the single source shared by :func:`two_stage_probe`'s
+#: ``timings`` dict and ``QueryTiming.from_spans`` (renaming a probe
+#: stage is a one-line change here; ``tests/test_exec.py`` pins this
+#: tuple against the plan's actual stage names).
+PROBE_TIMING_SPANS = (
+    ("index1", "probe.index1"),
+    ("read1", "probe.read1"),
+    ("confidence", "probe.confidence"),
+    ("index2", "probe.index2"),
+    ("read2", "probe.read2"),
+)
 
 
 @dataclass(frozen=True)
@@ -65,7 +94,19 @@ class ProbeResult:
         return len(self.tables)
 
 
-def _table_confidences(
+def trim_hits(hits, min_score_fraction: float):
+    """Drop the weak tail: hits below ``min_score_fraction`` of the best."""
+    if not hits:
+        return hits
+    floor = hits[0].score * min_score_fraction
+    if hits[-1].score >= floor:
+        # Hits arrive sorted best-first, so when even the weakest one
+        # clears the floor there is nothing to drop — skip the rescan.
+        return hits
+    return [h for h in hits if h.score >= floor]
+
+
+def table_confidences(
     query: Query,
     tables: Sequence[WebTable],
     corpus: CorpusProtocol,
@@ -99,6 +140,7 @@ def two_stage_probe(
     rng: Optional[random.Random] = None,
     feature_cache: Optional[FeatureCache] = None,
     pmi_scorer: Optional[PmiScorer] = None,
+    context: Optional["ExecutionContext"] = None,
 ) -> ProbeResult:
     """Run the Section 2.2.1 candidate retrieval.
 
@@ -109,7 +151,7 @@ def two_stage_probe(
 
     ``timings`` (when given) receives per-stage wall-clock seconds under the
     keys ``index1``, ``read1``, ``confidence``, ``index2``, ``read2`` — the
-    slices of Figure 7.
+    slices of Figure 7, read off the execution spans.
 
     The stage-2 row sample draws from a private ``random.Random`` seeded
     with ``config.seed`` (never the module-global generator), so concurrent
@@ -124,81 +166,41 @@ def two_stage_probe(
     facade — reuses every stage-1 table's features instead of recomputing
     them (see DESIGN.md, "Hot-path engine").  ``pmi_scorer`` forwards to
     the same call (only consulted when ``params.w3`` is non-zero).
+
+    ``context`` (when given) threads an existing
+    :class:`~repro.exec.context.ExecutionContext` through — the probe's
+    spans land in that context's tree and its deadline/cancellation apply
+    (a budgeted probe may skip its second stage and come back degraded).
+    By default a fresh unbounded context runs the stages to completion,
+    exactly as before the execution engine existed.
     """
+    # Imported here, not at module scope: repro.exec.query imports this
+    # module's stage helpers, so the probe reaches the engine lazily.
+    from ..exec.context import ExecutionContext
+    from ..exec.query import build_probe_plan
+    from ..exec.state import QueryState
+
     if config is None:
         config = ProbeConfig()
-
-    def _record(key: str, start: float) -> float:
-        now = _time.perf_counter()
-        if timings is not None:
-            timings[key] = timings.get(key, 0.0) + (now - start)
-        return now
-
-    if rng is None:
-        rng = random.Random(config.seed)
-
-    def _trim(hits):
-        if not hits:
-            return hits
-        floor = hits[0].score * config.min_score_fraction
-        if hits[-1].score >= floor:
-            # Hits arrive sorted best-first, so when even the weakest one
-            # clears the floor there is nothing to drop — skip the rescan.
-            return hits
-        return [h for h in hits if h.score >= floor]
-
-    t0 = _time.perf_counter()
-    stage1_hits = _trim(
-        corpus.search(query.all_tokens(), limit=config.stage1_limit)
+    ctx = context if context is not None else ExecutionContext(
+        root_name="probe"
     )
-    stage1_ids = [h.doc_id for h in stage1_hits]
-    t0 = _record("index1", t0)
-    stage1_tables = corpus.get_many(stage1_ids)
-    t0 = _record("read1", t0)
-
-    if not stage1_tables:
-        return ProbeResult(
-            tables=[], stage1_ids=[], stage2_ids=[], used_second_stage=False
-        )
-
-    confidences = _table_confidences(
-        query, stage1_tables, corpus, params,
-        feature_cache=feature_cache, pmi_scorer=pmi_scorer,
+    state = QueryState(
+        query=query,
+        corpus=corpus,
+        probe_config=config,
+        params=params,
+        rng=rng if rng is not None else random.Random(config.seed),
+        feature_cache=feature_cache,
+        pmi_scorer=pmi_scorer,
     )
-    ranked = sorted(
-        range(len(stage1_tables)), key=lambda i: -confidences[i]
-    )
-    seeds = [
-        stage1_tables[i]
-        for i in ranked[: config.num_seed_tables]
-        if confidences[i] >= config.seed_confidence
-    ]
-    t0 = _record("confidence", t0)
-
-    stage2_ids: List[str] = []
-    if seeds:
-        sample_tokens: List[str] = []
-        all_rows = [
-            row for table in seeds for row in table.body_rows()
-        ]
-        rng.shuffle(all_rows)
-        for row in all_rows[: config.num_sample_rows]:
-            for cell in row:
-                sample_tokens.extend(tokenize(cell.text))
-        probe2 = query.all_tokens() + sample_tokens
-        stage2_hits = _trim(
-            corpus.search(probe2, limit=config.stage2_limit)
-        )
-        seen: Set[str] = set(stage1_ids)
-        stage2_ids = [h.doc_id for h in stage2_hits if h.doc_id not in seen]
-    t0 = _record("index2", t0)
-
-    tables = stage1_tables + corpus.get_many(stage2_ids)
-    _record("read2", t0)
-    return ProbeResult(
-        tables=tables,
-        stage1_ids=stage1_ids,
-        stage2_ids=stage2_ids,
-        used_second_stage=bool(stage2_ids),
-        seed_table_ids=[t.table_id for t in seeds],
-    )
+    parent = ctx.current
+    before = len(parent.children)
+    build_probe_plan().run(ctx, state)
+    if timings is not None:
+        spans = {s.name: s for s in parent.children[before:]}
+        for key, span_name in PROBE_TIMING_SPANS:
+            span = spans.get(span_name)
+            if span is not None:
+                timings[key] = timings.get(key, 0.0) + span.duration
+    return state.probe

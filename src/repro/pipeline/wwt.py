@@ -9,8 +9,8 @@ kept as a thin deprecated shim over :class:`repro.service.WWTService`.
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass
-from typing import Dict, Optional
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Optional
 
 from ..consolidate.merge import AnswerTable
 from ..core.model import ColumnMappingProblem
@@ -18,14 +18,23 @@ from ..core.params import DEFAULT_PARAMS, ModelParams
 from ..index.builder import IndexedCorpus
 from ..inference import MappingResult
 from ..query.model import Query
-from .probe import ProbeConfig, ProbeResult
+from .probe import PROBE_TIMING_SPANS, ProbeConfig, ProbeResult
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..exec.context import Span
 
 __all__ = ["QueryTiming", "WWTAnswer", "WWTEngine"]
 
 
 @dataclass
 class QueryTiming:
-    """Per-stage wall-clock seconds for one query (Figure 7's slices)."""
+    """Per-stage wall-clock seconds for one query (Figure 7's slices).
+
+    Since the execution-engine refactor this is a *view* over the span
+    tree an :class:`~repro.exec.context.ExecutionContext` recorded —
+    build one with :meth:`from_spans` — rather than a hand-assembled
+    timing dict; the field names survive as the stable reporting schema.
+    """
 
     index1: float = 0.0
     read1: float = 0.0
@@ -34,6 +43,25 @@ class QueryTiming:
     read2: float = 0.0
     column_map: float = 0.0
     consolidate: float = 0.0
+
+    @classmethod
+    def from_spans(cls, root: "Span") -> "QueryTiming":
+        """Project an execution span tree onto Figure 7's slices.
+
+        ``consolidate`` folds the ``rank`` stage in — the pre-executor
+        pipeline timed consolidation and ranking as one block, and the
+        figure keeps that stacking.  The probe fields come from the
+        shared :data:`~repro.pipeline.probe.PROBE_TIMING_SPANS` mapping.
+        """
+        probe_fields = {
+            field_name: root.total(span_name)
+            for field_name, span_name in PROBE_TIMING_SPANS
+        }
+        return cls(
+            column_map=root.total("column_map"),
+            consolidate=root.total("consolidate") + root.total("rank"),
+            **probe_fields,
+        )
 
     @property
     def total(self) -> float:
@@ -65,6 +93,16 @@ class WWTAnswer:
     probe: ProbeResult
     timing: QueryTiming
     problem: ColumnMappingProblem
+    #: Root of the execution span tree (``None`` for paths that bypass
+    #: the execution engine); ``timing`` is a view over it.
+    spans: Optional["Span"] = None
+    #: True when a deadline forced stages to skip or fall back — the
+    #: answer is partial (see DESIGN.md, "Execution engine").
+    degraded: bool = False
+    #: Stage names whose results this answer reflects, in execution
+    #: order: executed this request or replayed from the probe cache;
+    #: deadline-skipped stages are absent.
+    stages_ran: list = field(default_factory=list)
 
 
 class WWTEngine:

@@ -8,8 +8,8 @@ every relevant table to contain it).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from ..text.tokenize import tokenize
 

@@ -10,7 +10,7 @@ keywords.  ``paper_total``/``paper_relevant`` columns mirror Table 1.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from .model import Query, WorkloadQuery
 

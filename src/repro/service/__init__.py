@@ -5,8 +5,16 @@ behind a request/response API with LRU result + probe caching, thread-pool
 batch fan-out, pagination, and per-stage timing — the seam every scaling
 change (sharded index, async probe, multi-backend) plugs into.  All
 behaviour is configured by one frozen :class:`EngineConfig`.
+
+Queries execute through the staged engine in :mod:`repro.exec`: the
+config's ``deadline_ms`` budget and ``degraded_ok`` policy bound tail
+latency (degraded answers skip the stage-2 probe and fall back to the
+fastest inference), and :meth:`WWTService.stats` reports per-stage
+latency aggregates (:class:`StageStats`) plus deadline-hit counts read
+off the execution span trees.
 """
 
+from ..exec.stats import StageStats
 from ..inference.registry import (
     DEFAULT_REGISTRY,
     AlgorithmInfo,
@@ -32,6 +40,7 @@ __all__ = [
     "QueryResponse",
     "REGISTRY",
     "ServiceStats",
+    "StageStats",
     "UnknownAlgorithmError",
     "WWTService",
     "build_explain",

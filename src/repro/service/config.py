@@ -80,6 +80,17 @@ class EngineConfig:
     #: of the served corpus (``None`` = never; compact manually or via
     #: ``repro index compact``).
     auto_compact_threshold: Optional[int] = None
+    #: Per-query wall-clock budget in milliseconds (``None`` = unbounded).
+    #: The execution engine checks it between stages: once exceeded, the
+    #: remaining skippable stages are skipped and column mapping falls
+    #: back to the fastest registered inference, so the response returns
+    #: within budget plus one stage's own cost (see DESIGN.md,
+    #: "Execution engine").
+    deadline_ms: Optional[float] = None
+    #: What to do when the deadline expires mid-plan: return a partial
+    #: answer flagged ``degraded`` (True, the default) or raise
+    #: :class:`~repro.exec.DeadlineExceeded` (False).
+    degraded_ok: bool = True
 
     def __post_init__(self) -> None:
         if self.inference not in DEFAULT_REGISTRY:
@@ -107,6 +118,10 @@ class EngineConfig:
         ):
             raise ValueError(
                 "auto_compact_threshold must be >= 1 (None disables)"
+            )
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError(
+                "deadline_ms must be > 0 (None disables the deadline)"
             )
         if self.index_path is not None and not isinstance(self.index_path, str):
             # Paths arrive as pathlib.Path from callers; freeze as str so
@@ -141,6 +156,8 @@ class EngineConfig:
             "index_path": self.index_path,
             "probe_workers": self.probe_workers,
             "auto_compact_threshold": self.auto_compact_threshold,
+            "deadline_ms": self.deadline_ms,
+            "degraded_ok": self.degraded_ok,
         }
 
     @classmethod
@@ -168,7 +185,7 @@ class EngineConfig:
             "inference", "cache_size", "probe_cache_size",
             "feature_cache_size", "max_workers", "page_size",
             "num_shards", "index_path", "probe_workers",
-            "auto_compact_threshold",
+            "auto_compact_threshold", "deadline_ms", "degraded_ok",
         }
         unknown = sorted(set(data) - top_known)
         if unknown:

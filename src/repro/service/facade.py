@@ -8,22 +8,24 @@ result + probe caching, batch fan-out, and serving statistics.  The legacy
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
 
-from ..consolidate.merge import consolidate
-from ..consolidate.ranker import rank_answer
 from ..core.features import FeatureCache
-from ..core.model import build_problem
 from ..core.pmi import PmiScorer
+from ..exec.context import SPAN_CACHED, SPAN_OK, SPAN_SKIPPED, ExecutionContext
+from ..exec.plan import ExecutionPlan
+from ..exec.query import MAPPING_STAGES, PARSE_STAGES, QUERY_STAGES
+from ..exec.state import QueryState
+from ..exec.stats import StageAccumulator, StageStats
 from ..index.protocol import CorpusProtocol
 from ..index.sharded import load_corpus
 from ..inference.registry import DEFAULT_REGISTRY
-from ..pipeline.probe import two_stage_probe
 from ..pipeline.wwt import QueryTiming, WWTAnswer
 from ..query.model import Query
 from .cache import CacheStats, LRUCache
@@ -31,6 +33,12 @@ from .config import EngineConfig
 from .types import QueryRequest, QueryResponse, build_explain, normalized_query_key
 
 __all__ = ["ServiceStats", "WWTService"]
+
+#: The three plan shapes the facade runs: the full pipeline, and the
+#: parse/mapping halves used around a probe-cache hit's grafted spans.
+_FULL_PLAN = ExecutionPlan(QUERY_STAGES, name="query")
+_PARSE_PLAN = ExecutionPlan(PARSE_STAGES, name="query")
+_MAPPING_PLAN = ExecutionPlan(MAPPING_STAGES, name="query")
 
 #: Anything ``answer``/``answer_batch`` accepts as a query.
 RequestLike = Union[QueryRequest, Query, str]
@@ -49,6 +57,14 @@ class ServiceStats:
     feature_cache: CacheStats
     #: Cumulative wall-clock seconds spent serving (cache hits included).
     total_time: float
+    #: Per-stage latency aggregates (count/total/p50/p95 seconds) over
+    #: every executed pipeline stage, keyed by stage name — the serving
+    #: view of the execution engine's span tree.
+    stages: Dict[str, StageStats] = field(default_factory=dict)
+    #: Queries whose deadline expired at some between-stage check.
+    deadline_hits: int = 0
+    #: Queries answered degraded (stages skipped or fallback inference).
+    degraded_answers: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-dict form for logging/CLI output."""
@@ -59,6 +75,12 @@ class ServiceStats:
             "result_cache": self.result_cache.to_dict(),
             "probe_cache": self.probe_cache.to_dict(),
             "feature_cache": self.feature_cache.to_dict(),
+            "stages": {
+                name: stats.to_dict()
+                for name, stats in sorted(self.stages.items())
+            },
+            "deadline_hits": self.deadline_hits,
+            "degraded_answers": self.degraded_answers,
         }
 
 
@@ -125,65 +147,105 @@ class WWTService:
         self._queries = 0
         self._batches = 0
         self._total_time = 0.0
+        #: Per-stage latency accumulators keyed by stage name, fed by
+        #: every executed (non-cached) span.
+        self._stage_stats: Dict[str, StageAccumulator] = {}
+        self._deadline_hits = 0
+        self._degraded_answers = 0
 
     # -- the pipeline -----------------------------------------------------
 
     def _compute(self, query: Query, inference: str) -> WWTAnswer:
-        """Run probe -> column map -> consolidate for one query, uncached
-        except for the probe-stage cache."""
-        algorithm = DEFAULT_REGISTRY.get_algorithm(inference)
-        timing = QueryTiming()
+        """Run one query through the staged execution engine, uncached
+        except for the probe-stage cache.
 
-        # The probe cache stores the stage timings next to the result so a
+        The plan (``parse -> probe.* -> column_map -> consolidate ->
+        rank``) runs under an :class:`~repro.exec.ExecutionContext`
+        carrying the config's ``deadline_ms``/``degraded_ok``; the span
+        tree it records is the source of both the response's
+        :class:`~repro.pipeline.wwt.QueryTiming` and the service's
+        per-stage aggregates.
+        """
+        algorithm = DEFAULT_REGISTRY.get_algorithm(inference)  # fail fast
+        ctx = ExecutionContext(
+            deadline_ms=self.config.deadline_ms,
+            degraded_ok=self.config.degraded_ok,
+        )
+        state = QueryState(
+            query=query,
+            corpus=self.corpus,
+            probe_config=self.config.probe,
+            params=self.config.params,
+            inference=inference,
+            algorithm=algorithm,
+            rng=random.Random(self.config.probe.seed),
+            feature_cache=self._feature_cache,
+            pmi_scorer=self._pmi_scorer,
+        )
+
+        # The probe cache stores the probe's spans next to the result so a
         # hit still reports the probe's original cost (Figure 7's slices),
-        # not a misleading zero.
+        # not a misleading zero; the plan then runs without probe stages,
+        # grafting the cached spans in the probe's place.
         probe_key = normalized_query_key(query)
         hit, entry = self._probe_cache.get(probe_key)
-        if hit:
-            probe, raw = entry
-        else:
-            raw = {}
-            probe = two_stage_probe(
-                query, self.corpus, self.config.probe, self.config.params,
-                timings=raw, feature_cache=self._feature_cache,
-                pmi_scorer=self._pmi_scorer,
-            )
-            self._probe_cache.put(probe_key, (probe, raw))
-        timing.index1 = raw.get("index1", 0.0)
-        timing.read1 = raw.get("read1", 0.0)
-        timing.confidence = raw.get("confidence", 0.0)
-        timing.index2 = raw.get("index2", 0.0)
-        timing.read2 = raw.get("read2", 0.0)
-
-        t0 = time.perf_counter()
-        # The feature cache makes this an incremental extension of the
-        # probe's confidence-pass problem: stage-1 table features come
-        # from the cache, only stage-2 tables are evaluated fresh.
-        problem = build_problem(
-            query, probe.tables, self.corpus.stats, self.config.params,
-            pmi_scorer=self._pmi_scorer, feature_cache=self._feature_cache,
-        )
-        mapping = algorithm(problem)
-        timing.column_map = time.perf_counter() - t0
-
-        t0 = time.perf_counter()
-        mappings = {
-            ti: mapping.table_mapping(ti) for ti in mapping.relevant_tables()
-        }
-        relevance = {ti: mapping.table_relevance_score(ti) for ti in mappings}
-        answer = rank_answer(
-            consolidate(query, probe.tables, mappings, relevance)
-        )
-        timing.consolidate = time.perf_counter() - t0
+        try:
+            if hit:
+                state.probe, probe_spans = entry
+                _PARSE_PLAN.run(ctx, state)
+                ctx.adopt(probe_spans)
+                _MAPPING_PLAN.run(ctx, state)
+            else:
+                _FULL_PLAN.run(ctx, state)
+        finally:
+            self._record_execution(ctx)
+        if not hit:
+            # A truncated probe (skipped stages) is partial — caching it
+            # would serve short candidate sets to unbounded queries.  A
+            # probe that ran every stage is the query's real candidate
+            # set and cacheable even when a *later* stage degraded.
+            probe_spans = [
+                s for s in ctx.root.children if s.name.startswith("probe.")
+            ]
+            if all(s.status != SPAN_SKIPPED for s in probe_spans):
+                self._probe_cache.put(probe_key, (state.probe, probe_spans))
 
         return WWTAnswer(
-            query=query,
-            answer=answer,
-            mapping=mapping,
-            probe=probe,
-            timing=timing,
-            problem=problem,
+            query=state.query,
+            answer=state.answer,
+            mapping=state.mapping,
+            probe=state.probe,
+            timing=QueryTiming.from_spans(ctx.root),
+            problem=state.problem,
+            spans=ctx.root,
+            degraded=ctx.degraded,
+            stages_ran=ctx.root.stage_names(),
         )
+
+    def _record_execution(self, ctx: ExecutionContext) -> None:
+        """Fold one execution's spans into the per-stage aggregates."""
+        with self._lock:
+            for span in ctx.root.leaves():
+                if span is ctx.root:
+                    continue  # childless root (aborted before any stage)
+                if span.status in (SPAN_CACHED, SPAN_SKIPPED):
+                    continue  # not executed by this request
+                # Degraded executions (e.g. column_map's cheap fallback)
+                # aggregate under their own key — mixing them into the
+                # normal-stage percentiles would misdescribe the
+                # configured solver's latency.
+                key = (
+                    span.name if span.status == SPAN_OK
+                    else f"{span.name}:{span.status}"
+                )
+                acc = self._stage_stats.get(key)
+                if acc is None:
+                    acc = self._stage_stats[key] = StageAccumulator()
+                acc.add(span.duration)
+            if ctx.deadline_hit:
+                self._deadline_hits += 1
+            if ctx.degraded:
+                self._degraded_answers += 1
 
     def _cached_answer(
         self,
@@ -215,7 +277,10 @@ class WWTService:
             return True, future.result()
         try:
             full = self._compute(query, name)
-            self._result_cache.put(key, full)
+            if not full.degraded:
+                # Degraded answers are shaped by transient load — serving
+                # them from cache would pin one request's bad luck.
+                self._result_cache.put(key, full)
             future.set_result(full)
             return False, full
         except BaseException as exc:
@@ -279,6 +344,9 @@ class WWTService:
             algorithm=name,  # registry name; explain carries the solver's own
             cache_hit=cache_hit,
             served_in=served_in,
+            degraded=full.degraded,
+            stages_ran=list(full.stages_ran),
+            trace=full.spans,
             explain=build_explain(full) if request.explain else None,
         )
 
@@ -374,6 +442,12 @@ class WWTService:
         with self._lock:
             queries, batches = self._queries, self._batches
             total_time = self._total_time
+            stages = {
+                name: acc.snapshot()
+                for name, acc in self._stage_stats.items()
+            }
+            deadline_hits = self._deadline_hits
+            degraded_answers = self._degraded_answers
         feature = self._feature_cache.stats()  # one atomic snapshot
         return ServiceStats(
             queries=queries,
@@ -387,6 +461,9 @@ class WWTService:
                 capacity=feature["capacity"],
             ),
             total_time=total_time,
+            stages=stages,
+            deadline_hits=deadline_hits,
+            degraded_answers=degraded_answers,
         )
 
     def clear_caches(self) -> None:

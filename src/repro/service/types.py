@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Union
 
 from ..consolidate.merge import AnswerRow
+from ..exec.context import Span
 from ..pipeline.wwt import QueryTiming, WWTAnswer
 from ..query.model import Query
 from ..text.tokenize import tokenize
@@ -85,11 +86,28 @@ class QueryResponse:
     #: Wall-clock seconds this request took to serve (cache hits included —
     #: ``timing`` always describes the original computation).
     served_in: float = 0.0
+    #: True when a deadline forced the pipeline to skip stages or fall
+    #: back to a cheaper inference — the rows are a partial answer.
+    degraded: bool = False
+    #: Execution stages whose results this response reflects, in order
+    #: (probe stages replayed from the probe cache included; stages a
+    #: deadline skipped absent — compare against ``trace`` statuses).
+    stages_ran: List[str] = field(default_factory=list)
+    #: Root of the execution span tree for this answer (the original
+    #: computation's spans on a cache hit); ``None`` for legacy paths.
+    trace: Optional[Span] = None
     explain: Optional[Dict[str, Any]] = None
 
     @property
     def num_pages(self) -> int:
-        """Total pages at this page size (at least 1)."""
+        """Total pages at this page size (at least 1).
+
+        Defensive against direct construction with a non-positive
+        ``page_size`` (requests validate theirs): anything below 1 is
+        treated as one single page rather than dividing by zero.
+        """
+        if self.page_size < 1:
+            return 1
         return max(1, math.ceil(self.total_rows / self.page_size))
 
     @property
@@ -114,7 +132,10 @@ class QueryResponse:
             "algorithm": self.algorithm,
             "cache_hit": self.cache_hit,
             "served_in": self.served_in,
+            "degraded": self.degraded,
+            "stages_ran": list(self.stages_ran),
             "timing": self.timing.as_dict(),
+            "trace": self.trace.to_dict() if self.trace is not None else None,
             "explain": self.explain,
         }
 

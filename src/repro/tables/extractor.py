@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-from ..html.dom import ElementNode, TextNode
+from ..html.dom import ElementNode
 from .context import extract_context
 from .headers import detect_header_rows
 from .table import Cell, CellFormat, WebTable

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from .tfidf import TermStatistics, TfIdfVector, cosine
+from .tfidf import TermStatistics, cosine
 from .tokenize import normalize_cell, tokenize
 
 __all__ = [

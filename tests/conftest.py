@@ -1,6 +1,6 @@
 """Shared fixtures and factories for the test suite."""
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Tests for the Basic / NbrText / PMI² baselines."""
 
-import pytest
 
 from repro.baselines.basic import (
     BasicParams,
@@ -105,7 +104,6 @@ class TestNbrText:
         vague.context.append(ContextSnippet("List of explorers", 0.9))
         base = basic_method(query, [good, vague])
         boosted = nbrtext_method(query, [good, vague])
-        space = boosted.label_space
         # Basic cannot map the vague column; NbrText imports "Explorer".
         assert base.labels[(1, 0)] != 0
         assert boosted.labels[(1, 0)] == 0

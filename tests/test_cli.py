@@ -17,6 +17,11 @@ class TestParser:
         assert args.text == "country | currency"
         assert args.inference == "table-centric"
         assert args.scale == 0.4
+        assert args.trace is False
+
+    def test_batch_deadline_default_off(self):
+        args = build_parser().parse_args(["batch", "a | b"])
+        assert args.deadline_ms is None
 
     def test_eval_method_choices(self):
         with pytest.raises(SystemExit):
@@ -46,6 +51,61 @@ class TestCommands:
         text = out.getvalue()
         assert "candidates:" in text
         assert "country | currency" in text
+        assert "trace:" not in text  # only under --trace
+
+    def test_query_trace_prints_span_tree(self):
+        out = io.StringIO()
+        code = main(
+            ["query", "country | currency", "--scale", "0.15", "--rows", "3",
+             "--trace"],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "trace:" in text
+        for stage in ("parse", "probe.index1", "probe.read2", "column_map",
+                      "consolidate", "rank"):
+            assert stage in text
+        assert "ms" in text
+
+    def test_query_invalid_rows_is_cli_error(self, capsys):
+        code = main(
+            ["query", "country | currency", "--scale", "0.02",
+             "--rows", "0"],
+            out=io.StringIO(),
+        )
+        assert code == 2
+        assert "page_size" in capsys.readouterr().err
+
+    def test_batch_deadline_ms_reports_degraded(self):
+        out = io.StringIO()
+        code = main(
+            ["batch", "country | currency", "dog breed", "--scale", "0.15",
+             "--deadline-ms", "0.001"],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "(degraded)" in text
+        assert "deadline 0.001ms:" in text
+        assert "2 deadline hits" in text
+
+    def test_batch_without_deadline_not_degraded(self):
+        out = io.StringIO()
+        code = main(
+            ["batch", "country | currency", "--scale", "0.15"], out=out
+        )
+        assert code == 0
+        assert "(degraded)" not in out.getvalue()
+
+    def test_batch_invalid_deadline_is_cli_error(self, capsys):
+        code = main(
+            ["batch", "country | currency", "--scale", "0.02",
+             "--deadline-ms", "-5"],
+            out=io.StringIO(),
+        )
+        assert code == 2
+        assert "deadline_ms" in capsys.readouterr().err
 
     def test_bad_config_file_is_cli_error(self, capsys):
         out = io.StringIO()

@@ -1,8 +1,15 @@
 """Tests for dedup, consolidation, and ranking (Section 2.2.3)."""
 
+import random
+
 import pytest
 
-from repro.consolidate.dedup import cells_compatible, rows_duplicate, subject_key
+from repro.consolidate.dedup import (
+    _CELL_SIM_THRESHOLD,
+    cells_compatible,
+    rows_duplicate,
+    subject_key,
+)
 from repro.consolidate.merge import AnswerRow, consolidate
 from repro.consolidate.ranker import rank_answer, rank_rows
 from repro.query.model import Query
@@ -44,6 +51,16 @@ class TestDedup:
 
     def test_empty_subjects_never_duplicate(self):
         assert not rows_duplicate(["", "x"], ["", "x"])
+
+    def test_similarity_threshold_boundary(self):
+        """Token Jaccard exactly at ``_CELL_SIM_THRESHOLD`` is compatible;
+        just below is not."""
+        assert _CELL_SIM_THRESHOLD == pytest.approx(0.6)
+        # |{a,b,c} & {a,b,c,d,e}| / |union| = 3/5 = 0.6 -> compatible.
+        assert cells_compatible("alpha beta gamma",
+                                "alpha beta gamma delta eps")
+        # 2/4 = 0.5 < 0.6 -> incompatible.
+        assert not cells_compatible("alpha beta", "alpha beta gamma delta")
 
 
 class TestConsolidate:
@@ -103,6 +120,55 @@ class TestConsolidate:
         answer = consolidate(query, self.make_tables(), {})
         assert answer.header() == ["explorer", "areas"]
 
+    def test_ragged_source_rows_are_padded(self):
+        """Rows shorter than the table width consolidate as empty cells
+        (the WebTable grid pads), not as an error."""
+        ragged = WebTable.from_rows(
+            [
+                ["Abel Tasman", "Dutch", "Oceania"],
+                ["Vasco da Gama"],  # short row
+                ["James Cook", "British"],  # medium row
+            ],
+            header=["Name", "Nationality", "Areas"],
+            table_id="ragged",
+        )
+        query = Query.parse("explorer | nationality | areas")
+        answer = consolidate(query, [ragged], {0: {0: 1, 1: 2, 2: 3}})
+        by_subject = {r.cells[0]: r.cells for r in answer.rows}
+        assert by_subject["Vasco da Gama"] == ["Vasco da Gama", "", ""]
+        assert by_subject["James Cook"] == ["James Cook", "British", ""]
+
+    def test_mapping_beyond_row_width_projects_empty(self):
+        """A mapping referencing a column the table does not have (stale
+        mapping, corrupted input) yields empty cells, not IndexError."""
+        query = Query.parse("explorer | areas")
+        tables = self.make_tables()  # t0 is 3 columns wide
+        answer = consolidate(query, tables, {0: {0: 1, 7: 2}})
+        assert answer.num_rows > 0
+        for row in answer.rows:
+            assert row.cells[1] == ""
+
+    def test_all_empty_subject_cells(self):
+        """Rows whose subject cell is empty never merge with each other
+        (empty subjects are not evidence of identity) and rows that are
+        empty on every query column are dropped."""
+        table = WebTable.from_rows(
+            [
+                ["", "Dutch"],
+                ["", "Portuguese"],
+                ["", ""],  # fully empty -> dropped
+            ],
+            header=["Name", "Nationality"],
+            table_id="t-empty",
+        )
+        query = Query.parse("explorer | nationality")
+        answer = consolidate(query, [table], {0: {0: 1, 1: 2}})
+        assert answer.num_rows == 2  # the two non-empty rows, unmerged
+        assert all(row.support == 1 for row in answer.rows)
+        assert {row.cells[1] for row in answer.rows} == {
+            "Dutch", "Portuguese",
+        }
+
 
 class TestRanker:
     def test_support_dominates(self):
@@ -133,6 +199,31 @@ class TestRanker:
             AnswerRow(cells=["alpha", "1"], support=1, relevance=0.5),
         ]
         assert [r.cells[0] for r in rank_rows(rows)] == ["alpha", "zeta"]
+
+    def test_tie_break_is_input_order_independent(self):
+        """Fully tied rows order by subject key, so any input permutation
+        ranks identically (the determinism the bit-identity tests rely
+        on)."""
+        rows = [
+            AnswerRow(cells=[name, "x"], support=2, relevance=0.5)
+            for name in ("delta", "alpha", "charlie", "bravo")
+        ]
+        expected = ["alpha", "bravo", "charlie", "delta"]
+        rng = random.Random(7)
+        for _ in range(5):
+            shuffled = list(rows)
+            rng.shuffle(shuffled)
+            assert [r.cells[0] for r in rank_rows(shuffled)] == expected
+
+    def test_empty_cells_rank_last_and_do_not_crash(self):
+        rows = [
+            AnswerRow(cells=[], support=1, relevance=0.5),
+            AnswerRow(cells=["alpha"], support=1, relevance=0.5),
+        ]
+        ranked = rank_rows(rows)
+        # Completeness ranks the cell-less row below the filled one, and
+        # its empty-key tie-break must not raise on r.cells[0].
+        assert [r.cells for r in ranked] == [["alpha"], []]
 
     def test_rank_answer_in_place(self):
         from repro.consolidate.merge import AnswerTable

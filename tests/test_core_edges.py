@@ -1,9 +1,7 @@
 """Tests for the cross-table edge structure (Section 3.3)."""
 
-import pytest
 
 from repro.core.edges import (
-    NSIM_LAMBDA,
     all_similar_pairs,
     build_edges,
     column_pair_similarity,

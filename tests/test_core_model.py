@@ -1,13 +1,12 @@
 """Tests for problem assembly: node potentials, R, objective scoring."""
 
-import math
 
 import pytest
 
 from repro.core.model import build_problem
 from repro.core.params import DEFAULT_PARAMS, UNSEGMENTED_PARAMS
 from repro.query.model import Query
-from repro.tables.table import Cell, CellFormat, ContextSnippet, WebTable
+from repro.tables.table import ContextSnippet, WebTable
 
 from .conftest import make_problem
 

@@ -1,12 +1,10 @@
 """Tests for the empirical reliability estimation (Section 3.2.1)."""
 
-import math
 
 from repro.core.reliability import (
     collect_part_observations,
     estimate_from_environment,
 )
-from repro.core.segsim import DEFAULT_RELIABILITIES
 from repro.corpus.groundtruth import GroundTruth, TableLabel
 from repro.query.model import Query, WorkloadQuery
 from repro.tables.table import ContextSnippet, WebTable

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.corpus.domains import REGISTRY, build_registry
 from repro.corpus.generator import CorpusConfig, generate_corpus

@@ -16,6 +16,7 @@ from docstring_coverage import check, inspect_file  # noqa: E402
 GATED = [
     str(REPO_ROOT / "src" / "repro" / "service"),
     str(REPO_ROOT / "src" / "repro" / "index"),
+    str(REPO_ROOT / "src" / "repro" / "exec"),
     str(REPO_ROOT / "src" / "repro" / "cli.py"),
 ]
 
@@ -31,12 +32,15 @@ class TestDocstringGate:
     def test_key_symbols_have_examples(self):
         """The headline APIs carry example-bearing docstrings (`::` blocks)."""
         import repro.cli
+        import repro.exec
+        from repro.exec import ExecutionContext, ExecutionPlan
         from repro.index import JournaledCorpus, ShardedCorpus, load_corpus
         from repro.index.protocol import CorpusProtocol
         from repro.service import EngineConfig, WWTService
 
         for obj in (WWTService, EngineConfig, ShardedCorpus,
-                    JournaledCorpus, CorpusProtocol, load_corpus, repro.cli):
+                    JournaledCorpus, CorpusProtocol, load_corpus, repro.cli,
+                    repro.exec, ExecutionContext, ExecutionPlan):
             doc = obj.__doc__ or ""
             assert "::" in doc, f"{obj!r} docstring has no example block"
 

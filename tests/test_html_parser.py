@@ -1,6 +1,6 @@
 """Unit tests for repro.html (DOM + parser)."""
 
-from repro.html import ElementNode, TextNode, find_tables, outermost_tables, parse_html
+from repro.html import ElementNode, find_tables, outermost_tables, parse_html
 
 
 class TestParseBasics:

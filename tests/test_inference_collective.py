@@ -1,6 +1,5 @@
 """Collective inference: table-centric, alpha-expansion, BP, TRW-S."""
 
-import math
 
 import pytest
 from hypothesis import given, settings
@@ -176,7 +175,6 @@ class TestRepair:
             [2],
             {(0, 0): [1.0, 0.0, 0.0, 0.1], (0, 1): [0.0, 1.0, 0.0, 0.1]},
         )
-        labels = problem.labels
         # mutex violation: both columns take label 1.
         bad = {(0, 0): 0, (0, 1): 0}
         assert table_violates_constraints(problem, bad, 0)

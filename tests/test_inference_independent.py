@@ -7,7 +7,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.labels import LabelSpace
 from repro.inference import (
     exhaustive_inference,
     independent_inference,

@@ -95,7 +95,6 @@ class TestAnswerQuality:
         wq = query_by_id("country | currency")
         probe = small_env.candidates[wq.query_id]
         gold = small_env.gold(wq)
-        space_nr = {tc: small_env.gold(wq)[tc] for tc in gold}
         from repro.core.labels import LabelSpace
 
         space = LabelSpace(wq.query.q)

@@ -67,6 +67,19 @@ class TestEngineConfig:
         with pytest.raises(ValueError):
             EngineConfig(page_size=0)
 
+    def test_deadline_knobs_round_trip_and_validate(self):
+        config = EngineConfig(deadline_ms=75.5, degraded_ok=False)
+        restored = EngineConfig.from_dict(config.to_dict())
+        assert restored == config
+        assert restored.deadline_ms == 75.5
+        assert restored.degraded_ok is False
+        assert EngineConfig().deadline_ms is None  # unbounded by default
+        assert EngineConfig().degraded_ok is True
+        with pytest.raises(ValueError, match="deadline_ms"):
+            EngineConfig(deadline_ms=0)
+        with pytest.raises(ValueError, match="deadline_ms"):
+            EngineConfig(deadline_ms=-1.0)
+
 
 class TestRegistry:
     def test_decorator_registration_and_metadata(self):
@@ -168,6 +181,25 @@ class TestRequestTypes:
         assert request.query.columns == ("a", "b")
         assert QueryRequest.of(request) is request
         assert QueryRequest.of(Query.parse("a")).query.q == 1
+
+    def test_num_pages_defensive_against_bad_page_size(self):
+        """Direct construction with page_size <= 0 must not divide by
+        zero — one page, no next page (requests validate their own)."""
+        from repro.pipeline.wwt import QueryTiming
+        from repro.service import QueryResponse
+
+        def response(page_size):
+            return QueryResponse(
+                query=Query.parse("a | b"), header=["a", "b"], rows=[],
+                page=1, page_size=page_size, total_rows=42,
+                timing=QueryTiming(), algorithm="none",
+            )
+
+        assert response(0).num_pages == 1
+        assert response(-3).num_pages == 1
+        assert not response(0).has_next_page
+        assert response(10).num_pages == 5
+        assert response(0).to_dict()["num_pages"] == 1  # no crash
 
 
 @pytest.fixture(scope="module")
@@ -318,7 +350,10 @@ class TestWWTService:
     def test_stats_to_dict(self, service):
         data = service.stats().to_dict()
         assert {"queries", "batches", "total_time",
-                "result_cache", "probe_cache"} <= set(data)
+                "result_cache", "probe_cache",
+                "stages", "deadline_hits", "degraded_answers"} <= set(data)
+        for aggregate in data["stages"].values():
+            assert {"count", "total", "mean", "p50", "p95"} == set(aggregate)
 
     def test_clear_caches(self, small_env):
         service = WWTService(small_env.synthetic.corpus)

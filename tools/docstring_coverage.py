@@ -20,7 +20,6 @@ from __future__ import annotations
 
 import argparse
 import ast
-import sys
 from pathlib import Path
 from typing import Iterable, List, Tuple
 
