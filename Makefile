@@ -1,8 +1,8 @@
 # Convenience targets; everything also runs as the plain commands shown.
 PYTHONPATH := src
 
-.PHONY: test lint docs docs-coverage bench-incremental bench-shards \
-	bench-hotpath bench-exec
+.PHONY: test lint reprolint typecheck check docs docs-coverage \
+	bench-incremental bench-shards bench-hotpath bench-exec
 
 test:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest -x -q
@@ -13,6 +13,22 @@ lint:
 	@command -v ruff >/dev/null 2>&1 || \
 		{ echo "ruff is not installed: pip install ruff"; exit 1; }
 	ruff check .
+
+# Repo-specific invariant linter (stdlib-only, no install needed).
+# Rules + escape-hatch grammar: DESIGN.md, "Static guarantees".
+reprolint:
+	python -m tools.reprolint
+
+# Strict typing gate. Needs `pip install mypy` (CI installs the pinned
+# version from the `typecheck` extra; the runtime stays stdlib-only).
+typecheck:
+	@command -v mypy >/dev/null 2>&1 || \
+		{ echo "mypy is not installed: pip install mypy"; exit 1; }
+	mypy --strict src/repro tests/typing
+
+# The full static gate, exactly what CI runs: style+bug lint, strict
+# types, and the repo's own invariants.
+check: lint typecheck reprolint
 
 # Generated API reference (docs/api/). Needs `pip install pdoc` (CI
 # installs it; the runtime itself stays stdlib-only).

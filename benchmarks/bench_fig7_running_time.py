@@ -1,3 +1,4 @@
+# reprolint: disable-file=R001 -- benchmark harness: measures real wall-clock latency by design; results are reports, not ranked answers
 """Figure 7: per-query running time broken into pipeline stages.
 
 Regenerates the paper's Figure 7: for every query, total latency split into

@@ -1,3 +1,4 @@
+# reprolint: disable-file=R001 -- benchmark harness: measures real wall-clock latency by design; results are reports, not ranked answers
 """Hot-path regression harness: compiled postings + feature memoization.
 
 Measures the two hot-path optimizations against their retained baselines

@@ -1,3 +1,4 @@
+# reprolint: disable-file=R001 -- benchmark harness: measures real wall-clock latency by design; results are reports, not ranked answers
 """Incremental-index benchmark for the ``repro.index.journal`` subsystem.
 
 Measures the two costs a live corpus pays that an immutable one does not:

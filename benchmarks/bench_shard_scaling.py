@@ -1,3 +1,4 @@
+# reprolint: disable-file=R001 -- benchmark harness: measures real wall-clock latency by design; results are reports, not ranked answers
 """Shard-count scaling sweep for the ``repro.index.sharded`` subsystem.
 
 Builds one synthetic corpus, then for each shard count measures:

@@ -103,7 +103,7 @@ def basic_method(
     query: Query,
     tables: Sequence[WebTable],
     stats: Optional[TermStatistics] = None,
-    params: BasicParams = BasicParams(),
+    params: Optional[BasicParams] = None,
     column_sims: Optional[Dict[int, List[List[float]]]] = None,
 ) -> BaselineResult:
     """Run the Basic method over candidate tables.
@@ -112,6 +112,8 @@ def basic_method(
     per-table column-similarity matrices while reusing the relevance
     decision and assignment logic.
     """
+    if params is None:
+        params = BasicParams()
     labels = LabelSpace(query.q)
     assignment: Dict[Tuple[int, int], int] = {}
     for ti, table in enumerate(tables):
@@ -121,13 +123,14 @@ def basic_method(
             for ci in range(nt):
                 assignment[(ti, ci)] = labels.nr
             continue
-        if column_sims is not None and ti in column_sims:
-            sims = column_sims[ti]
-        else:
-            sims = [
+        sims = (
+            column_sims[ti]
+            if column_sims is not None and ti in column_sims
+            else [
                 column_header_similarity(query, table, ci, stats)
                 for ci in range(nt)
             ]
+        )
         mapped = assign_columns(query, sims, params.column_threshold, labels)
         if not mapped:
             # No column matched at all: the table contributes nothing.

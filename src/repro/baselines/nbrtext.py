@@ -27,9 +27,11 @@ def nbrtext_method(
     query: Query,
     tables: Sequence[WebTable],
     stats: Optional[TermStatistics] = None,
-    params: BasicParams = BasicParams(),
+    params: Optional[BasicParams] = None,
 ) -> BaselineResult:
     """Run the NbrText variant of Basic."""
+    if params is None:
+        params = BasicParams()
     base_sims: Dict[int, List[List[float]]] = {
         ti: [
             column_header_similarity(query, table, ci, stats)

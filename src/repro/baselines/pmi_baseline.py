@@ -29,10 +29,12 @@ def pmi_method(
     tables: Sequence[WebTable],
     index: InvertedIndex,
     stats: Optional[TermStatistics] = None,
-    params: BasicParams = BasicParams(),
+    params: Optional[BasicParams] = None,
     pmi_weight: float = PMI_WEIGHT,
 ) -> BaselineResult:
     """Run the PMI²-augmented variant of Basic."""
+    if params is None:
+        params = BasicParams()
     scorer = PmiScorer(index)
     sims: Dict[int, List[List[float]]] = {}
     for ti, table in enumerate(tables):

@@ -32,15 +32,14 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-import time
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Optional, Sequence, TextIO
 
 from .corpus.generator import CorpusConfig, generate_corpus
 from .evaluation.harness import METHODS, build_environment, run_method
+from .exec.context import wall_clock
 from .index.builder import read_manifest
 from .inference import REGISTRY
-from .query.model import Query
 from .query.workload import WORKLOAD
 from .service import EngineConfig, QueryRequest, WWTService
 
@@ -55,7 +54,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_service_options(p) -> None:
+    def add_service_options(p: argparse.ArgumentParser) -> None:
         p.add_argument("--scale", type=float, default=0.4,
                        help="corpus scale factor (default 0.4)")
         p.add_argument("--seed", type=int, default=42)
@@ -153,7 +152,7 @@ def _build_service(args: argparse.Namespace) -> WWTService:
     config's ``index_path``, then a freshly generated synthetic corpus.
     """
     if args.config:
-        with open(args.config, "r", encoding="utf-8") as fh:
+        with open(args.config, encoding="utf-8") as fh:
             config = EngineConfig.from_dict(json.load(fh))
     else:
         config = EngineConfig(inference=args.inference)
@@ -184,7 +183,7 @@ def _build_service(args: argparse.Namespace) -> WWTService:
     return WWTService(synthetic.corpus, config)
 
 
-def _cmd_query(args: argparse.Namespace, out) -> int:
+def _cmd_query(args: argparse.Namespace, out: TextIO) -> int:
     service = _build_service(args)
     # Explain is always computed (it is cheap) so the summary line can show
     # candidate counts; the full payload prints only under --explain.
@@ -222,7 +221,7 @@ def _cmd_query(args: argparse.Namespace, out) -> int:
     return 0
 
 
-def _cmd_batch(args: argparse.Namespace, out) -> int:
+def _cmd_batch(args: argparse.Namespace, out: TextIO) -> int:
     service = _build_service(args)
     requests = [
         QueryRequest.parse(text)
@@ -256,7 +255,7 @@ def _cmd_batch(args: argparse.Namespace, out) -> int:
     return 0
 
 
-def _cmd_corpus(args: argparse.Namespace, out) -> int:
+def _cmd_corpus(args: argparse.Namespace, out: TextIO) -> int:
     synthetic = generate_corpus(CorpusConfig(seed=args.seed, scale=args.scale))
     census = synthetic.census
     print(f"pages: {len(synthetic.pages)}", file=out)
@@ -274,18 +273,18 @@ def _cmd_corpus(args: argparse.Namespace, out) -> int:
     return 0
 
 
-def _cmd_index(args: argparse.Namespace, out) -> int:
+def _cmd_index(args: argparse.Namespace, out: TextIO) -> int:
     if args.index_command == "build":
-        t0 = time.perf_counter()
+        t0 = wall_clock()
         synthetic = generate_corpus(
             CorpusConfig(seed=args.seed, scale=args.scale),
             num_shards=args.num_shards,
         )
         corpus = synthetic.corpus
-        generate_s = time.perf_counter() - t0
-        t0 = time.perf_counter()
+        generate_s = wall_clock() - t0
+        t0 = wall_clock()
         corpus.save(args.out)
-        persist_s = time.perf_counter() - t0
+        persist_s = wall_clock() - t0
         kind = "monolithic" if args.num_shards is None else (
             f"{args.num_shards}-shard"
         )
@@ -302,15 +301,15 @@ def _cmd_index(args: argparse.Namespace, out) -> int:
         from .index.sharded import load_corpus
 
         with load_corpus(args.path) as corpus:
-            t0 = time.perf_counter()
+            t0 = wall_clock()
             tables = list(iter_tables(
                 CorpusConfig(seed=args.seed, scale=args.scale),
                 id_prefix=args.prefix,
             ))
-            generate_s = time.perf_counter() - t0
-            t0 = time.perf_counter()
+            generate_s = wall_clock() - t0
+            t0 = wall_clock()
             corpus.add_tables(tables)
-            append_s = time.perf_counter() - t0
+            append_s = wall_clock() - t0
             print(f"journaled {len(tables)} tables into {args.path} "
                   f"(generate {generate_s:.2f}s, append {append_s:.2f}s)",
                   file=out)
@@ -322,9 +321,9 @@ def _cmd_index(args: argparse.Namespace, out) -> int:
         from .index.sharded import load_corpus
 
         with load_corpus(args.path) as corpus:
-            t0 = time.perf_counter()
+            t0 = wall_clock()
             folded = corpus.compact()
-            compact_s = time.perf_counter() - t0
+            compact_s = wall_clock() - t0
             print(f"folded {folded} journal records into fresh snapshots "
                   f"at {args.path} in {compact_s:.2f}s", file=out)
             print(f"num_tables: {corpus.num_tables}", file=out)
@@ -352,7 +351,7 @@ def _cmd_index(args: argparse.Namespace, out) -> int:
     return 0
 
 
-def _cmd_eval(args: argparse.Namespace, out) -> int:
+def _cmd_eval(args: argparse.Namespace, out: TextIO) -> int:
     env = build_environment(scale=args.scale, seed=args.seed)
     print(f"corpus: {env.synthetic.num_tables} tables; "
           f"{len(env.queries)} queries", file=out)
@@ -362,7 +361,7 @@ def _cmd_eval(args: argparse.Namespace, out) -> int:
     return 0
 
 
-def _cmd_workload(args: argparse.Namespace, out) -> int:
+def _cmd_workload(args: argparse.Namespace, out: TextIO) -> int:
     print(f"{'query':<60} {'cols':>4} {'paper rel/total':>16}", file=out)
     for wq in WORKLOAD:
         print(
@@ -373,7 +372,7 @@ def _cmd_workload(args: argparse.Namespace, out) -> int:
     return 0
 
 
-def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+def main(argv: Optional[Sequence[str]] = None, out: Optional[TextIO] = None) -> int:
     """CLI entry point; returns an exit code."""
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)

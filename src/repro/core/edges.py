@@ -55,7 +55,7 @@ class ColumnProfile:
         col_idx: int,
         table: WebTable,
         stats: Optional[TermStatistics],
-    ) -> "ColumnProfile":
+    ) -> ColumnProfile:
         values = {
             normalize_cell(v) for v in table.column_values(col_idx)
         } - {""}
@@ -65,13 +65,16 @@ class ColumnProfile:
         header: Counter = Counter(table.column_header_tokens(col_idx))
 
         def weighted(counts: Counter) -> Tuple[Counter, float]:
-            if stats is None:
-                weighted_counts = Counter(counts)
-            else:
-                weighted_counts = Counter(
+            weighted_counts = (
+                Counter(counts)
+                if stats is None
+                else Counter(
                     {t: c * stats.idf(t) for t, c in counts.items()}
                 )
-            norm = sqrt(sum(w * w for w in weighted_counts.values()))
+            )
+            norm = sqrt(
+                sum(w * w for w in weighted_counts.values())  # reprolint: disable=R003 -- Counter insertion order is the column's token order, fixed by the input table
+            )
             return weighted_counts, norm
 
         token_counts, token_norm = weighted(tokens)
@@ -92,7 +95,9 @@ def _cosine(a: Counter, an: float, b: Counter, bn: float) -> float:
         return 0.0
     if len(b) < len(a):
         a, an, b, bn = b, bn, a, an
-    dot = sum(w * b.get(t, 0.0) for t, w in a.items())
+    dot = sum(
+        w * b.get(t, 0.0) for t, w in a.items()  # reprolint: disable=R003 -- Counter insertion order is the column's token order, fixed by the input table
+    )
     return dot / (an * bn)
 
 
@@ -144,7 +149,7 @@ def all_similar_pairs(
                 by_value[value].append((ti, ci))
 
     shared: Dict[Tuple[Tuple[int, int], Tuple[int, int]], int] = defaultdict(int)
-    for value, cols in by_value.items():
+    for _value, cols in by_value.items():
         if len(cols) > 60:
             continue
         for i in range(len(cols)):
@@ -188,7 +193,7 @@ def build_edges(
     # Blocking: column pairs (different tables) sharing >= 2 values, or 1
     # when either column is tiny.
     shared: Dict[Tuple[Tuple[int, int], Tuple[int, int]], int] = defaultdict(int)
-    for value, cols in by_value.items():
+    for _value, cols in by_value.items():
         if len(cols) > 60:
             continue  # stop-value (e.g. "euro" everywhere) — too common to block on
         for i in range(len(cols)):

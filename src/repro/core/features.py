@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Any, Dict, Hashable, Optional, Tuple
+from typing import Any, Dict, Generic, Hashable, Optional, Tuple, TypeVar, cast
 
 from ..query.model import Query
 from ..text.tokenize import tokenize
@@ -48,6 +48,7 @@ __all__ = [
     "FeatureCache",
     "PMI_B_CACHE_SIZE",
     "PMI_H_CACHE_SIZE",
+    "STATS_CACHE_SIZE",
     "query_feature_key",
 ]
 
@@ -58,11 +59,18 @@ PMI_H_CACHE_SIZE = 1024
 #: cell text — the large key space that made the per-scorer dicts grow
 #: without bound before they were promoted to bounded corpus-level caches).
 PMI_B_CACHE_SIZE = 32768
+#: Default capacity of the corpus-level IDF / document-frequency caches
+#: (:class:`~repro.index.sharded.ShardedCorpus` and the journal's derived
+#: ranking state) — keyed by term, so sized like the PMI ``B`` cache.
+STATS_CACHE_SIZE = 65536
 
 _MISS = object()
 
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
 
-class BoundedCache:
+
+class BoundedCache(Generic[K, V]):
     """Thread-safe bounded LRU map with hit/miss counters.
 
     The core-layer twin of the service LRU (``repro.core`` cannot import
@@ -71,22 +79,26 @@ class BoundedCache:
     reporting in ``WWTService.stats()`` and ``bench_hotpath``.  Eviction
     only ever costs recomputation — never correctness — so every consumer
     may size it freely.
+
+    Generic in key and value (``BoundedCache[str, float]``): consumers
+    declare what they store, so a cache wired to the wrong producer is a
+    type error rather than a silent heterogeneous dict.
     """
 
     def __init__(self, capacity: int) -> None:
         if capacity < 0:
             raise ValueError("capacity must be >= 0")
         self.capacity = capacity
-        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._data: OrderedDict[K, V] = OrderedDict()
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
 
-    def get(self, key: Hashable) -> Any:
+    def get(self, key: K) -> Optional[V]:
         """The cached value for ``key``, or ``None``; a hit refreshes recency."""
         return self.lookup(key)[1]
 
-    def lookup(self, key: Hashable) -> Tuple[bool, Optional[Any]]:
+    def lookup(self, key: K) -> Tuple[bool, Optional[V]]:
         """``(hit, value)`` — distinguishes a stored ``None`` from a miss.
 
         The service-layer adapter (`repro.service.cache.LRUCache`) is
@@ -94,7 +106,7 @@ class BoundedCache:
         consumers that never store ``None``.
         """
         with self._lock:
-            value = self._data.get(key, _MISS)
+            value = self._data.get(key, cast("V", _MISS))
             if value is _MISS:
                 self._misses += 1
                 return False, None
@@ -102,7 +114,7 @@ class BoundedCache:
             self._hits += 1
             return True, value
 
-    def put(self, key: Hashable, value: Any) -> None:
+    def put(self, key: K, value: V) -> None:
         """Insert/refresh ``key``, evicting the LRU entry when full."""
         if self.capacity == 0:
             return
@@ -121,7 +133,7 @@ class BoundedCache:
         with self._lock:
             return len(self._data)
 
-    def __contains__(self, key: Hashable) -> bool:
+    def __contains__(self, key: K) -> bool:
         """Membership probe that counts as neither hit nor miss."""
         with self._lock:
             return key in self._data
@@ -187,7 +199,7 @@ class FeatureCache:
     """
 
     def __init__(self, capacity: int = 4096) -> None:
-        self._cache = BoundedCache(capacity)
+        self._cache: BoundedCache[Hashable, Any] = BoundedCache(capacity)
         self._regime: Optional[Tuple[Any, Any, Any]] = None
         self._regime_lock = threading.Lock()
         self._generation = 0

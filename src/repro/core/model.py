@@ -99,7 +99,7 @@ class ColumnMappingProblem:
     def constraints_satisfied(self, y: Mapping[Tuple[int, int], int]) -> bool:
         """Check mutex, all-Irr, must-match and min-match for labeling y."""
         labels = self.labels
-        for ti, table in enumerate(self.tables):
+        for ti in range(len(self.tables)):
             cols = self.table_columns(ti)
             assigned = [y[tc] for tc in cols]
             n_nr = sum(1 for l in assigned if l == labels.nr)
@@ -157,7 +157,7 @@ class ColumnMappingProblem:
         """The labeling marking every table irrelevant."""
         return {tc: self.labels.nr for tc in self.columns()}
 
-    def with_params(self, params: ModelParams) -> "ColumnMappingProblem":
+    def with_params(self, params: ModelParams) -> ColumnMappingProblem:
         """Re-weight node potentials without re-extracting features.
 
         Features (SegSim, Cover, PMI², R) and the edge structure do not
@@ -266,15 +266,16 @@ def build_problem(
                 cov: List[float] = []
                 pmi: List[float] = []
                 for l in range(q):
-                    if params.use_segmented:
-                        scores = segmented_similarity(
+                    scores = (
+                        segmented_similarity(
                             query_tokens[l], part_index, ci, stats,
                             reliabilities,
                         )
-                    else:
-                        scores = unsegmented_similarity(
+                        if params.use_segmented
+                        else unsegmented_similarity(
                             query_tokens[l], part_index, ci, stats
                         )
+                    )
                     seg.append(scores.segsim)
                     cov.append(scores.cover)
                     if pmi_active:

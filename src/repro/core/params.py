@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, replace
-from typing import Callable, Iterable, Iterator, Optional, Sequence, Tuple
+from typing import Any, Callable, Iterable, Iterator, Optional, Sequence, Tuple
 
 __all__ = ["ModelParams", "DEFAULT_PARAMS", "UNSEGMENTED_PARAMS", "enumerate_grid", "train_parameters"]
 
@@ -37,7 +37,7 @@ class ModelParams:
     #: Confidence threshold for edge gating (Section 3.3).
     confidence_threshold: float = 0.6
 
-    def with_values(self, **kwargs) -> "ModelParams":
+    def with_values(self, **kwargs: Any) -> ModelParams:
         """Copy with some weights replaced."""
         return replace(self, **kwargs)
 

@@ -16,13 +16,28 @@ here to reproduce the PMI² baseline and the cost comparison of Section 5.1.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, Optional, Protocol, Sequence, Set
 
 from ..tables.table import WebTable
 from ..text.tokenize import tokenize
 from .features import PMI_B_CACHE_SIZE, PMI_H_CACHE_SIZE, BoundedCache
 
 __all__ = ["PmiScorer"]
+
+
+class ContainmentIndex(Protocol):
+    """The slice of an index PMI² needs: the conjunctive containment probe.
+
+    Both :class:`~repro.index.inverted.InvertedIndex` (the PMI baseline
+    feeds one directly) and every :class:`~repro.index.protocol.
+    CorpusProtocol` corpus satisfy it.
+    """
+
+    def docs_containing_all(
+        self, terms: Sequence[str], fields: Iterable[str]
+    ) -> Set[str]:
+        """Ids of documents holding every term in one of ``fields``."""
+        ...
 
 
 class PmiScorer:
@@ -46,10 +61,10 @@ class PmiScorer:
 
     def __init__(
         self,
-        index,
+        index: ContainmentIndex,
         max_rows: int = 30,
-        h_cache: Optional[BoundedCache] = None,
-        b_cache: Optional[BoundedCache] = None,
+        h_cache: Optional[BoundedCache[str, frozenset[str]]] = None,
+        b_cache: Optional[BoundedCache[str, frozenset[str]]] = None,
     ) -> None:
         self.index = index
         self.max_rows = max_rows
@@ -65,7 +80,7 @@ class PmiScorer:
         self._h_cache.clear()
         self._b_cache.clear()
 
-    def _h_set(self, query_text: str) -> frozenset:
+    def _h_set(self, query_text: str) -> frozenset[str]:
         """H(Q_l): tables containing all query tokens in header or context."""
         cached = self._h_cache.get(query_text)
         if cached is None:
@@ -76,7 +91,7 @@ class PmiScorer:
             self._h_cache.put(query_text, cached)
         return cached
 
-    def _b_set(self, cell_text: str) -> frozenset:
+    def _b_set(self, cell_text: str) -> frozenset[str]:
         """B(cell): tables matching the cell's words in their content."""
         cached = self._b_cache.get(cell_text)
         if cached is None:

@@ -10,12 +10,18 @@ estimation against a labeled workload environment, so the default values
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
+
+from ..tables.table import WebTable
+from ..text.tfidf import TermStatistics
 
 from ..corpus.groundtruth import GroundTruth
 from ..query.model import WorkloadQuery
 from ..text.tokenize import tokenize
 from .segsim import Reliabilities, TablePartIndex, estimate_reliabilities
+
+if TYPE_CHECKING:  # circular at runtime: evaluation imports repro.core
+    from ..evaluation.harness import WorkloadEnvironment
 
 __all__ = ["collect_part_observations", "estimate_from_environment"]
 
@@ -25,8 +31,8 @@ _PARTS = ("T", "C", "Hc", "Hr", "B")
 def collect_part_observations(
     truth: GroundTruth,
     workload_query: WorkloadQuery,
-    tables,
-    stats=None,
+    tables: Sequence[WebTable],
+    stats: Optional[TermStatistics] = None,
 ) -> Dict[str, Tuple[int, int]]:
     """Per-part (correct, total) counts for one query's relevant tables.
 
@@ -36,7 +42,7 @@ def collect_part_observations(
     *correct* when the gold mapping assigns it that query column.
     """
     observations = {part: [0, 0] for part in _PARTS}
-    for ti, table in enumerate(tables):
+    for table in tables:
         gold = truth.label(workload_query.query_id, table.table_id)
         if not gold.relevant:
             continue
@@ -66,7 +72,7 @@ def collect_part_observations(
     return {part: (c, t) for part, (c, t) in observations.items()}
 
 
-def estimate_from_environment(env) -> Reliabilities:
+def estimate_from_environment(env: WorkloadEnvironment) -> Reliabilities:
     """Re-estimate reliabilities over a whole workload environment.
 
     ``env`` is a :class:`repro.evaluation.harness.WorkloadEnvironment`

@@ -69,7 +69,7 @@ class TablePartIndex:
     segmentations cheap; the index is reused across all q query columns.
     """
 
-    def __init__(self, table: WebTable, stats: Optional[TermStatistics] = None):
+    def __init__(self, table: WebTable, stats: Optional[TermStatistics] = None) -> None:
         self.table = table
         self.stats = stats
         self.num_header_rows = table.num_header_rows
@@ -93,7 +93,7 @@ class TablePartIndex:
         for c in range(table.num_cols):
             counts: Counter = Counter()
             for row in table.body_rows():
-                for tok in set(tokenize(row[c].text)):
+                for tok in set(tokenize(row[c].text)):  # reprolint: disable=R003 -- integer increments commute; no float accumulation
                     counts[tok] += 1
             for tok, cnt in counts.items():
                 if cnt >= 2 and cnt >= _BODY_FREQ_THRESHOLD * n_rows:
@@ -143,17 +143,21 @@ def _cosine_to_set(
     # tokens contribute (count * idf)^2, not count * idf^2.
     q_counts = Counter(tokens)
     q_weight_by_tok = {t: w for t, w in zip(tokens, weights)}
-    q_norm2 = sum((cnt * q_weight_by_tok[t]) ** 2 for t, cnt in q_counts.items())
+    q_norm2 = sum(
+        (cnt * q_weight_by_tok[t]) ** 2 for t, cnt in q_counts.items()  # reprolint: disable=R003 -- Counter insertion order is the query's token order, fixed by the input
+    )
     h_counts = Counter(header_tokens)
     h_weight_by_tok = {
         t: w for t, w in zip(header_tokens, _weights(header_tokens, stats))
     }
-    h_norm2 = sum((cnt * h_weight_by_tok[t]) ** 2 for t, cnt in h_counts.items())
+    h_norm2 = sum(
+        (cnt * h_weight_by_tok[t]) ** 2 for t, cnt in h_counts.items()  # reprolint: disable=R003 -- Counter insertion order is the header's token order, fixed by the input table
+    )
     if q_norm2 <= 0 or h_norm2 <= 0:
         return 0.0
     dot = sum(
         (q_counts[t] * q_weight_by_tok[t]) * (h_counts[t] * h_weight_by_tok[t])
-        for t in set(q_counts) & set(h_counts)
+        for t in sorted(set(q_counts) & set(h_counts))
     )
     return dot / ((q_norm2**0.5) * (h_norm2**0.5))
 

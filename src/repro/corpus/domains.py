@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from . import data_real as real
 from .wordbanks import (
@@ -75,7 +75,12 @@ class Domain:
         raise KeyError(f"domain {self.key!r} has no attribute {attr_key!r}")
 
 
-def _attr(key, headers, vague=(), presence=1.0):
+def _attr(
+    key: str,
+    headers: Sequence[str],
+    vague: Sequence[str] = (),
+    presence: float = 1.0,
+) -> Attribute:
     return Attribute(key, tuple(headers), tuple(vague), presence)
 
 
@@ -1134,8 +1139,15 @@ def build_registry(seed: int = 7) -> Dict[str, Domain]:
     # -- distractor domains ---------------------------------------------------
     # Pages that share query keywords without holding the queried relation.
 
-    def keyword_distractor(key, title, topic, headers, row_maker, pages,
-                           templates=None):
+    def keyword_distractor(
+        key: str,
+        title: str,
+        topic: str,
+        headers: Sequence[Sequence[str]],
+        row_maker: Callable[[random.Random], Tuple[str, ...]],
+        pages: int,
+        templates: Optional[Sequence[str]] = None,
+    ) -> Domain:
         rows = tuple(row_maker(rng) for _ in range(rng.randint(10, 22)))
         return Domain(
             key=key,

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..html.parser import parse_html
 from ..index.builder import build_corpus_index
@@ -74,7 +74,7 @@ def _extracted_tables(
     id_prefix: str = "",
     pages_out: Optional[List[GeneratedPage]] = None,
     provenance_out: Optional[Dict[str, TableProvenance]] = None,
-):
+) -> Iterator[WebTable]:
     """Render, parse, and extract tables page by page (the streaming core).
 
     One generator shared by :func:`generate_corpus` (which collects
@@ -124,10 +124,10 @@ def _extracted_tables(
 
 
 def iter_tables(
-    config: CorpusConfig = CorpusConfig(),
+    config: Optional[CorpusConfig] = None,
     registry: Optional[Dict[str, Domain]] = None,
     id_prefix: str = "",
-):
+) -> Iterator[WebTable]:
     """Stream freshly extracted tables without building an index.
 
     The ingestion path for incremental updates: generated pages go through
@@ -143,6 +143,7 @@ def iter_tables(
     ``id_prefix`` is how a stream destined for an existing corpus avoids
     colliding with the ids the original build already took.
     """
+    config = config if config is not None else CorpusConfig()
     registry = registry if registry is not None else REGISTRY
     yield from _extracted_tables(
         config, registry, ExtractionCensus(), id_prefix=id_prefix
@@ -150,7 +151,7 @@ def iter_tables(
 
 
 def generate_corpus(
-    config: CorpusConfig = CorpusConfig(),
+    config: Optional[CorpusConfig] = None,
     registry: Optional[Dict[str, Domain]] = None,
     num_shards: Optional[int] = None,
     probe_workers: int = 1,
@@ -165,6 +166,7 @@ def generate_corpus(
     :func:`~repro.index.builder.build_corpus_index`, so a sharded corpus is
     indexed once here rather than generated monolithic and re-indexed.
     """
+    config = config if config is not None else CorpusConfig()
     registry = registry if registry is not None else REGISTRY
     pages: List[GeneratedPage] = []
     provenance: Dict[str, TableProvenance] = {}

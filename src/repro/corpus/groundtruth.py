@@ -113,7 +113,7 @@ class GroundTruth:
         cls,
         provenance: Mapping[str, TableProvenance],
         query_bindings: Mapping[str, Tuple[Optional[str], Sequence[str]]],
-    ) -> "GroundTruth":
+    ) -> GroundTruth:
         """Build the full gold standard.
 
         ``query_bindings`` maps query_id -> (domain_key or None, attr keys).

@@ -210,10 +210,7 @@ def _jitter_numeric(value: str, rng: random.Random) -> str:
     if number < 150 or 1800 <= number <= 2100:  # small values and years
         return value
     drifted = number * rng.uniform(0.97, 1.03)
-    if "." in core:
-        text = f"{drifted:,.2f}"
-    else:
-        text = f"{round(drifted):,}"
+    text = f"{drifted:,.2f}" if "." in core else f"{round(drifted):,}"
     return f"{prefix}{text}{suffix}"
 
 
@@ -269,20 +266,16 @@ def render_page(
     table_html = "<table>\n" + "\n".join(table_rows) + "\n</table>"
 
     after = pick(rng, _FILLER_SENTENCES)
+    nav = _nav_junk_table(rng)
+    # Attribute names reach the prose even for headerless tables — the
+    # page still *describes* its table, which is exactly the case the
+    # paper's out-of-header matching exploits.
+    context = _context_block(domain, headers, rng, related_topics, headerless)
     html = (
-        "<html><head><title>{title}</title></head><body>\n"
-        "{nav}\n{context}\n{table}\n<p>{after}</p>\n"
+        f"<html><head><title>{escape(domain.page_title)}</title></head><body>\n"
+        f"{nav}\n{context}\n{table_html}\n<p>{escape(after)}</p>\n"
         "<div class='footer'><small>generated corpus page</small></div>\n"
         "</body></html>"
-    ).format(
-        title=escape(domain.page_title),
-        nav=_nav_junk_table(rng),
-        # Attribute names reach the prose even for headerless tables — the
-        # page still *describes* its table, which is exactly the case the
-        # paper's out-of-header matching exploits.
-        context=_context_block(domain, headers, rng, related_topics, headerless),
-        table=table_html,
-        after=escape(after),
     )
 
     page_id = f"{domain.key}_p{page_idx}"

@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 from ..baselines.basic import BasicParams, basic_method
 from ..baselines.nbrtext import nbrtext_method
 from ..baselines.pmi_baseline import pmi_method
+from ..core.features import BoundedCache
 from ..core.labels import LabelSpace
 from ..core.model import build_problem
 from ..core.params import DEFAULT_PARAMS, UNSEGMENTED_PARAMS, ModelParams
@@ -40,6 +41,11 @@ EASY_BAND = 0.5
 #: Number of hard-query groups in Figures 5/6 and Table 2.
 NUM_GROUPS = 7
 
+#: A dense labeling over one query's candidate tables.
+Labels = Dict[Tuple[int, int], int]
+#: A runnable method: environment + workload query -> labeling.
+MethodFn = Callable[["WorkloadEnvironment", WorkloadQuery], Labels]
+
 
 @dataclass
 class WorkloadEnvironment:
@@ -58,7 +64,9 @@ class WorkloadEnvironment:
         )
 
 
-_ENV_CACHE: Dict[Tuple[float, int], WorkloadEnvironment] = {}
+#: Bounded: a sweep over many (scale, seed) points must not pin every
+#: generated corpus in memory at once.
+_ENV_CACHE: BoundedCache[Tuple[float, int], WorkloadEnvironment] = BoundedCache(8)
 
 
 def build_environment(
@@ -72,8 +80,10 @@ def build_environment(
     if probe_config is None:
         probe_config = ProbeConfig()
     cache_key = (scale, seed)
-    if use_cache and queries is None and cache_key in _ENV_CACHE:
-        return _ENV_CACHE[cache_key]
+    if use_cache and queries is None:
+        cached_env = _ENV_CACHE.get(cache_key)
+        if cached_env is not None:
+            return cached_env
 
     synthetic = generate_corpus(CorpusConfig(seed=seed, scale=scale))
     workload = list(queries) if queries is not None else list(WORKLOAD)
@@ -93,7 +103,7 @@ def build_environment(
         synthetic=synthetic, truth=truth, candidates=candidates, queries=workload
     )
     if use_cache and queries is None:
-        _ENV_CACHE[cache_key] = env
+        _ENV_CACHE.put(cache_key, env)
     return env
 
 
@@ -126,22 +136,22 @@ def _run_wwt(
     return get_algorithm(inference)(problem).labels
 
 
-def _method_fn(name: str) -> Callable:
+def _method_fn(name: str) -> MethodFn:
     basic_params = BasicParams()
 
-    def basic(env, wq):
+    def basic(env: WorkloadEnvironment, wq: WorkloadQuery) -> Labels:
         probe = env.candidates[wq.query_id]
         return basic_method(
             wq.query, probe.tables, env.synthetic.corpus.stats, basic_params
         ).labels
 
-    def nbrtext(env, wq):
+    def nbrtext(env: WorkloadEnvironment, wq: WorkloadQuery) -> Labels:
         probe = env.candidates[wq.query_id]
         return nbrtext_method(
             wq.query, probe.tables, env.synthetic.corpus.stats, basic_params
         ).labels
 
-    def pmi(env, wq):
+    def pmi(env: WorkloadEnvironment, wq: WorkloadQuery) -> Labels:
         probe = env.candidates[wq.query_id]
         return pmi_method(
             wq.query,

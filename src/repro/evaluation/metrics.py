@@ -32,10 +32,12 @@ def gold_assignment(
         for ci in range(table.num_cols):
             if not gold.relevant:
                 out[(ti, ci)] = labels.nr
-            elif ci in gold.mapping:
-                out[(ti, ci)] = labels.from_query_column(gold.mapping[ci])
-            else:
-                out[(ti, ci)] = labels.na
+                continue
+            out[(ti, ci)] = (
+                labels.from_query_column(gold.mapping[ci])
+                if ci in gold.mapping
+                else labels.na
+            )
     return out
 
 

@@ -34,7 +34,21 @@ __all__ = [
     "SPAN_DEGRADED",
     "SPAN_SKIPPED",
     "SPAN_CACHED",
+    "wall_clock",
 ]
+
+
+def wall_clock() -> float:
+    """Monotonic wall-clock read — the one sanctioned clock outside tests.
+
+    Every timing measurement in the engine flows through this seam (or
+    through an :class:`ExecutionContext` constructed with an injected
+    ``clock``), so tests and replay harnesses can substitute a fake clock
+    at a single point.  reprolint rule R001 enforces that no other module
+    calls ``time.time``/``time.perf_counter``/``datetime.now`` directly.
+    """
+    return time.perf_counter()
+
 
 #: Span ran normally.
 SPAN_OK = "ok"
@@ -100,11 +114,11 @@ class Span:
     status: str = SPAN_OK
     note: str = ""
     counters: Dict[str, float] = field(default_factory=dict)
-    children: List["Span"] = field(default_factory=list)
+    children: List[Span] = field(default_factory=list)
 
     # -- queries ----------------------------------------------------------
 
-    def find(self, name: str) -> Optional["Span"]:
+    def find(self, name: str) -> Optional[Span]:
         """First span named ``name`` in this subtree (depth-first)."""
         if self.name == name:
             return self
@@ -114,7 +128,7 @@ class Span:
                 return found
         return None
 
-    def leaves(self) -> Iterator["Span"]:
+    def leaves(self) -> Iterator[Span]:
         """Depth-first iterator over the subtree's leaf spans."""
         if not self.children:
             yield self
@@ -145,7 +159,7 @@ class Span:
 
     # -- transforms -------------------------------------------------------
 
-    def copy(self, status: Optional[str] = None) -> "Span":
+    def copy(self, status: Optional[str] = None) -> Span:
         """Deep copy, optionally rewriting every node's status."""
         return Span(
             name=self.name,
@@ -284,7 +298,7 @@ class ExecutionContext:
         return self._stack[-1]
 
     @contextmanager
-    def span(self, name: str, status: str = SPAN_OK):
+    def span(self, name: str, status: str = SPAN_OK) -> Iterator[Span]:
         """Open a child span; its duration is recorded on exit."""
         node = Span(name, status=status)
         self._stack[-1].children.append(node)

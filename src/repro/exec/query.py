@@ -149,7 +149,8 @@ def _stage_read2(ctx: ExecutionContext, s: QueryState) -> None:
 
 
 def _map_with(
-    ctx: ExecutionContext, s: QueryState, algorithm, with_edges: bool = True,
+    ctx: ExecutionContext, s: QueryState, algorithm: InferenceFn,
+    with_edges: bool = True,
 ) -> None:
     s.problem = build_problem(
         s.query, s.probe.tables, s.corpus.stats, s.params,

@@ -40,11 +40,11 @@ class QueryState:
     #: Raw query text; the ``parse`` stage turns it into ``query``.
     text: Optional[str] = None
     #: The parsed query (pre-set by callers that already hold one).
-    query: Optional["Query"] = None
+    query: Optional[Query] = None
     #: Any :class:`~repro.index.protocol.CorpusProtocol` backend.
     corpus: Any = None
-    probe_config: Optional["ProbeConfig"] = None
-    params: Optional["ModelParams"] = None
+    probe_config: Optional[ProbeConfig] = None
+    params: Optional[ModelParams] = None
     #: Registry name of the column-mapping algorithm to run.
     inference: Optional[str] = None
     #: Resolved algorithm callable (the ``parse`` stage resolves it from
@@ -53,21 +53,21 @@ class QueryState:
     #: Stage-2 row-sample generator; defaults to a private
     #: ``random.Random(probe_config.seed)`` so runs are bit-reproducible.
     rng: Optional[random.Random] = None
-    feature_cache: Optional["FeatureCache"] = None
-    pmi_scorer: Optional["PmiScorer"] = None
+    feature_cache: Optional[FeatureCache] = None
+    pmi_scorer: Optional[PmiScorer] = None
 
     # -- probe outputs ----------------------------------------------------
     stage1_ids: List[str] = field(default_factory=list)
-    stage1_tables: List["WebTable"] = field(default_factory=list)
+    stage1_tables: List[WebTable] = field(default_factory=list)
     confidences: List[float] = field(default_factory=list)
-    seeds: List["WebTable"] = field(default_factory=list)
+    seeds: List[WebTable] = field(default_factory=list)
     stage2_ids: List[str] = field(default_factory=list)
     #: The finalized candidate-retrieval artifact (``probe.read2``).
-    probe: Optional["ProbeResult"] = None
+    probe: Optional[ProbeResult] = None
 
     # -- mapping / answer outputs -----------------------------------------
-    problem: Optional["ColumnMappingProblem"] = None
+    problem: Optional[ColumnMappingProblem] = None
     mapping: Any = None
     #: Registry name of the fallback actually used (degraded runs only).
     fallback_inference: Optional[str] = None
-    answer: Optional["AnswerTable"] = None
+    answer: Optional[AnswerTable] = None

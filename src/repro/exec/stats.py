@@ -66,7 +66,7 @@ class StageAccumulator:
     def __init__(self, reservoir: int = DEFAULT_RESERVOIR) -> None:
         self.count = 0
         self.total = 0.0
-        self._samples: "deque[float]" = deque(maxlen=reservoir)
+        self._samples: deque[float] = deque(maxlen=reservoir)
 
     def add(self, seconds: float) -> None:
         """Fold one execution's duration in."""

@@ -24,7 +24,7 @@ class MatchingResult:
 
     __slots__ = ("pairs", "total_weight")
 
-    def __init__(self, pairs: List[Tuple[int, int]], total_weight: float):
+    def __init__(self, pairs: List[Tuple[int, int]], total_weight: float) -> None:
         self.pairs = pairs
         self.total_weight = total_weight
 

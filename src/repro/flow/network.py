@@ -12,6 +12,8 @@ potentials are real-valued similarity scores.
 
 from __future__ import annotations
 
+import math
+
 from typing import Dict, List, Optional, Set, Tuple
 
 __all__ = ["EPS", "FlowNetwork"]
@@ -81,7 +83,7 @@ class FlowNetwork:
         """Raise/lower an edge capacity (used by the constrained-cut loop)."""
         self.cap[eid] = cap
 
-    def clone(self) -> "FlowNetwork":
+    def clone(self) -> FlowNetwork:
         """Deep copy (topology + current flow)."""
         other = FlowNetwork(self.num_nodes)
         other.to = list(self.to)
@@ -93,7 +95,7 @@ class FlowNetwork:
 
     # -- max flow (costs ignored) -------------------------------------------------
 
-    def max_flow(self, s: int, t: int, limit: float = float("inf")) -> float:
+    def max_flow(self, s: int, t: int, limit: float = math.inf) -> float:
         """Edmonds–Karp augmentation from the *current* flow state.
 
         Returns the amount of flow added (so it can be called again after

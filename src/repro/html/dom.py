@@ -33,9 +33,9 @@ class DomNode:
     __slots__ = ("parent",)
 
     def __init__(self) -> None:
-        self.parent: Optional["ElementNode"] = None
+        self.parent: Optional[ElementNode] = None
 
-    def path_to_root(self) -> List["DomNode"]:
+    def path_to_root(self) -> List[DomNode]:
         """Nodes from ``self`` (inclusive) up to the root (inclusive)."""
         path: List[DomNode] = [self]
         node = self.parent
@@ -48,7 +48,7 @@ class DomNode:
         """Number of ancestors above this node."""
         return len(self.path_to_root()) - 1
 
-    def ancestors(self) -> Iterator["ElementNode"]:
+    def ancestors(self) -> Iterator[ElementNode]:
         """Iterate over ancestors from parent to root."""
         node = self.parent
         while node is not None:
@@ -108,7 +108,7 @@ class ElementNode(DomNode):
             if isinstance(node, ElementNode):
                 stack.extend(reversed(node.children))
 
-    def find_all(self, tag: str) -> List["ElementNode"]:
+    def find_all(self, tag: str) -> List[ElementNode]:
         """All descendant elements with the given tag name."""
         tag = tag.lower()
         return [
@@ -117,7 +117,7 @@ class ElementNode(DomNode):
             if isinstance(node, ElementNode) and node.tag == tag
         ]
 
-    def find_first(self, tag: str) -> Optional["ElementNode"]:
+    def find_first(self, tag: str) -> Optional[ElementNode]:
         """First descendant element with the given tag name, if any."""
         tag = tag.lower()
         for node in self.iter_descendants():
@@ -125,7 +125,7 @@ class ElementNode(DomNode):
                 return node
         return None
 
-    def child_elements(self, tag: Optional[str] = None) -> List["ElementNode"]:
+    def child_elements(self, tag: Optional[str] = None) -> List[ElementNode]:
         """Direct element children, optionally filtered by tag."""
         out = [c for c in self.children if isinstance(c, ElementNode)]
         if tag is not None:

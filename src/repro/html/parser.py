@@ -54,7 +54,9 @@ class DomBuilder(HTMLParser):
 
     # -- HTMLParser hooks ---------------------------------------------------
 
-    def handle_starttag(self, tag: str, attrs) -> None:
+    def handle_starttag(
+        self, tag: str, attrs: List[Tuple[str, Optional[str]]]
+    ) -> None:
         tag = tag.lower()
         self._auto_close_for(tag)
         node = ElementNode(tag, {k.lower(): (v or "") for k, v in attrs})
@@ -62,7 +64,9 @@ class DomBuilder(HTMLParser):
         if tag not in VOID_ELEMENTS:
             self._stack.append(node)
 
-    def handle_startendtag(self, tag: str, attrs) -> None:
+    def handle_startendtag(
+        self, tag: str, attrs: List[Tuple[str, Optional[str]]]
+    ) -> None:
         node = ElementNode(tag, {k.lower(): (v or "") for k, v in attrs})
         self._top.append(node)
 

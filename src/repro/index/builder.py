@@ -105,7 +105,7 @@ class IndexedCorpus:
     def __contains__(self, table_id: str) -> bool:
         return table_id in self.store
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[str]:
         return iter(self.store)
 
     # -- persistence -----------------------------------------------------------
@@ -126,7 +126,7 @@ class IndexedCorpus:
     @classmethod
     def load(
         cls, path: Union[str, Path], ignore_journal: bool = False
-    ) -> "IndexedCorpus":
+    ) -> IndexedCorpus:
         """Load a corpus saved by :meth:`save` (O(read), no re-indexing).
 
         This reads the *snapshot* only.  If the directory carries an
@@ -369,11 +369,11 @@ def _index_one(
 
 def build_corpus_index(
     tables: Iterable[WebTable],
-    boosts: Optional[dict] = None,
+    boosts: Optional[Dict[str, float]] = None,
     num_shards: Optional[int] = None,
     save: Optional[Union[str, Path]] = None,
     probe_workers: int = 1,
-):
+) -> Union[IndexedCorpus, ShardedCorpus]:
     """Index ``tables`` into a queryable corpus.
 
     Each table becomes one document with the three boosted fields of

@@ -89,7 +89,9 @@ class SearchHit:
 
     __slots__ = ("doc_id", "score", "field_scores")
 
-    def __init__(self, doc_id: str, score: float, field_scores: Dict[str, float]):
+    def __init__(
+        self, doc_id: str, score: float, field_scores: Dict[str, float]
+    ) -> None:
         self.doc_id = doc_id
         self.score = score
         self.field_scores = field_scores
@@ -200,7 +202,7 @@ class InvertedIndex:
             indexed_terms.update(counts)
             self._lengths[field][num] = len(tokens)
             self._norms[field][num] = 1.0 / math.sqrt(max(len(tokens), 1))
-        for term in indexed_terms:
+        for term in sorted(indexed_terms):
             self._df[term] += 1
         self._num_docs += 1
 
@@ -416,7 +418,7 @@ class InvertedIndex:
         }
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, object]) -> "InvertedIndex":
+    def from_dict(cls, data: Mapping[str, object]) -> InvertedIndex:
         """Inverse of :meth:`to_dict` — compiles the snapshot on load."""
         index = cls(boosts={str(f): float(b) for f, b in dict(data["boosts"]).items()})
         for doc_id in data["doc_ids"]:

@@ -54,6 +54,7 @@ from typing import (
     Union,
 )
 
+from ..core.features import BoundedCache, STATS_CACHE_SIZE
 from ..tables.table import WebTable
 from ..text.tfidf import TermStatistics
 from .builder import (
@@ -170,7 +171,7 @@ def repair_journal(path: Union[str, Path]) -> bool:
         return False
     cut = kept.rfind(b"\n") + 1  # start of the last non-empty line
     try:
-        _parse_record(kept[cut:].decode("utf-8"))
+        _parse_record(kept[cut:].decode())
         return False
     except (UnicodeDecodeError, json.JSONDecodeError, KeyError, TypeError,
             ValueError):
@@ -239,7 +240,7 @@ class JournaledCorpus:
 
     def __init__(
         self,
-        base: Union[IndexedCorpus, "ShardedCorpus"],
+        base: Union[IndexedCorpus, ShardedCorpus],
         path: Optional[Union[str, Path]] = None,
         base_seq: int = 0,
         stats_staleness: int = 0,
@@ -271,8 +272,12 @@ class JournaledCorpus:
         # The synced_* snapshots pin the delta vintage every cached AND
         # uncached IDF is computed from, so one probe never mixes
         # statistics from two different corpus states.
-        self._idf_cache: Dict[str, float] = {}
-        self._base_df_cache: Dict[str, int] = {}
+        self._idf_cache: BoundedCache[str, float] = BoundedCache(
+            STATS_CACHE_SIZE
+        )
+        self._base_df_cache: BoundedCache[str, int] = BoundedCache(
+            STATS_CACHE_SIZE
+        )
         self._merged_stats: Optional[TermStatistics] = None
         self._synced_df_delta: Counter = Counter()
         self._synced_docs_delta = 0
@@ -285,10 +290,10 @@ class JournaledCorpus:
     def open(
         cls,
         path: Union[str, Path],
-        base: Union[IndexedCorpus, "ShardedCorpus"],
+        base: Union[IndexedCorpus, ShardedCorpus],
         manifest: dict,
         stats_staleness: int = 0,
-    ) -> "JournaledCorpus":
+    ) -> JournaledCorpus:
         """Wrap a freshly loaded snapshot, replaying any surviving journal.
 
         Records with ``seq <= manifest["journal_seq"]`` were already folded
@@ -470,7 +475,7 @@ class JournaledCorpus:
         self._delta_index.add_document(table.table_id, fields)
         terms = {t for toks in fields.values() for t in toks}
         self._delta_terms[table.table_id] = terms
-        for term in terms:
+        for term in sorted(terms):
             self._df_delta[term] += 1
         self._docs_delta += 1
         self._mutations += 1
@@ -516,13 +521,12 @@ class JournaledCorpus:
         cached = self._base_df_cache.get(term)
         if cached is None:
             shards = getattr(self.base, "shards", None)
-            if shards is not None:
-                cached = sum(
-                    s.index.document_frequency(term) for s in shards
-                )
-            else:
-                cached = self.base.index.document_frequency(term)
-            self._base_df_cache[term] = cached
+            cached = (
+                sum(s.index.document_frequency(term) for s in shards)
+                if shards is not None
+                else self.base.index.document_frequency(term)
+            )
+            self._base_df_cache.put(term, cached)
         return cached
 
     def _effective_idf(self, term: str) -> float:
@@ -542,7 +546,7 @@ class JournaledCorpus:
             cached = lucene_idf(
                 self.base.num_tables + self._synced_docs_delta, df
             )
-            self._idf_cache[term] = cached
+            self._idf_cache.put(term, cached)
         return cached
 
     def _build_merged_stats(self) -> TermStatistics:
@@ -568,9 +572,10 @@ class JournaledCorpus:
         """
         if self._clean:
             return self.base.stats
-        self._maybe_refresh()
-        if self._merged_stats is not None:
-            return self._merged_stats
+        with self._lock:
+            self._maybe_refresh()
+            if self._merged_stats is not None:
+                return self._merged_stats
         return self.base.stats
 
     # -- CorpusProtocol --------------------------------------------------------
@@ -609,20 +614,21 @@ class JournaledCorpus:
             field_list = list(fields) if fields is not None else None
             eff_limit = limit + len(self._tombstones)
             map_shards = getattr(self.base, "_map_shards", None)
-            if map_shards is not None:
-                results = map_shards(
+            results = (
+                map_shards(
                     lambda s: s.index.search(
                         terms, limit=eff_limit, fields=field_list,
                         idf=self._effective_idf,
                         with_field_scores=with_field_scores,
                     )
                 )
-            else:
-                results = [self.base.index.search(
+                if map_shards is not None
+                else [self.base.index.search(
                     terms, limit=eff_limit, fields=field_list,
                     idf=self._effective_idf,
                     with_field_scores=with_field_scores,
                 )]
+            )
             merged = [
                 hit for hits in results for hit in hits
                 if hit.doc_id not in self._tombstones
@@ -831,8 +837,8 @@ class JournaledCorpus:
         self._tombstones = set()
         self._df_delta = Counter()
         self._docs_delta = 0
-        self._idf_cache = {}
-        self._base_df_cache = {}
+        self._idf_cache.clear()
+        self._base_df_cache.clear()
         self._merged_stats = None
         self._synced_at = self._mutations
 
@@ -843,13 +849,13 @@ class JournaledCorpus:
         if hasattr(self.base, "close"):
             self.base.close()
 
-    def __enter__(self) -> "JournaledCorpus":
+    def __enter__(self) -> JournaledCorpus:
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
-    def __getattr__(self, name: str):
+    def __getattr__(self, name: str) -> Any:
         """Delegate anything not defined here to the wrapped base corpus.
 
         Keeps the wrapper transparent for base-specific surfaces

@@ -36,8 +36,9 @@ import heapq
 import zlib
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Union
+from typing import Callable, Iterable, List, Optional, Sequence, Set, Union
 
+from ..core.features import BoundedCache, STATS_CACHE_SIZE
 from ..tables.table import WebTable
 from ..text.tfidf import TermStatistics
 from .builder import (
@@ -62,7 +63,7 @@ def shard_of(table_id: str, num_shards: int) -> int:
     CRC32 (not Python's salted ``hash``) so the partition is identical
     across processes, platforms, and persisted corpora.
     """
-    return zlib.crc32(table_id.encode("utf-8")) % num_shards
+    return zlib.crc32(table_id.encode()) % num_shards
 
 
 class ShardedCorpus:
@@ -113,7 +114,9 @@ class ShardedCorpus:
         self.stats = stats
         self.probe_workers = probe_workers
         self._num_tables = sum(s.num_tables for s in self.shards)
-        self._idf_cache: Dict[str, float] = {}
+        self._idf_cache: BoundedCache[str, float] = BoundedCache(
+            STATS_CACHE_SIZE
+        )
         # Created eagerly (not lazily) so concurrent first probes — e.g.
         # WWTService.answer_batch fanning out over this corpus — can't race
         # a lazy init and leak a second pool.
@@ -161,7 +164,7 @@ class ShardedCorpus:
         if cached is None:
             df = sum(s.index.document_frequency(term) for s in self.shards)
             cached = lucene_idf(self._num_tables, df)
-            self._idf_cache[term] = cached
+            self._idf_cache.put(term, cached)
         return cached
 
     # -- CorpusProtocol --------------------------------------------------------
@@ -231,7 +234,7 @@ class ShardedCorpus:
     def __contains__(self, table_id: str) -> bool:
         return table_id in self.shards[shard_of(table_id, self.num_shards)].store
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[str]:
         for shard in self.shards:
             yield from shard.store
 
@@ -254,10 +257,10 @@ class ShardedCorpus:
             self._executor.shutdown(wait=True)
             self._executor = None
 
-    def __enter__(self) -> "ShardedCorpus":
+    def __enter__(self) -> ShardedCorpus:
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
     # -- persistence -----------------------------------------------------------
@@ -284,7 +287,7 @@ class ShardedCorpus:
         path: Union[str, Path],
         probe_workers: int = 1,
         ignore_journal: bool = False,
-    ) -> "ShardedCorpus":
+    ) -> ShardedCorpus:
         """Load a corpus saved by :meth:`save` in O(read) — no re-indexing.
 
         Snapshot only: refuses directories carrying an unfolded
@@ -367,7 +370,7 @@ def load_corpus(
     probe_workers: int = 1,
     mutable: bool = True,
     stats_staleness: int = 0,
-):
+) -> CorpusProtocol:
     """Open a persisted corpus directory, whichever kind it holds.
 
     The journal-aware entry point, and the one serving processes should

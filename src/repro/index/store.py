@@ -78,7 +78,7 @@ class TableStore:
                 fh.write("\n")
 
     @classmethod
-    def load(cls, path: Union[str, Path]) -> "TableStore":
+    def load(cls, path: Union[str, Path]) -> TableStore:
         """Read a store written by :meth:`save`.
 
         Preserves the file's line order as insertion order.  Corrupt JSON

@@ -22,6 +22,7 @@ from .max_marginals import all_max_marginals, table_max_marginals
 from .registry import (
     DEFAULT_REGISTRY,
     AlgorithmInfo,
+    InferenceFn,
     InferenceRegistry,
     UnknownAlgorithmError,
     register_algorithm,
@@ -39,7 +40,7 @@ REGISTRY: InferenceRegistry = DEFAULT_REGISTRY
 ALGORITHMS = REGISTRY
 
 
-def get_algorithm(name: str):
+def get_algorithm(name: str) -> InferenceFn:
     """Look up an inference algorithm by registered name."""
     return REGISTRY.get_algorithm(name)
 

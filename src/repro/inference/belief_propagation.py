@@ -32,10 +32,11 @@ def _min_sum_message(
     for lj in range(L):
         best = float("inf")
         for li in range(L):
-            if from_node == term.a:
-                e = model.pair_energy(term, li, lj)
-            else:
-                e = model.pair_energy(term, lj, li)
+            e = (
+                model.pair_energy(term, li, lj)
+                if from_node == term.a
+                else model.pair_energy(term, lj, li)
+            )
             v = incoming[li] + e
             if v < best:
                 best = v

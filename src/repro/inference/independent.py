@@ -82,10 +82,10 @@ def solve_table(
         relevant_assignment = {}
         for ci in range(nt):
             j = result.right_of(ci)
-            if j is None or j == q:  # unmatched or matched to na
-                relevant_assignment[(ti, ci)] = labels.na
-            else:
-                relevant_assignment[(ti, ci)] = j
+            relevant_assignment[(ti, ci)] = (
+                labels.na if j is None or j == q  # unmatched or matched to na
+                else j
+            )
 
     if relevant_assignment is None or nr_score >= relevant_score:
         return {(ti, ci): labels.nr for ci in range(nt)}

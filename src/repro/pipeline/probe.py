@@ -34,6 +34,7 @@ from ..inference.max_marginals import all_max_marginals
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
     from ..exec.context import ExecutionContext
+    from ..index.inverted import SearchHit
 
 __all__ = [
     "PROBE_TIMING_SPANS",
@@ -94,7 +95,9 @@ class ProbeResult:
         return len(self.tables)
 
 
-def trim_hits(hits, min_score_fraction: float):
+def trim_hits(
+    hits: List[SearchHit], min_score_fraction: float
+) -> List[SearchHit]:
     """Drop the weak tail: hits below ``min_score_fraction`` of the best."""
     if not hits:
         return hits
@@ -140,7 +143,7 @@ def two_stage_probe(
     rng: Optional[random.Random] = None,
     feature_cache: Optional[FeatureCache] = None,
     pmi_scorer: Optional[PmiScorer] = None,
-    context: Optional["ExecutionContext"] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> ProbeResult:
     """Run the Section 2.2.1 candidate retrieval.
 

@@ -45,7 +45,7 @@ class QueryTiming:
     consolidate: float = 0.0
 
     @classmethod
-    def from_spans(cls, root: "Span") -> "QueryTiming":
+    def from_spans(cls, root: Span) -> QueryTiming:
         """Project an execution span tree onto Figure 7's slices.
 
         ``consolidate`` folds the ``rank`` stage in — the pre-executor
@@ -95,7 +95,7 @@ class WWTAnswer:
     problem: ColumnMappingProblem
     #: Root of the execution span tree (``None`` for paths that bypass
     #: the execution engine); ``timing`` is a view over it.
-    spans: Optional["Span"] = None
+    spans: Optional[Span] = None
     #: True when a deadline forced stages to skip or fall back — the
     #: answer is partial (see DESIGN.md, "Execution engine").
     degraded: bool = False

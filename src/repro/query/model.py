@@ -30,7 +30,7 @@ class Query:
             raise ValueError("column keyword sets must be non-empty")
 
     @classmethod
-    def parse(cls, text: str, query_id: str = "") -> "Query":
+    def parse(cls, text: str, query_id: str = "") -> Query:
         """Parse the paper's pipe syntax: ``"country | currency"``."""
         columns = tuple(part.strip() for part in text.split("|") if part.strip())
         return cls(columns=columns, query_id=query_id or text)

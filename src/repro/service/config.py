@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Callable, Dict, Mapping, Optional, TypeVar
 
 from ..core.params import ModelParams
 from ..inference.registry import DEFAULT_REGISTRY
@@ -21,8 +21,12 @@ from ..pipeline.probe import ProbeConfig
 
 __all__ = ["EngineConfig"]
 
+_D = TypeVar("_D")
 
-def _from_mapping(cls, data: Mapping[str, Any], where: str):
+
+def _from_mapping(
+    cls: Callable[..., _D], data: Mapping[str, Any], where: str
+) -> _D:
     """Build a dataclass from a mapping, rejecting unknown keys."""
     known = {f.name for f in dataclasses.fields(cls)}
     unknown = sorted(set(data) - known)
@@ -135,7 +139,7 @@ class EngineConfig:
         """Is the query-result cache on?"""
         return self.cache_size > 0
 
-    def replace(self, **changes: Any) -> "EngineConfig":
+    def replace(self, **changes: Any) -> EngineConfig:
         """Copy with some fields replaced (re-validates)."""
         return dataclasses.replace(self, **changes)
 
@@ -161,7 +165,7 @@ class EngineConfig:
         }
 
     @classmethod
-    def from_dict(cls, data: Optional[Mapping[str, Any]]) -> "EngineConfig":
+    def from_dict(cls, data: Optional[Mapping[str, Any]]) -> EngineConfig:
         """Build a config from a (possibly partial) plain dict.
 
         Missing keys take their defaults; unknown keys raise ``ValueError``

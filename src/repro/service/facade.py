@@ -10,15 +10,20 @@ from __future__ import annotations
 
 import random
 import threading
-import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Sequence, Union
 
 from ..core.features import FeatureCache
 from ..core.pmi import PmiScorer
-from ..exec.context import SPAN_CACHED, SPAN_OK, SPAN_SKIPPED, ExecutionContext
+from ..exec.context import (
+    SPAN_CACHED,
+    SPAN_OK,
+    SPAN_SKIPPED,
+    ExecutionContext,
+    wall_clock,
+)
 from ..exec.plan import ExecutionPlan
 from ..exec.query import MAPPING_STAGES, PARSE_STAGES, QUERY_STAGES
 from ..exec.state import QueryState
@@ -28,9 +33,13 @@ from ..index.sharded import load_corpus
 from ..inference.registry import DEFAULT_REGISTRY
 from ..pipeline.wwt import QueryTiming, WWTAnswer
 from ..query.model import Query
+from ..tables.table import WebTable
 from .cache import CacheStats, LRUCache
 from .config import EngineConfig
 from .types import QueryRequest, QueryResponse, build_explain, normalized_query_key
+
+if TYPE_CHECKING:  # typing-only: journal is an optional runtime surface here
+    from ..index.journal import JournaledCorpus
 
 __all__ = ["ServiceStats", "WWTService"]
 
@@ -143,7 +152,7 @@ class WWTService:
         self._lock = threading.Lock()
         #: Single-flight map: cache key -> Future of the leading computation,
         #: so concurrent identical queries compute the pipeline once.
-        self._inflight: Dict[Any, "Future[WWTAnswer]"] = {}
+        self._inflight: Dict[Any, Future[WWTAnswer]] = {}
         self._queries = 0
         self._batches = 0
         self._total_time = 0.0
@@ -312,7 +321,7 @@ class WWTService:
     def answer(self, request: RequestLike) -> QueryResponse:
         """Answer one request, returning a paginated response."""
         request = QueryRequest.of(request)
-        start = time.perf_counter()
+        start = wall_clock()
 
         name = (
             request.inference if request.inference is not None
@@ -328,7 +337,7 @@ class WWTService:
         )
         lo = (request.page - 1) * page_size
         rows = full.answer.rows[lo: lo + page_size]
-        served_in = time.perf_counter() - start
+        served_in = wall_clock() - start
         with self._lock:
             self._queries += 1
             self._total_time += served_in
@@ -377,7 +386,7 @@ class WWTService:
 
     # -- live mutation -----------------------------------------------------
 
-    def _mutable_corpus(self):
+    def _mutable_corpus(self) -> JournaledCorpus:
         """The served corpus, if it supports journaled mutation.
 
         Corpora loaded from a persisted directory (``WWTService(path)`` or
@@ -394,7 +403,7 @@ class WWTService:
             )
         return self.corpus
 
-    def add_tables(self, tables) -> int:
+    def add_tables(self, tables: Iterable[WebTable]) -> int:
         """Journal new tables into the served corpus, live.
 
         The tables are searchable by the next query — both caches are
@@ -410,7 +419,7 @@ class WWTService:
         self._maybe_auto_compact()
         return added
 
-    def delete_tables(self, table_ids) -> int:
+    def delete_tables(self, table_ids: Iterable[str]) -> int:
         """Remove tables from the served corpus, live (see :meth:`add_tables`)."""
         corpus = self._mutable_corpus()
         deleted = corpus.delete_tables(table_ids)
@@ -490,8 +499,8 @@ class WWTService:
         if self._owns_corpus and hasattr(self.corpus, "close"):
             self.corpus.close()
 
-    def __enter__(self) -> "WWTService":
+    def __enter__(self) -> WWTService:
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()

@@ -56,12 +56,12 @@ class QueryRequest:
             raise ValueError("page_size must be >= 1")
 
     @classmethod
-    def parse(cls, text: str, **options: Any) -> "QueryRequest":
+    def parse(cls, text: str, **options: Any) -> QueryRequest:
         """Build a request from the paper's pipe syntax."""
         return cls(query=Query.parse(text), **options)
 
     @classmethod
-    def of(cls, query: Union["QueryRequest", Query, str]) -> "QueryRequest":
+    def of(cls, query: Union[QueryRequest, Query, str]) -> QueryRequest:
         """Coerce a request, a :class:`Query`, or raw text to a request."""
         if isinstance(query, QueryRequest):
             return query

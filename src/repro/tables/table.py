@@ -261,7 +261,7 @@ class WebTable:
         }
 
     @classmethod
-    def from_dict(cls, data: Dict[str, object]) -> "WebTable":
+    def from_dict(cls, data: Dict[str, object]) -> WebTable:
         """Inverse of :meth:`to_dict`."""
         grid = [
             [
@@ -297,8 +297,8 @@ class WebTable:
         cls,
         rows: Iterable[Sequence[str]],
         header: Optional[Sequence[str]] = None,
-        **kwargs,
-    ) -> "WebTable":
+        **kwargs: Any,
+    ) -> WebTable:
         """Convenience constructor from plain string rows.
 
         >>> t = WebTable.from_rows([["a", "1"]], header=["Name", "Rank"])

@@ -10,7 +10,7 @@ web-table column matching.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Iterable, Optional, Sequence
 
 from .tfidf import TermStatistics, cosine
 from .tokenize import normalize_cell, tokenize
@@ -24,7 +24,7 @@ __all__ = [
 ]
 
 
-def jaccard(set_a, set_b) -> float:
+def jaccard(set_a: Iterable[str], set_b: Iterable[str]) -> float:
     """Plain Jaccard similarity between two sets (0 when both empty)."""
     sa, sb = set(set_a), set(set_b)
     if not sa and not sb:
@@ -57,8 +57,8 @@ def weighted_jaccard(
             return 0.0
         return sum(stats.idf(t) for t in toks) / len(toks)
 
-    inter = sum(weight(v) for v in norm_a & norm_b)
-    union = sum(weight(v) for v in norm_a | norm_b)
+    inter = sum(weight(v) for v in sorted(norm_a & norm_b))
+    union = sum(weight(v) for v in sorted(norm_a | norm_b))
     return inter / union if union else 0.0
 
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import math
 from collections import Counter
-from typing import Dict, Iterable, Mapping, Optional, Sequence
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
 __all__ = ["TermStatistics", "TfIdfVector", "cosine"]
 
@@ -42,7 +42,7 @@ class TermStatistics:
     def add_document(self, terms: Iterable[str]) -> None:
         """Count one document containing ``terms`` (duplicates ignored)."""
         self._num_docs += 1
-        for term in set(terms):
+        for term in sorted(set(terms)):
             self._df[term] += 1
 
     def document_frequency(self, term: str) -> int:
@@ -58,7 +58,7 @@ class TermStatistics:
         return {"num_docs": self._num_docs, "df": dict(self._df)}
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, object]) -> "TermStatistics":
+    def from_dict(cls, data: Mapping[str, object]) -> TermStatistics:
         """Inverse of :meth:`to_dict`."""
         stats = cls()
         stats._num_docs = int(data["num_docs"])
@@ -75,14 +75,16 @@ class TfIdfVector:
 
     __slots__ = ("_weights", "_norm")
 
-    def __init__(self, weights: Mapping[str, float]):
+    def __init__(self, weights: Mapping[str, float]) -> None:
         self._weights: Dict[str, float] = {t: w for t, w in weights.items() if w != 0.0}
-        self._norm = math.sqrt(sum(w * w for w in self._weights.values()))
+        self._norm = math.sqrt(
+            sum(w * w for w in self._weights.values())  # reprolint: disable=R003 -- insertion order is first-occurrence token order, fixed by the input sequence
+        )
 
     @classmethod
     def from_tokens(
         cls, tokens: Sequence[str], stats: Optional[TermStatistics] = None
-    ) -> "TfIdfVector":
+    ) -> TfIdfVector:
         """Build a vector from ``tokens``; without ``stats`` all idf = 1."""
         tf = Counter(tokens)
         if stats is None:
@@ -107,7 +109,7 @@ class TfIdfVector:
         """Iterate over terms with non-zero weight."""
         return self._weights.keys()
 
-    def items(self):
+    def items(self) -> Iterable[Tuple[str, float]]:
         """Iterate over ``(term, weight)`` pairs."""
         return self._weights.items()
 
@@ -117,13 +119,15 @@ class TfIdfVector:
     def __contains__(self, term: str) -> bool:
         return term in self._weights
 
-    def dot(self, other: "TfIdfVector") -> float:
+    def dot(self, other: TfIdfVector) -> float:
         """Sparse dot product."""
         if len(other) < len(self):
             return other.dot(self)
-        return sum(w * other._weights.get(t, 0.0) for t, w in self._weights.items())
+        return sum(
+            w * other._weights.get(t, 0.0) for t, w in self._weights.items()  # reprolint: disable=R003 -- insertion order is first-occurrence token order, fixed by the input sequence
+        )
 
-    def cosine(self, other: "TfIdfVector") -> float:
+    def cosine(self, other: TfIdfVector) -> float:
         """Cosine similarity; 0 when either vector is empty."""
         if self._norm == 0.0 or other._norm == 0.0:
             return 0.0

@@ -1,0 +1,6 @@
+"""R000: a disable without a reason is itself an error (and suppresses nothing)."""
+
+
+def collect(item, bucket=[]):  # reprolint: disable=R007
+    bucket.append(item)
+    return bucket

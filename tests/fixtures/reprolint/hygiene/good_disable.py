@@ -1,0 +1,12 @@
+"""Clean: a reasoned line disable suppresses exactly its line."""
+
+_SINK = []
+
+
+def collect(item, bucket=_SINK.append):  # callables are fine as defaults
+    bucket(item)
+
+
+def merge(item, into={}):  # reprolint: disable=R007 -- fixture: demonstrates a reasoned suppression
+    into[item] = True
+    return into

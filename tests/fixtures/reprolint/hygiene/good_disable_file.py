@@ -1,0 +1,13 @@
+"""Clean: a reasoned file-wide disable covers every R007 in the file."""
+
+# reprolint: disable-file=R007 -- fixture: demonstrates a reasoned file-wide suppression
+
+
+def collect(item, bucket=[]):
+    bucket.append(item)
+    return bucket
+
+
+def tally(item, counts={}):
+    counts[item] = counts.get(item, 0) + 1
+    return counts

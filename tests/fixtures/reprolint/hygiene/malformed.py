@@ -1,0 +1,3 @@
+"""R000: a reprolint comment that is not valid disable grammar is an error."""
+
+X = 1  # reprolint: R007 is fine here

@@ -1,0 +1,3 @@
+"""R000: an unparsable file is reported, not skipped."""
+
+def broken(:

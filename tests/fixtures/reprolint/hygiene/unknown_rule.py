@@ -1,0 +1,3 @@
+"""R000: disabling an unknown rule id is an error."""
+
+X = 1  # reprolint: disable=R999 -- no such rule

@@ -1,0 +1,5 @@
+"""R003 negative: same code as the positive, but outside scoring packages."""
+
+
+def set_sum(weights, items):
+    return sum(weights[t] for t in set(items))  # not in a scoring package

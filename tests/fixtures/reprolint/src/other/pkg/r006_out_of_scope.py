@@ -1,0 +1,8 @@
+"""R006 negative: swallowing TimeoutError outside repro.exec is not flagged."""
+
+
+def poll(fn):
+    try:
+        return fn()
+    except TimeoutError:
+        return None

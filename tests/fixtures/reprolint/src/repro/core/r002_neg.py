@@ -1,0 +1,13 @@
+"""R002 negative: explicit, seeded rng instances passed around."""
+
+import random
+from random import Random
+
+
+def make_rng(seed: int) -> Random:
+    return random.Random(seed)
+
+
+def sample(items, rng: Random):
+    rng.shuffle(items)
+    return items[: rng.randint(1, 3)]

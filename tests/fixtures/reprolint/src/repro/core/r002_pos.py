@@ -1,0 +1,11 @@
+"""R002 positive: module-level / unseeded random use."""
+
+import random
+from random import shuffle  # line 4: flagged import
+
+JITTER = random.random()  # line 6: flagged
+
+
+def sample(items):
+    random.shuffle(items)  # line 10: flagged
+    return items[: random.randint(1, 3)]  # line 11: flagged

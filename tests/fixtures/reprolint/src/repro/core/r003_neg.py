@@ -1,0 +1,25 @@
+"""R003 negative: ordered, counted, or non-accumulating set use."""
+
+
+def sorted_sum(weights, a, b):
+    return sum(weights[t] for t in sorted(set(a) & set(b)))
+
+
+def list_sum(weights, items):
+    return sum(weights[t] for t in items)
+
+
+def cardinality(a, b):
+    return len(set(a) & set(b))
+
+
+def ordered_accumulate(weights, items):
+    total = 0.0
+    for t in sorted(set(items)):  # sorted() restores a canonical order
+        total += weights[t]
+    return total
+
+
+def membership(items, probe):
+    wanted = set(items)
+    return [p for p in probe if p in wanted]

@@ -1,0 +1,21 @@
+"""R003 positive: float accumulation over unordered iteration."""
+
+
+def set_sum(weights, a, b):
+    common = set(a) & set(b)
+    return sum(weights[t] for t in common)  # line 6: flagged (set-typed local)
+
+
+def inline_set_sum(weights, items):
+    return sum(weights[t] for t in set(items))  # line 10: flagged
+
+
+def dict_view_sum(weights: dict) -> float:
+    return sum(w * w for w in weights.values())  # line 14: flagged
+
+
+def loop_accumulate(weights, items):
+    total = 0.0
+    for t in set(items):  # line 19: flagged (AugAssign in body)
+        total += weights[t]
+    return total

@@ -1,0 +1,17 @@
+"""R004 negative: bounded caches, non-cache dicts, per-call locals."""
+
+from typing import Dict
+
+from repro.core.features import BoundedCache
+
+_CONFIG: Dict[str, float] = {}  # not cache-named
+
+
+class Scorer:
+    def __init__(self):
+        self._idf_cache = BoundedCache(1024)  # bounded by construction
+        self._weights = {}  # plain state, not a cache
+
+    def score(self, terms):
+        idf_cache: Dict[str, float] = {}  # per-call local: dies with the call
+        return sum(idf_cache.get(t, 0.0) for t in terms)

@@ -1,0 +1,15 @@
+"""R004 positive: unbounded dict-shaped caches."""
+
+from collections import OrderedDict, defaultdict
+from typing import Dict
+
+_SCORE_CACHE: Dict[str, float] = {}  # line 6: flagged (module level)
+
+
+class Scorer:
+    shared_memo = {}  # line 10: flagged (class level)
+
+    def __init__(self):
+        self._idf_cache = {}  # line 13: flagged
+        self._df_cache: Dict[str, int] = defaultdict(int)  # line 14: flagged
+        self._recent_cache = OrderedDict()  # line 15: flagged

@@ -1,0 +1,26 @@
+"""R005 negative: consistent lock discipline, including helper methods."""
+
+import threading
+
+
+class Counters:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._total = 0  # construction is single-threaded: exempt
+        self._unguarded = 0
+
+    def record(self, n: int) -> None:
+        with self._lock:
+            self._total += n
+            self._flush()
+
+    def reset(self) -> None:
+        with self._lock:
+            self._total = 0
+
+    def _flush(self) -> None:
+        # Only ever called with the lock held (from record): writes are fine.
+        self._total += 1
+
+    def bump(self) -> None:
+        self._unguarded += 1  # never lock-guarded anywhere: not R005's business

@@ -1,0 +1,19 @@
+"""R005 positive: lock-guarded attribute written outside the lock."""
+
+import threading
+
+
+class Counters:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._total = 0
+        self._pending = []
+
+    def record(self, n: int) -> None:
+        with self._lock:
+            self._total += n
+            self._pending.append(n)
+
+    def reset(self) -> None:
+        self._total = 0  # line 18: flagged (guarded elsewhere, no lock here)
+        self._pending.clear()  # line 19: flagged (mutating call)

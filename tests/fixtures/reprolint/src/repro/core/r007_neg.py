@@ -1,0 +1,15 @@
+"""R007 negative: None sentinels and immutable defaults."""
+
+from typing import Optional, Tuple
+
+
+def collect(item, bucket: Optional[list] = None):
+    if bucket is None:
+        bucket = []
+    bucket.append(item)
+    return bucket
+
+
+def windowed(items, bounds: Tuple[int, int] = (0, 10), label: str = "all"):
+    lo, hi = bounds
+    return [label, items[lo:hi]]

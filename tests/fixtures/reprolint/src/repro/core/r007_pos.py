@@ -1,0 +1,21 @@
+"""R007 positive: mutable default arguments."""
+
+from collections import Counter
+
+
+def collect(item, bucket=[]):  # line 5: flagged
+    bucket.append(item)
+    return bucket
+
+
+def tally(items, counts=Counter()):  # line 10: flagged
+    counts.update(items)
+    return counts
+
+
+def keyed(value, *, registry={}):  # line 15: flagged (kw-only default)
+    registry[value] = True
+    return registry
+
+
+pick = lambda xs, seen=set(): [x for x in xs if x not in seen]  # line 20: flagged  # noqa: E731

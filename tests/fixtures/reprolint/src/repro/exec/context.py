@@ -1,0 +1,7 @@
+"""R001 negative: the clock seam module itself may read the clock."""
+
+import time
+
+
+def wall_clock() -> float:
+    return time.perf_counter()

@@ -1,0 +1,29 @@
+"""R006 negative: signals propagate; unrelated errors may be handled."""
+
+
+class DeadlineExceeded(TimeoutError):
+    pass
+
+
+def run_stage(stage):
+    try:
+        return stage()
+    except DeadlineExceeded:
+        raise  # re-raised: the signal still propagates
+
+
+def run_plan(plan, span):
+    try:
+        return plan()
+    except TimeoutError as exc:
+        span.note(exc)
+        raise DeadlineExceeded(str(exc)) from exc  # converted, not swallowed
+    except ValueError:
+        return None  # not a cancellation signal
+
+
+def out_of_scope_helper(fn):
+    try:
+        return fn()
+    except KeyError:
+        return None

@@ -1,0 +1,21 @@
+"""R006 positive: repro.exec code swallowing cancellation signals."""
+
+
+class DeadlineExceeded(TimeoutError):
+    pass
+
+
+def run_stage(stage):
+    try:
+        return stage()
+    except DeadlineExceeded:  # line 10: flagged (no raise in handler)
+        return None
+
+
+def run_plan(plan):
+    try:
+        return plan()
+    except TimeoutError:  # line 17: flagged
+        pass
+    except Exception:  # line 19: flagged (broad catch also swallows signals)
+        return None

@@ -1,0 +1,18 @@
+"""R001 negative: timing through the sanctioned seam only."""
+
+import time
+
+from repro.exec.context import wall_clock
+
+
+def served_in() -> float:
+    start = wall_clock()
+    return wall_clock() - start
+
+
+def nap() -> None:
+    time.sleep(0.01)  # sleeping is not reading the clock
+
+
+def with_injected_clock(clock) -> float:
+    return clock()

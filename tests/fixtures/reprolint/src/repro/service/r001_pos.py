@@ -1,0 +1,18 @@
+"""R001 positive: wall-clock reads outside the clock seam."""
+
+import time
+from datetime import datetime
+from time import perf_counter  # line 5: flagged import
+
+
+def served_in() -> float:
+    start = time.perf_counter()  # line 9: flagged
+    return time.time() - start  # line 10: flagged
+
+
+def stamp() -> str:
+    return datetime.now().isoformat()  # line 14: flagged
+
+
+def tick() -> float:
+    return perf_counter()  # flagged at the import, not here

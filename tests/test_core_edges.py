@@ -78,7 +78,7 @@ class TestBuildEdges:
 
     def test_weak_similarity_dropped(self):
         a = countries_table("a", NAMES)
-        b = countries_table("b", ["France"] + ["x%d" % i for i in range(20)])
+        b = countries_table("b", ["France"] + [f"x{i}" for i in range(20)])
         edges = build_edges([a, b])
         assert all(e.sim >= 0.1 for e in edges)
 

@@ -363,6 +363,27 @@ class TestRegistryFastest:
         registry.add("tiny", lambda p: None, collective=False, cost_hint=0.1)
         assert registry.fastest() == "tiny"  # tie -> non-collective first
 
+    def test_cost_hint_dominates_collectivity(self):
+        # A *cheaper* collective solver still beats a pricier per-table
+        # one: collectivity only breaks exact cost ties.
+        registry = InferenceRegistry()
+        registry.add("pertable", lambda p: None, collective=False,
+                     cost_hint=0.5)
+        registry.add("msgpass", lambda p: None, collective=True,
+                     cost_hint=0.2)
+        assert registry.fastest() == "msgpass"
+
+    def test_name_breaks_full_ties_deterministically(self):
+        # Equal cost_hint and collectivity -> lexicographic name, so the
+        # fallback choice never depends on registration order.
+        first = InferenceRegistry()
+        first.add("beta", lambda p: None, collective=False, cost_hint=0.1)
+        first.add("alpha", lambda p: None, collective=False, cost_hint=0.1)
+        second = InferenceRegistry()
+        second.add("alpha", lambda p: None, collective=False, cost_hint=0.1)
+        second.add("beta", lambda p: None, collective=False, cost_hint=0.1)
+        assert first.fastest() == second.fastest() == "alpha"
+
     def test_empty_registry_raises(self):
         with pytest.raises(KeyError):
             InferenceRegistry().fastest()

@@ -1,7 +1,6 @@
 """Tests for ``repro.index.journal``: live mutation, crash recovery,
 ranking equivalence against full rebuilds, and the no-reindex guarantee."""
 
-import json
 
 import pytest
 

@@ -386,9 +386,8 @@ class TestEngineShim:
         assert engine.params == new.problem.params
 
     def test_unknown_inference_still_valueerror(self, small_env):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ValueError):
-                WWTEngine(small_env.synthetic.corpus, inference="nope")
+        with pytest.warns(DeprecationWarning), pytest.raises(ValueError):
+            WWTEngine(small_env.synthetic.corpus, inference="nope")
 
 
 class TestShardedServing:

@@ -1,0 +1,50 @@
+"""Generic-typing fixture for ``BoundedCache`` — checked by mypy, not pytest.
+
+The CI typecheck job (and ``make typecheck``) runs
+``mypy --strict src/repro tests/typing``: the correctly-typed functions
+below must pass with zero ignores, while the deliberately mistyped lines
+carry narrow ``type: ignore[code]`` comments.  Because the mypy config
+sets ``warn_unused_ignores``, any future loosening of
+:class:`~repro.core.features.BoundedCache`'s generics turns those ignores
+into *unused-ignore errors* — the fixture fails the typecheck job in both
+directions, pinning the ``BoundedCache[K, V]`` contract.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.features import BoundedCache
+
+
+def typed_roundtrip() -> Optional[Tuple[float, int]]:
+    """get() narrows to Optional[V]; put() accepts exactly (K, V)."""
+    cache: BoundedCache[str, Tuple[float, int]] = BoundedCache(4)
+    cache.put("key", (1.0, 2))
+    if "key" in cache:
+        return cache.get("key")
+    return None
+
+
+def value_requires_none_check() -> int:
+    """The Optional returned by get() must be narrowed before use."""
+    cache: BoundedCache[int, int] = BoundedCache(2)
+    cache.put(1, 10)
+    value = cache.get(1)
+    return 0 if value is None else value
+
+
+def rejects_wrong_key_type() -> None:
+    """An int key into a str-keyed cache is a strict-mode error."""
+    cache: BoundedCache[str, int] = BoundedCache(2)
+    cache.put(3, 30)  # type: ignore[arg-type]
+
+
+def rejects_wrong_value_type() -> None:
+    """A str value into an int-valued cache is a strict-mode error."""
+    cache: BoundedCache[str, int] = BoundedCache(2)
+    cache.put("k", "v")  # type: ignore[arg-type]
+
+
+# K is bound to Hashable, so a list-keyed cache cannot even be spelled.
+UnhashableKeyCache = BoundedCache[List[int], int]  # type: ignore[type-var]

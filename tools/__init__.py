@@ -1,0 +1,7 @@
+"""Repository tooling that ships with the source tree.
+
+Everything in here is stdlib-only (the same constraint as the runtime):
+``tools.reprolint`` is the repo-specific invariant linter and
+``tools/docstring_coverage.py`` the docstring gate.  Run them from the
+repository root, e.g. ``python -m tools.reprolint``.
+"""

@@ -36,9 +36,10 @@ def _public_defs(tree: ast.Module) -> Iterable[Tuple[str, ast.AST]]:
                 continue
             yield node.name, node
             for sub in node.body:
-                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                    if not sub.name.startswith("_"):
-                        yield f"{node.name}.{sub.name}", sub
+                if isinstance(
+                    sub, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ) and not sub.name.startswith("_"):
+                    yield f"{node.name}.{sub.name}", sub
 
 
 def inspect_file(path: Path) -> Tuple[int, int, List[str]]:

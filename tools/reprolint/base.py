@@ -1,0 +1,215 @@
+"""Shared plumbing for reprolint rules: source model, violations, helpers.
+
+A rule is a class with an ``id`` (``"R001"``), a one-line ``title``, a
+docstring explaining the invariant it protects (the docstrings double as
+the ``--list-rules`` catalog), and a ``check`` method mapping a parsed
+:class:`SourceFile` to :class:`Violation` instances.  Rules are pure
+functions of the AST — no imports of the checked code, no execution — so
+the linter runs safely over anything, including broken work in progress.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule hit at a specific source location."""
+
+    path: Path
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def format(self) -> str:
+        """``path:line:col: R00X message`` — the one-line report form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+@dataclass
+class SourceFile:
+    """One parsed Python file plus the context rules need to scope themselves."""
+
+    path: Path
+    text: str
+    tree: ast.Module
+    #: Dotted module path (``repro.exec.context`` for files under ``src/``,
+    #: the bare stem otherwise) — rules use it for package scoping.
+    module: str
+    #: Names bound to whole modules: ``import time`` -> ``{"time": "time"}``,
+    #: ``import numpy.linalg as la`` -> ``{"la": "numpy.linalg"}``.
+    module_aliases: Dict[str, str] = field(default_factory=dict)
+    #: Names bound to module members: ``from time import perf_counter as pc``
+    #: -> ``{"pc": ("time", "perf_counter")}``.
+    member_aliases: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: Path, src_root: Optional[Path] = None) -> SourceFile:
+        """Read and parse ``path``, deriving its dotted module name."""
+        text = path.read_text(encoding="utf-8")
+        tree = ast.parse(text, filename=str(path))
+        module = module_name(path, src_root)
+        source = cls(path=path, text=text, tree=tree, module=module)
+        source._collect_imports()
+        return source
+
+    def _collect_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.module_aliases[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+                    if alias.asname:
+                        self.module_aliases[alias.asname] = alias.name
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is None or node.level:
+                    continue  # relative imports resolve within the repo
+                for alias in node.names:
+                    self.member_aliases[alias.asname or alias.name] = (
+                        node.module, alias.name,
+                    )
+
+    def dotted(self, node: ast.AST) -> Optional[str]:
+        """Resolve an attribute chain to its canonical dotted path.
+
+        ``time.perf_counter`` with ``import time as t`` spelled ``t.perf_counter``
+        resolves to ``"time.perf_counter"``; ``datetime.now`` after
+        ``from datetime import datetime`` resolves to ``"datetime.datetime.now"``.
+        Returns ``None`` for chains not rooted in a tracked import.
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.reverse()
+        name = node.id
+        if name in self.member_aliases:
+            module, member = self.member_aliases[name]
+            return ".".join([module, member] + parts)
+        if name in self.module_aliases:
+            return ".".join([self.module_aliases[name]] + parts)
+        return None
+
+
+def module_name(path: Path, src_root: Optional[Path] = None) -> str:
+    """Dotted module path for files under ``src/``; the stem otherwise."""
+    resolved = path.resolve()
+    if src_root is not None:
+        try:
+            relative = resolved.relative_to(src_root.resolve())
+        except ValueError:
+            pass
+        else:
+            parts = list(relative.parts)
+            parts[-1] = relative.stem
+            if parts[-1] == "__init__":
+                parts.pop()
+            return ".".join(parts)
+    return path.stem
+
+
+class Rule:
+    """Base class for reprolint rules.
+
+    Subclasses set ``id`` and ``title`` and implement :meth:`check`.  The
+    class docstring is the rule's catalog entry: state the invariant, why
+    it protects bit-identity/determinism, and what the sanctioned
+    alternative is.
+    """
+
+    id: str = "R000"
+    title: str = ""
+
+    def check(self, source: SourceFile) -> List[Violation]:
+        """Return every violation of this rule in ``source``."""
+        raise NotImplementedError
+
+    def violation(
+        self, source: SourceFile, node: ast.AST, message: str
+    ) -> Violation:
+        """Build a :class:`Violation` anchored at ``node``."""
+        return Violation(
+            path=source.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=self.id,
+            message=message,
+        )
+
+
+# -- small AST helpers shared by several rules -------------------------------
+
+#: Call names that build a plain (unbounded) dict.
+DICT_BUILDERS = {"dict", "defaultdict", "OrderedDict", "Counter"}
+
+#: Call names that build mutable containers (R007's default-argument check).
+MUTABLE_BUILDERS = {"list", "dict", "set", "bytearray"} | DICT_BUILDERS
+
+
+def call_name(node: ast.AST) -> Optional[str]:
+    """The bare callee name of a ``Call`` (``foo(...)`` or ``mod.foo(...)``)."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def self_attribute(node: ast.AST) -> Optional[str]:
+    """``"X"`` when ``node`` is exactly ``self.X``, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def iter_function_scopes(
+    tree: ast.Module,
+) -> Iterator[Tuple[ast.AST, Sequence[ast.stmt]]]:
+    """Yield ``(scope_node, body)`` for the module and every def in it."""
+    yield tree, tree.body
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, node.body
+
+
+def walk_scope(body: Sequence[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk ``body`` without descending into nested function definitions.
+
+    Used by rules that analyze one scope at a time (via
+    :func:`iter_function_scopes`) so a nested def's statements are checked
+    exactly once — in their own scope, with their own local bindings.
+    Class bodies *are* descended into for their non-def statements.
+    """
+    stack: List[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def assigned_names(target: ast.AST) -> Set[str]:
+    """Plain names bound by an assignment target (tuples unpacked)."""
+    names: Set[str] = set()
+    if isinstance(target, ast.Name):
+        names.add(target.id)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            names |= assigned_names(element)
+    return names

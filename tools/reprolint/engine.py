@@ -1,0 +1,164 @@
+"""The reprolint engine: file walking, disable comments, reporting.
+
+Suppression grammar (checked strictly — see :class:`DisableError`):
+
+- ``# reprolint: disable=R001 -- reason`` suppresses the listed rule(s)
+  on that physical line;
+- ``# reprolint: disable-file=R001,R003 -- reason`` suppresses the rules
+  for the whole file (conventionally placed at the top);
+- the ``-- reason`` string is **mandatory** — a bare disable is itself a
+  lint error (``R000``), as is disabling an unknown rule id.  The reason
+  is the reviewable artifact: it must say why the invariant provably
+  holds here even though the rule cannot see it.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .base import Rule, SourceFile, Violation
+from .rules import ALL_RULES, RULES_BY_ID
+
+__all__ = [
+    "Suppressions",
+    "lint_file",
+    "lint_paths",
+    "iter_python_files",
+    "DEFAULT_TARGETS",
+]
+
+#: What ``python -m tools.reprolint`` checks when given no paths.
+DEFAULT_TARGETS = ("src", "benchmarks", "tools")
+
+#: ``# reprolint: disable=R001,R002 -- reason`` (or ``disable-file=``).
+_DISABLE_RE = re.compile(
+    r"#\s*reprolint:\s*(?P<scope>disable(?:-file)?)\s*=\s*"
+    r"(?P<ids>[A-Za-z0-9,\s]+?)"
+    r"(?:\s*--\s*(?P<reason>.*\S))?\s*$"
+)
+
+
+@dataclass
+class Suppressions:
+    """Parsed disable comments of one file, plus their own hygiene errors."""
+
+    #: line -> rule ids disabled on that line.
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    #: rule ids disabled for the whole file.
+    file_wide: Set[str] = field(default_factory=set)
+    #: Hygiene violations (bare disables, unknown ids) — always reported.
+    errors: List[Violation] = field(default_factory=list)
+
+    def active(self, violation: Violation) -> bool:
+        """Is ``violation`` suppressed by a disable comment?"""
+        if violation.rule_id in self.file_wide:
+            return True
+        return violation.rule_id in self.by_line.get(violation.line, set())
+
+
+def parse_suppressions(path: Path, text: str) -> Suppressions:
+    """Extract and validate every ``# reprolint:`` comment in ``text``."""
+    result = Suppressions()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        comments = [
+            (token.start[0], token.string)
+            for token in tokens
+            if token.type == tokenize.COMMENT
+        ]
+    except tokenize.TokenError:  # pragma: no cover - unparsable files
+        comments = []
+
+    def hygiene(line: int, message: str) -> None:
+        result.errors.append(Violation(
+            path=path, line=line, col=1, rule_id="R000", message=message,
+        ))
+
+    for line, comment in comments:
+        if re.match(r"#\s*reprolint\s*:", comment) is None:
+            continue
+        match = _DISABLE_RE.search(comment)
+        if match is None:
+            hygiene(line, f"malformed reprolint comment: {comment.strip()!r}")
+            continue
+        ids = {part.strip() for part in match.group("ids").split(",") if part.strip()}
+        unknown = sorted(i for i in ids if i not in RULES_BY_ID)
+        if unknown:
+            hygiene(
+                line,
+                f"disable names unknown rule id(s) {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(RULES_BY_ID))})",
+            )
+            continue
+        reason = match.group("reason")
+        if not reason:
+            hygiene(
+                line,
+                "bare disable without a reason; write "
+                "`# reprolint: disable=RXXX -- why the invariant holds here`",
+            )
+            continue
+        if match.group("scope") == "disable-file":
+            result.file_wide |= ids
+        else:
+            result.by_line.setdefault(line, set()).update(ids)
+    return result
+
+
+def lint_file(
+    path: Path,
+    src_root: Optional[Path] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Violation]:
+    """Lint one file: rule violations minus suppressions, plus hygiene errors."""
+    try:
+        source = SourceFile.parse(path, src_root=src_root)
+    except SyntaxError as exc:
+        return [Violation(
+            path=path,
+            line=exc.lineno or 1,
+            col=(exc.offset or 0) + 1,
+            rule_id="R000",
+            message=f"file does not parse: {exc.msg}",
+        )]
+    suppressions = parse_suppressions(path, source.text)
+    violations: List[Violation] = list(suppressions.errors)
+    seen: Set[Tuple[int, int, str, str]] = set()
+    for rule in (rules if rules is not None else ALL_RULES):
+        for violation in rule.check(source):
+            key = (violation.line, violation.col, violation.rule_id,
+                   violation.message)
+            if key in seen or suppressions.active(violation):
+                continue
+            seen.add(key)
+            violations.append(violation)
+    violations.sort(key=lambda v: (v.line, v.col, v.rule_id))
+    return violations
+
+
+def iter_python_files(paths: Iterable[Path]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: Set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            out.update(p for p in path.rglob("*.py"))
+        elif path.suffix == ".py":
+            out.add(path)
+    return sorted(out)
+
+
+def lint_paths(
+    paths: Iterable[Path],
+    src_root: Optional[Path] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Violation]:
+    """Lint every Python file under ``paths`` (directories recursed)."""
+    violations: List[Violation] = []
+    for path in iter_python_files(paths):
+        violations.extend(lint_file(path, src_root=src_root, rules=rules))
+    return violations

@@ -1,0 +1,78 @@
+"""R001 — wall-clock reads go through the ``repro.exec.context`` seam."""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from ..base import Rule, SourceFile, Violation
+
+#: Canonical dotted paths of clock reads the engine must not scatter.
+WALL_CLOCK_CALLS = frozenset({
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "time.clock_gettime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+})
+
+#: The one module allowed to touch the clock directly: it *is* the seam.
+CLOCK_SEAM_MODULE = "repro.exec.context"
+
+
+class WallClockRule(Rule):
+    """No wall-clock reads outside the ``repro.exec.context`` clock seam.
+
+    Deadlines, span timings, and serving latency all flow from the
+    injectable clock carried by :class:`repro.exec.context.ExecutionContext`
+    (``wall_clock`` is its module-level default).  A stray ``time.time()``
+    or ``datetime.now()`` elsewhere bypasses that seam: deterministic
+    tests can no longer fake the clock, timings stop appearing in the span
+    tree, and deadline accounting silently diverges from what the trace
+    reports.  Import ``repro.exec.context.wall_clock`` (or accept a
+    ``clock`` parameter) instead.  Both *calls* and bare *references*
+    (e.g. ``clock=time.perf_counter`` defaults) are flagged — passing the
+    raw clock around is the same bypass one hop later.
+    """
+
+    id = "R001"
+    title = "wall-clock read outside the repro.exec.context clock seam"
+
+    def check(self, source: SourceFile) -> List[Violation]:
+        if source.module == CLOCK_SEAM_MODULE:
+            return []
+        violations: List[Violation] = []
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if not isinstance(node.ctx, ast.Load):
+                continue
+            dotted = source.dotted(node)
+            if dotted in WALL_CLOCK_CALLS:
+                violations.append(self.violation(
+                    source, node,
+                    f"wall-clock read `{dotted}` outside the "
+                    f"{CLOCK_SEAM_MODULE} clock seam; use "
+                    "repro.exec.context.wall_clock or an injected clock",
+                ))
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ImportFrom) and node.module in (
+                "time", "datetime"
+            ):
+                for alias in node.names:
+                    dotted = f"{node.module}.{alias.name}"
+                    if dotted in WALL_CLOCK_CALLS:
+                        violations.append(self.violation(
+                            source, node,
+                            f"importing `{dotted}` binds a raw wall clock; "
+                            "use repro.exec.context.wall_clock instead",
+                        ))
+        return violations

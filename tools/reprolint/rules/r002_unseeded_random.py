@@ -1,0 +1,60 @@
+"""R002 — randomness must flow through explicitly seeded rng objects."""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from ..base import Rule, SourceFile, Violation
+
+#: ``random`` attributes that are fine to touch: rng *classes* whose
+#: instances are constructed with an explicit seed and passed around.
+ALLOWED_RANDOM_MEMBERS = frozenset({"Random", "SystemRandom"})
+
+
+class UnseededRandomRule(Rule):
+    """No module-level ``random`` calls — rngs are constructed and passed.
+
+    The determinism contract (DESIGN.md, "Sharded index & persistence";
+    PR 2) is that every stochastic choice draws from a ``random.Random(seed)``
+    instance threaded through explicitly (``ProbeConfig.seed`` →
+    ``QueryState.rng``, ``GeneratorConfig.seed`` → corpus synthesis).  The
+    module-level functions (``random.random()``, ``random.shuffle()``, …)
+    share one hidden global rng: any code path touching it perturbs every
+    later draw, so two runs of the same query workload stop being
+    bit-identical the moment an unrelated caller consumes entropy.  Build
+    a ``random.Random(seed)`` and pass it instead.
+    """
+
+    id = "R002"
+    title = "module-level/unseeded random use; pass a seeded random.Random"
+
+    def check(self, source: SourceFile) -> List[Violation]:
+        violations: List[Violation] = []
+        random_names = {
+            local for local, target in source.module_aliases.items()
+            if target == "random"
+        }
+        for node in ast.walk(source.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.ctx, ast.Load)
+                and isinstance(node.value, ast.Name)
+                and node.value.id in random_names
+                and node.attr not in ALLOWED_RANDOM_MEMBERS
+            ):
+                violations.append(self.violation(
+                    source, node,
+                    f"`random.{node.attr}` uses the hidden module-global rng; "
+                    "construct random.Random(seed) and pass it explicitly",
+                ))
+            elif isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    if alias.name not in ALLOWED_RANDOM_MEMBERS:
+                        violations.append(self.violation(
+                            source, node,
+                            f"`from random import {alias.name}` binds the "
+                            "module-global rng; import random.Random and "
+                            "seed it explicitly",
+                        ))
+        return violations

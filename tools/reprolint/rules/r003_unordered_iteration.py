@@ -1,0 +1,198 @@
+"""R003 — no order-sensitive accumulation over unordered collections."""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Sequence, Set, Union
+
+from ..base import (
+    Rule,
+    SourceFile,
+    Violation,
+    assigned_names,
+    iter_function_scopes,
+    walk_scope,
+)
+
+#: Packages whose float pipelines feed ranked answers.  An
+#: order-of-summation difference here changes score bits, which changes
+#: tie-breaks, which changes answers.
+SCORING_PACKAGES = ("repro.core", "repro.index", "repro.inference", "repro.text")
+
+#: Builtins/constructors that produce a set.
+SET_BUILDERS = frozenset({"set", "frozenset"})
+
+#: Methods returning a set when called on a set-ish receiver.
+SET_METHODS = frozenset({
+    "intersection", "union", "difference", "symmetric_difference",
+})
+
+#: Dict-view accessors (insertion-ordered, but still flagged inside float
+#: sums — see the rule docstring for why).
+DICT_VIEW_METHODS = frozenset({"keys", "values", "items"})
+
+#: Accumulation callables whose result depends on float summation order.
+SUM_CALLABLES = frozenset({"sum", "fsum"})
+
+_Comp = Union[ast.GeneratorExp, ast.ListComp, ast.SetComp, ast.DictComp]
+
+
+def _is_sorted_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("sorted", "min", "max", "len")
+    )
+
+
+class _ScopeSets:
+    """Best-effort, single-pass inference of set-typed local names."""
+
+    def __init__(self, body: Sequence[ast.stmt]) -> None:
+        self.names: Set[str] = set()
+        for node in walk_scope(body):
+            if isinstance(node, ast.Assign):
+                self._note(node.targets, node.value)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                self._note([node.target], node.value)
+
+    def _note(self, targets: Sequence[ast.AST], value: ast.AST) -> None:
+        bound: Set[str] = set()
+        for target in targets:
+            bound |= assigned_names(target)
+        if not bound:
+            return
+        if self.is_set_expr(value):
+            self.names |= bound
+        else:
+            self.names -= bound  # rebound to something non-set
+
+    def is_set_expr(self, node: ast.AST) -> bool:
+        """Is ``node`` statically recognizable as producing a set?"""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.names
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in SET_BUILDERS:
+                return True
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in SET_METHODS
+                and self.is_set_expr(func.value)
+            ):
+                return True
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self.is_set_expr(node.left) or self.is_set_expr(node.right)
+        return False
+
+    def is_dict_view(self, node: ast.AST) -> bool:
+        """Is ``node`` a ``.keys()``/``.values()``/``.items()`` call?"""
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in DICT_VIEW_METHODS
+            and not node.args
+        )
+
+
+class UnorderedIterationRule(Rule):
+    """No float accumulation over set (or dict-view) iteration in scoring code.
+
+    Set iteration order depends on element hashes — and string hashing is
+    salted per process (``PYTHONHASHSEED``) — so ``sum(w(x) for x in s)``
+    over a set ``s`` of strings can produce *different float bits on
+    different runs* of the same corpus and query: float addition is not
+    associative.  Inside ``repro.core``/``repro.index``/``repro.inference``/
+    ``repro.text`` — the packages whose floats feed ranked answers — that
+    breaks the engine's headline bit-identity guarantee.  Iterate
+    ``sorted(...)`` (canonical order, run-independent) or restructure so
+    the accumulation happens over an insertion-ordered sequence.
+
+    Two shapes are flagged:
+
+    - ``sum(...)``/``math.fsum(...)`` whose generator iterates a set-typed
+      expression *or* a dict view (dict order is insertion order — stable
+      within one build path, but two backends may populate the same dict
+      in different orders, so a float reduction over a view still deserves
+      a look; suppress with a reason when the insertion order is provably
+      input-determined);
+    - a ``for`` loop over a set-typed expression whose body accumulates
+      via augmented assignment (``+=``, ``*=``, …).
+
+    Wrapping the iterable in ``sorted()`` satisfies the rule.
+    """
+
+    id = "R003"
+    title = "order-sensitive accumulation over an unordered collection"
+
+    def applies(self, source: SourceFile) -> bool:
+        return source.module.startswith(SCORING_PACKAGES)
+
+    def check(self, source: SourceFile) -> List[Violation]:
+        if not self.applies(source):
+            return []
+        violations: List[Violation] = []
+        for _scope, body in iter_function_scopes(source.tree):
+            sets = _ScopeSets(body)
+            for node in walk_scope(body):
+                if isinstance(node, ast.Call):
+                    violations.extend(self._check_sum(source, node, sets))
+                elif isinstance(node, ast.For):
+                    violations.extend(self._check_loop(source, node, sets))
+        return violations
+
+    def _check_sum(
+        self, source: SourceFile, node: ast.Call, sets: _ScopeSets
+    ) -> List[Violation]:
+        func = node.func
+        name: Optional[str] = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name not in SUM_CALLABLES or not node.args:
+            return []
+        arg = node.args[0]
+        if not isinstance(
+            arg, (ast.GeneratorExp, ast.ListComp, ast.SetComp)
+        ):
+            return []
+        out: List[Violation] = []
+        for comp in arg.generators:
+            if _is_sorted_call(comp.iter):
+                continue
+            if sets.is_set_expr(comp.iter):
+                out.append(self.violation(
+                    source, comp.iter,
+                    f"float `{name}(...)` iterates a set — order is "
+                    "hash-salted per process; iterate sorted(...) instead",
+                ))
+            elif sets.is_dict_view(comp.iter):
+                out.append(self.violation(
+                    source, comp.iter,
+                    f"float `{name}(...)` iterates a dict view — order is "
+                    "insertion order, which must be proven backend-invariant; "
+                    "iterate sorted(...) or suppress with a reason",
+                ))
+        return out
+
+    def _check_loop(
+        self, source: SourceFile, node: ast.For, sets: _ScopeSets
+    ) -> List[Violation]:
+        if _is_sorted_call(node.iter) or not sets.is_set_expr(node.iter):
+            return []
+        for inner in node.body:
+            for sub in ast.walk(inner):
+                if isinstance(sub, ast.AugAssign):
+                    return [self.violation(
+                        source, node.iter,
+                        "loop over a set accumulates via augmented "
+                        "assignment — set order is hash-salted per process; "
+                        "iterate sorted(...) instead",
+                    )]
+        return []

@@ -1,0 +1,63 @@
+"""R007 — no mutable default arguments, repo-wide."""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from ..base import MUTABLE_BUILDERS, Rule, SourceFile, Violation
+
+
+def _mutable_default(node: ast.AST) -> Optional[str]:
+    if isinstance(node, (ast.List, ast.ListComp)):
+        return "list"
+    if isinstance(node, (ast.Dict, ast.DictComp)):
+        return "dict"
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if name in MUTABLE_BUILDERS:
+            return name
+    return None
+
+
+class MutableDefaultRule(Rule):
+    """No mutable default argument values, anywhere in the repo.
+
+    A default is evaluated once, at ``def`` time, and shared by every
+    call: mutating it leaks state across calls *and across threads* — the
+    exact bug PR 1 fixed when a shared ``ProbeConfig`` default bled one
+    query's configuration into another's.  Shared hidden state is also a
+    determinism hazard: answer N's result comes to depend on answers
+    1..N-1.  Use ``None`` as the sentinel and construct the container in
+    the body (or ``dataclasses.field(default_factory=...)``).
+    """
+
+    id = "R007"
+    title = "mutable default argument"
+
+    def check(self, source: SourceFile) -> List[Violation]:
+        violations: List[Violation] = []
+        for node in ast.walk(source.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            args = node.args
+            defaults = list(args.defaults) + [
+                d for d in args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                kind = _mutable_default(default)
+                if kind is not None:
+                    name = getattr(node, "name", "<lambda>")
+                    violations.append(self.violation(
+                        source, default,
+                        f"mutable default ({kind}) in `{name}(...)`; "
+                        "default to None and build the container inside",
+                    ))
+        return violations
