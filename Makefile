@@ -2,7 +2,8 @@
 PYTHONPATH := src
 
 .PHONY: test lint reprolint typecheck check docs docs-coverage \
-	bench-incremental bench-shards bench-hotpath bench-exec
+	bench-incremental bench-shards bench-hotpath bench-exec \
+	bench-serving
 
 test:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest -x -q
@@ -35,13 +36,14 @@ check: lint typecheck reprolint
 docs:
 	@python -c "import pdoc" 2>/dev/null || \
 		{ echo "pdoc is not installed: pip install pdoc"; exit 1; }
-	PYTHONPATH=$(PYTHONPATH) python -m pdoc repro.service repro.index repro.exec repro.cli -o docs/api
+	PYTHONPATH=$(PYTHONPATH) python -m pdoc repro.service repro.index repro.exec repro.serve repro.cli -o docs/api
 	@echo "API reference written to docs/api/"
 
 # Stdlib-only docstring gate (CI additionally runs interrogate).
 docs-coverage:
 	python tools/docstring_coverage.py --fail-under 95 -v \
-		src/repro/service src/repro/index src/repro/exec src/repro/cli.py
+		src/repro/service src/repro/index src/repro/exec src/repro/serve \
+		src/repro/cli.py
 
 bench-incremental:
 	PYTHONPATH=$(PYTHONPATH) python benchmarks/bench_incremental.py --smoke
@@ -54,3 +56,6 @@ bench-hotpath:
 
 bench-exec:
 	PYTHONPATH=$(PYTHONPATH) python benchmarks/bench_exec.py --smoke
+
+bench-serving:
+	PYTHONPATH=$(PYTHONPATH) python benchmarks/bench_serving.py --smoke

@@ -1,0 +1,379 @@
+# reprolint: disable-file=R001 -- load harness: measures real wall-clock latency over real sockets by design; results are reports, not ranked answers
+"""Serving benchmark: closed-loop load over real sockets.
+
+Drives a live :class:`repro.serve.ReproServer` with concurrent
+closed-loop clients (each sends a request, waits for the reply, sends
+the next) and reports what the serving layer promises:
+
+- **identity**: a served answer must be byte-identical to the in-process
+  ``WWTService.answer()`` payload (fatal under ``--strict``);
+- **throughput/latency**: sustained QPS and served p50/p99 per
+  concurrency level, caches off so every request runs the engine;
+- **overload**: a deliberately small server (few workers, shallow
+  queue, tight default deadline) under heavy concurrency — answers keep
+  flowing as 2xx (many degraded), the excess is told to back off with
+  429s, the queue never grows past its bound, and no client sees a
+  socket timeout (timeouts/5xx are fatal under ``--strict``);
+- **rate limiting**: a single hot client is throttled to its token
+  bucket while the server stays healthy.
+
+Emits machine-readable ``BENCH_serving.json``; CI runs
+``--smoke --strict`` and uploads the artifact.  Latency and throughput
+are recorded, never gated (shared-runner jitter); only correctness
+(identity, timeouts, 5xx) is fatal.
+
+Run standalone (no pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py --smoke
+    PYTHONPATH=src python benchmarks/bench_serving.py \
+        --scale 0.3 --concurrency 1 2 4 8 16 \
+        --out results/BENCH_serving.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.corpus.generator import CorpusConfig, generate_corpus  # noqa: E402
+from repro.exec.stats import percentile  # noqa: E402
+from repro.query.workload import WORKLOAD  # noqa: E402
+from repro.serve import ReproServer, ServeClient, ServeConfig  # noqa: E402
+from repro.serve.protocol import answer_payload  # noqa: E402
+from repro.service import QueryRequest, WWTService  # noqa: E402
+
+#: Socket timeout handed to every load client; a request that hits it is
+#: a serving failure (the server must shed, not stall).
+CLIENT_TIMEOUT_S = 60.0
+
+
+def run_closed_loop(
+    server, queries, concurrency, requests_per_client, deadline_ms=None
+):
+    """Drive the server with ``concurrency`` closed-loop clients.
+
+    Each client owns one keep-alive connection and a distinct client id,
+    sends ``requests_per_client`` uncached requests back-to-back, and
+    records per-request (status, latency, degraded).  Returns the merged
+    observation dict for one load level.
+    """
+    results = []
+    results_lock = threading.Lock()
+    max_queue_depth = [0]
+
+    def client_loop(worker_id):
+        rows = []
+        with ServeClient(
+            server.host, server.port, timeout_s=CLIENT_TIMEOUT_S,
+            client_id=f"load-{worker_id}",
+        ) as client:
+            for i in range(requests_per_client):
+                query = queries[(worker_id + i) % len(queries)]
+                payload = {"query": str(query), "use_cache": False}
+                if deadline_ms is not None:
+                    payload["deadline_ms"] = deadline_ms
+                t0 = time.perf_counter()
+                try:
+                    status, _, body = client.query(payload)
+                except OSError:
+                    rows.append({"status": -1, "latency_ms": None,
+                                 "degraded": False})
+                    continue
+                elapsed_ms = (time.perf_counter() - t0) * 1000.0
+                degraded = (
+                    bool(body["serving"]["degraded"]) if status == 200
+                    else False
+                )
+                rows.append({"status": status, "latency_ms": elapsed_ms,
+                             "degraded": degraded})
+        with results_lock:
+            results.extend(rows)
+
+    def watch_queue(stop):
+        while not stop.is_set():
+            max_queue_depth[0] = max(max_queue_depth[0], server.queue_depth)
+            stop.wait(0.002)
+
+    stop = threading.Event()
+    watcher = threading.Thread(target=watch_queue, args=(stop,), daemon=True)
+    watcher.start()
+    threads = [
+        threading.Thread(target=client_loop, args=(worker_id,))
+        for worker_id in range(concurrency)
+    ]
+    t0 = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed_s = time.perf_counter() - t0
+    stop.set()
+    watcher.join()
+
+    answered = [r for r in results if r["status"] == 200]
+    latencies = [r["latency_ms"] for r in answered]
+    statuses = sorted({r["status"] for r in results})
+    return {
+        "concurrency": concurrency,
+        "requests": len(results),
+        "elapsed_s": round(elapsed_s, 3),
+        "qps": round(len(answered) / elapsed_s, 2) if elapsed_s else None,
+        "answered_2xx": len(answered),
+        "degraded": sum(1 for r in answered if r["degraded"]),
+        "degraded_ratio": (
+            round(sum(1 for r in answered if r["degraded"]) / len(answered), 3)
+            if answered else None
+        ),
+        "rejected_429": sum(1 for r in results if r["status"] == 429),
+        "errors_5xx": sum(1 for r in results if 500 <= r["status"] < 600),
+        "socket_timeouts": sum(1 for r in results if r["status"] == -1),
+        "latency_p50_ms": (
+            round(percentile(latencies, 0.50), 3) if latencies else None
+        ),
+        "latency_p99_ms": (
+            round(percentile(latencies, 0.99), 3) if latencies else None
+        ),
+        "max_queue_depth_observed": max_queue_depth[0],
+        "statuses_seen": statuses,
+    }
+
+
+def bench_identity(corpus, queries):
+    """Served answers vs direct in-process answers (byte comparison)."""
+    service = WWTService(corpus)
+    diffs = 0
+    with ReproServer(service, ServeConfig(port=0, workers=2)) as server:
+        with ServeClient(server.host, server.port) as client:
+            for query in queries:
+                status, _, body = client.query({"query": str(query)})
+                direct = answer_payload(
+                    service.answer(QueryRequest.of(query))
+                )
+                if status != 200 or (
+                    json.dumps(body["answer"], sort_keys=True)
+                    != json.dumps(direct, sort_keys=True)
+                ):
+                    diffs += 1
+    return {"queries": len(queries), "identity_diffs": diffs}
+
+
+def bench_sweep(corpus, queries, levels, requests_per_client):
+    """Sustained QPS and latency per closed-loop concurrency level."""
+    rows = []
+    for concurrency in levels:
+        service = WWTService(corpus)
+        with ReproServer(
+            service, ServeConfig(port=0, workers=4, queue_depth=64)
+        ) as server:
+            row = run_closed_loop(
+                server, queries, concurrency, requests_per_client
+            )
+        rows.append(row)
+        print(f"  c={concurrency:>3}: {row['qps']:>7.1f} qps, "
+              f"p50 {row['latency_p50_ms']:.1f}ms, "
+              f"p99 {row['latency_p99_ms']:.1f}ms, "
+              f"429s {row['rejected_429']}", flush=True)
+    return rows
+
+
+def bench_overload(corpus, queries, concurrency, requests_per_client,
+                   deadline_ms):
+    """A small server under heavy load: shed and reject, never stall."""
+    service = WWTService(corpus)
+    config = ServeConfig(
+        port=0, workers=2, queue_depth=4, default_deadline_ms=deadline_ms,
+        retry_after_s=1,
+    )
+    with ReproServer(service, config) as server:
+        row = run_closed_loop(
+            server, queries, concurrency, requests_per_client
+        )
+        stats = server.stats().to_dict()
+    row["server_config"] = {
+        "workers": config.workers,
+        "queue_depth": config.queue_depth,
+        "default_deadline_ms": config.default_deadline_ms,
+    }
+    row["server_stats"] = stats
+    print(f"  overload c={concurrency}: "
+          f"{row['answered_2xx']}/{row['requests']} answered "
+          f"({row['degraded']} degraded), "
+          f"{row['rejected_429']} told to back off, "
+          f"max queue {row['max_queue_depth_observed']}"
+          f"/{config.queue_depth}, "
+          f"{row['socket_timeouts']} socket timeouts", flush=True)
+    return row
+
+
+def bench_rate_limit(corpus, query, requests):
+    """One hot client against a tight token bucket."""
+    service = WWTService(corpus)
+    config = ServeConfig(port=0, workers=2, rate_limit=1.0, rate_burst=2)
+    with ReproServer(service, config) as server:
+        with ServeClient(server.host, server.port, client_id="hot") as client:
+            statuses = [
+                client.query({"query": str(query)})[0]
+                for _ in range(requests)
+            ]
+        limited = server.stats().rejected_rate_limited
+    row = {
+        "requests": requests,
+        "rate_limit": config.rate_limit,
+        "rate_burst": config.rate_burst,
+        "answered_2xx": sum(1 for s in statuses if s == 200),
+        "rejected_429": sum(1 for s in statuses if s == 429),
+        "server_rejected_rate_limited": limited,
+    }
+    print(f"  rate limit: {row['answered_2xx']}/{requests} answered, "
+          f"{row['rejected_429']} throttled "
+          f"(bucket: {config.rate_limit:g}/s burst {config.rate_burst})",
+          flush=True)
+    return row
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=None,
+                        help="corpus scale (default 0.3)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--queries", type=int, default=None,
+                        help="workload queries to serve (default 16)")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="requests per closed-loop client (default 10)")
+    parser.add_argument("--concurrency", type=int, nargs="+", default=None,
+                        help="closed-loop client counts for the sweep "
+                             "(default: 1 2 4 8 16)")
+    parser.add_argument("--overload-concurrency", type=int, default=None,
+                        help="clients thrown at the small overload server "
+                             "(default 16)")
+    parser.add_argument("--overload-deadline-ms", type=float, default=None,
+                        help="default deadline of the overload server "
+                             "(default: half the measured p50 engine "
+                             "latency, so shedding provably engages)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast run for CI; fills any unset "
+                             "option with scale 0.05, 6 queries, "
+                             "4 requests, concurrency 1 4, overload 8")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero on identity diffs, socket "
+                             "timeouts, or 5xx errors (latency and "
+                             "throughput are recorded, never gated)")
+    parser.add_argument("--out", metavar="PATH",
+                        default=str(REPO_ROOT / "results"
+                                    / "BENCH_serving.json"))
+    args = parser.parse_args(argv)
+
+    # --smoke only fills options the user left unset.
+    smoke_defaults = (0.05, 6, 4, [1, 4], 8)
+    full_defaults = (0.3, 16, 10, [1, 2, 4, 8, 16], 16)
+    for name, value in zip(
+        ("scale", "queries", "requests", "concurrency",
+         "overload_concurrency"),
+        smoke_defaults if args.smoke else full_defaults,
+    ):
+        if getattr(args, name) is None:
+            setattr(args, name, value)
+
+    queries = [wq.query for wq in WORKLOAD[: args.queries]]
+    t0 = time.perf_counter()
+    corpus = generate_corpus(
+        CorpusConfig(seed=args.seed, scale=args.scale)
+    ).corpus
+    print(f"serving benchmark: scale={args.scale} "
+          f"({corpus.num_tables} tables, "
+          f"{time.perf_counter() - t0:.1f}s to build), "
+          f"{len(queries)} queries, "
+          f"{args.requests} requests/client, "
+          f"concurrency={args.concurrency}", flush=True)
+
+    print("identity (served vs direct):", flush=True)
+    identity = bench_identity(corpus, queries)
+    print(f"  {identity['identity_diffs']} diffs over "
+          f"{identity['queries']} queries", flush=True)
+
+    print("closed-loop sweep (caches off):", flush=True)
+    sweep = bench_sweep(corpus, queries, args.concurrency, args.requests)
+
+    if args.overload_deadline_ms is None:
+        # Pin the overload deadline to the engine's own speed: half the
+        # p50 uncached latency guarantees budgets run out mid-pipeline
+        # at any corpus scale, so the shed path is actually exercised.
+        probe_service = WWTService(corpus)
+        samples = []
+        for query in queries:
+            t0 = time.perf_counter()
+            probe_service.answer(QueryRequest(query=query, use_cache=False))
+            samples.append((time.perf_counter() - t0) * 1000.0)
+        args.overload_deadline_ms = max(0.5, percentile(samples, 0.50) / 2.0)
+
+    print(f"overload (2 workers, queue depth 4, "
+          f"deadline {args.overload_deadline_ms:.2f}ms):", flush=True)
+    overload = bench_overload(
+        corpus, queries, args.overload_concurrency, args.requests,
+        args.overload_deadline_ms,
+    )
+
+    print("rate limiting (one hot client):", flush=True)
+    rate_limit = bench_rate_limit(corpus, queries[0], requests=12)
+
+    failures = []
+    if identity["identity_diffs"]:
+        failures.append(
+            f"{identity['identity_diffs']} served-vs-direct identity diffs"
+        )
+    for row in sweep + [overload]:
+        if row["socket_timeouts"]:
+            failures.append(
+                f"{row['socket_timeouts']} socket timeouts at "
+                f"c={row['concurrency']}"
+            )
+        if row["errors_5xx"]:
+            failures.append(
+                f"{row['errors_5xx']} 5xx errors at c={row['concurrency']}"
+            )
+
+    report = {
+        "benchmark": "serving",
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "config": {
+            "seed": args.seed,
+            "scale": args.scale,
+            "num_queries": len(queries),
+            "requests_per_client": args.requests,
+            "concurrency": args.concurrency,
+            "overload_concurrency": args.overload_concurrency,
+            "overload_deadline_ms": args.overload_deadline_ms,
+            "smoke": args.smoke,
+        },
+        "identity": identity,
+        "closed_loop_sweep": sweep,
+        "overload": overload,
+        "rate_limit": rate_limit,
+        "failures": failures,
+    }
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2), encoding="utf-8")
+    print(f"wrote {out}")
+
+    if failures:
+        for failure in failures:
+            print(f"WARNING: {failure}", file=sys.stderr)
+        if args.strict:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -29,6 +29,9 @@ Package map (see DESIGN.md for the full inventory):
 - :mod:`repro.pipeline`, :mod:`repro.consolidate` — the query pipeline;
 - :mod:`repro.service` — the serving facade (:class:`WWTService`,
   :class:`EngineConfig`, caching, batching);
+- :mod:`repro.serve` — the HTTP/JSON front door over the facade
+  (:class:`ReproServer`, :class:`ServeConfig`, admission control,
+  SLO-driven degradation — ``python -m repro serve``);
 - :mod:`repro.evaluation` — F1 error and the experiment harness.
 """
 
@@ -65,6 +68,7 @@ from .inference import (
 )
 from .pipeline import ProbeConfig, WWTAnswer, WWTEngine
 from .query import WORKLOAD, Query
+from .serve import ReproServer, ServeClient, ServeConfig
 from .service import (
     EngineConfig,
     QueryRequest,
@@ -73,7 +77,7 @@ from .service import (
     WWTService,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ALGORITHMS",
@@ -100,6 +104,9 @@ __all__ = [
     "QueryRequest",
     "QueryResponse",
     "REGISTRY",
+    "ReproServer",
+    "ServeClient",
+    "ServeConfig",
     "ServiceStats",
     "ShardedCorpus",
     "Span",

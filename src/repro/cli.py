@@ -10,6 +10,11 @@ Commands
              fresh snapshots; ``info`` describe it
 ``eval``     run one or more methods over the 59-query workload
 ``workload`` list the workload queries with their Table 1 statistics
+``serve``    expose the service over HTTP/JSON (see DESIGN.md,
+             "Serving layer"): ``repro serve --index DIR --port 8080
+             --workers 4 --queue-depth 64 --rate-limit 50`` starts the
+             :class:`repro.serve.ReproServer` front door with admission
+             control and per-request deadlines; Ctrl-C drains and exits
 
 ``query`` and ``batch`` are fronted by :class:`repro.service.WWTService`;
 ``--config`` loads a JSON :class:`~repro.service.EngineConfig`, and
@@ -41,6 +46,7 @@ from .exec.context import wall_clock
 from .index.builder import read_manifest
 from .inference import REGISTRY
 from .query.workload import WORKLOAD
+from .serve import ReproServer, ServeConfig
 from .service import EngineConfig, QueryRequest, WWTService
 
 __all__ = ["main", "build_parser"]
@@ -142,6 +148,28 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--seed", type=int, default=42)
 
     sub.add_parser("workload", help="list the 59 workload queries")
+
+    serve = sub.add_parser(
+        "serve", help="serve queries over HTTP/JSON with admission control"
+    )
+    add_service_options(serve)
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind (default loopback)")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="TCP port; 0 binds an ephemeral port")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="worker threads draining the request queue")
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       help="bounded request-queue depth (full -> 429)")
+    serve.add_argument("--rate-limit", type=float, default=None,
+                       help="per-client sustained rate in req/s "
+                            "(default: no rate limiting)")
+    serve.add_argument("--burst", type=int, default=10,
+                       help="per-client token-bucket burst capacity")
+    serve.add_argument("--deadline-ms", type=float, default=None,
+                       help="default per-request deadline in ms; requests "
+                            "over budget shed to degraded answers "
+                            "(see DESIGN.md, 'Serving layer')")
     return parser
 
 
@@ -361,6 +389,36 @@ def _cmd_eval(args: argparse.Namespace, out: TextIO) -> int:
     return 0
 
 
+def _build_server(args: argparse.Namespace) -> ReproServer:
+    """Service + ServeConfig -> an unstarted server (exposed for tests)."""
+    service = _build_service(args)
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        rate_limit=args.rate_limit,
+        rate_burst=args.burst,
+        default_deadline_ms=args.deadline_ms,
+    )
+    return ReproServer(service, config)
+
+
+def _cmd_serve(args: argparse.Namespace, out: TextIO) -> int:
+    server = _build_server(args).start()
+    try:
+        # The real bound port (--port 0 binds an ephemeral one), flushed
+        # eagerly so a parent process can scrape it and start talking.
+        print(f"serving on http://{server.host}:{server.port}", file=out)
+        out.flush()
+        server.wait()
+    except KeyboardInterrupt:
+        print("shutting down (draining in-flight work)", file=out)
+    finally:
+        server.shutdown()
+    return 0
+
+
 def _cmd_workload(args: argparse.Namespace, out: TextIO) -> int:
     print(f"{'query':<60} {'cols':>4} {'paper rel/total':>16}", file=out)
     for wq in WORKLOAD:
@@ -383,6 +441,7 @@ def main(argv: Optional[Sequence[str]] = None, out: Optional[TextIO] = None) -> 
         "index": _cmd_index,
         "eval": _cmd_eval,
         "workload": _cmd_workload,
+        "serve": _cmd_serve,
     }
     try:
         return handlers[args.command](args, out)

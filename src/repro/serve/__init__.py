@@ -1,0 +1,91 @@
+"""repro.serve — the HTTP/JSON front door for the query engine.
+
+A stdlib-only serving layer that puts :class:`~repro.service.WWTService`
+behind a real socket with explicit overload behaviour:
+
+- **admission control** — a worker pool drains one bounded request
+  queue (:class:`ServeConfig.queue_depth <ServeConfig>`), and per-client
+  token buckets (:class:`RateLimiter`) throttle hot clients; both
+  refusals answer 429 with a ``Retry-After`` header instead of letting
+  latency grow without bound;
+- **SLO-driven degradation** — a per-request ``deadline_ms`` budget
+  covers queue wait plus execution and maps onto the ``repro.exec``
+  staged engine, so overloaded requests come back *degraded* (flagged in
+  the envelope's ``serving`` section) rather than timing out;
+- **observability** — ``/healthz`` for liveness and ``/stats`` merging
+  serving-layer counters (:class:`ServerStats`) with the engine's own
+  ``ServiceStats``.
+
+::
+
+    from repro.serve import ReproServer, ServeClient, ServeConfig
+
+    server = ReproServer(service, ServeConfig(port=0, workers=4)).start()
+    try:
+        with ServeClient(server.host, server.port) as client:
+            status, headers, body = client.query(
+                {"query": "cities # population", "deadline_ms": 200}
+            )
+    finally:
+        server.shutdown()
+
+The wire protocol lives in :mod:`repro.serve.protocol`: untrusted JSON
+is validated into :class:`~repro.service.QueryRequest` (structured 400
+envelopes on anything malformed), and the 200 envelope separates the
+deterministic ``answer`` payload from run-varying ``serving`` metadata.
+"""
+
+from .admission import RateLimiter, TokenBucket
+from .client import HTTPReply, ServeClient
+from .config import ServeConfig
+from .protocol import (
+    ERROR_BAD_JSON,
+    ERROR_BODY_TOO_LARGE,
+    ERROR_DEADLINE_EXCEEDED,
+    ERROR_INTERNAL,
+    ERROR_INVALID_VALUE,
+    ERROR_METHOD_NOT_ALLOWED,
+    ERROR_MISSING_FIELD,
+    ERROR_NOT_FOUND,
+    ERROR_QUEUE_FULL,
+    ERROR_RATE_LIMITED,
+    ERROR_SHUTTING_DOWN,
+    ERROR_UNKNOWN_FIELD,
+    ServeError,
+    answer_payload,
+    error_envelope,
+    parse_query_payload,
+    response_envelope,
+)
+from .server import MIN_BUDGET_MS, AnswerService, ReproServer
+from .stats import ServerCounters, ServerStats
+
+__all__ = [
+    "ServeConfig",
+    "ReproServer",
+    "AnswerService",
+    "MIN_BUDGET_MS",
+    "ServeClient",
+    "HTTPReply",
+    "TokenBucket",
+    "RateLimiter",
+    "ServerStats",
+    "ServerCounters",
+    "ServeError",
+    "error_envelope",
+    "parse_query_payload",
+    "answer_payload",
+    "response_envelope",
+    "ERROR_BAD_JSON",
+    "ERROR_MISSING_FIELD",
+    "ERROR_UNKNOWN_FIELD",
+    "ERROR_INVALID_VALUE",
+    "ERROR_BODY_TOO_LARGE",
+    "ERROR_DEADLINE_EXCEEDED",
+    "ERROR_RATE_LIMITED",
+    "ERROR_QUEUE_FULL",
+    "ERROR_SHUTTING_DOWN",
+    "ERROR_NOT_FOUND",
+    "ERROR_METHOD_NOT_ALLOWED",
+    "ERROR_INTERNAL",
+]

@@ -1,0 +1,122 @@
+"""Admission control: per-client token buckets behind one rate limiter.
+
+The server admits a request only after (1) the client's token bucket
+grants a token and (2) the bounded request queue accepts the job; this
+module owns step (1).  Buckets refill continuously at the configured
+sustained rate up to a burst capacity, so a quiet client can absorb a
+spike while a hot one is throttled to the sustained rate — and every
+refusal comes with the exact delay after which a token *will* be
+available, which the server advertises as ``Retry-After``.
+
+All time flows through an injectable monotonic clock (the
+``repro.exec.context`` seam), so refill behaviour is tested on a fake
+clock to the millisecond.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Callable, Optional, Tuple
+
+from ..exec.context import wall_clock
+
+__all__ = ["TokenBucket", "RateLimiter"]
+
+
+class TokenBucket:
+    """One client's continuously refilling token budget.
+
+    ::
+
+        bucket = TokenBucket(rate=2.0, burst=4, now=clock())
+        ok, retry_after_s = bucket.try_take(clock())
+
+    Not thread-safe on its own — :class:`RateLimiter` serializes access
+    under its lock.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate: float, burst: int, now: float) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be > 0 tokens/second")
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.rate = rate
+        self.burst = float(burst)
+        #: Current balance; starts full so a new client can burst at once.
+        self.tokens = float(burst)
+        #: Clock reading of the last refill.
+        self.updated = now
+
+    def try_take(self, now: float) -> Tuple[bool, float]:
+        """``(granted, retry_after_s)`` for one token at time ``now``.
+
+        Refills lazily from the elapsed time, then either takes a token
+        (``(True, 0.0)``) or reports how long until the balance reaches
+        one (``(False, seconds)``).
+        """
+        elapsed = max(0.0, now - self.updated)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.updated = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True, 0.0
+        return False, (1.0 - self.tokens) / self.rate
+
+
+class RateLimiter:
+    """Thread-safe token-bucket map keyed on client identity.
+
+    Tracks at most ``max_clients`` buckets; the least-recently-seen
+    client is evicted when the table is full (its next request starts a
+    fresh, full bucket — under-throttling an evicted client briefly is
+    the cheap failure mode, versus unbounded per-client state).
+
+    ::
+
+        limiter = RateLimiter(rate=50.0, burst=10)
+        granted, retry_after_s = limiter.try_acquire("client-7")
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: int,
+        max_clients: int = 4096,
+        clock: Callable[[], float] = wall_clock,
+    ) -> None:
+        if max_clients < 1:
+            raise ValueError("max_clients must be >= 1")
+        self.rate = rate
+        self.burst = burst
+        self.max_clients = max_clients
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: client id -> bucket, in least-recently-seen-first order.
+        self._buckets: OrderedDict[str, TokenBucket] = OrderedDict()
+
+    def try_acquire(self, client: str) -> Tuple[bool, float]:
+        """``(granted, retry_after_s)`` for one request from ``client``."""
+        now = self._clock()
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = TokenBucket(self.rate, self.burst, now)
+                self._buckets[client] = bucket
+                while len(self._buckets) > self.max_clients:
+                    self._buckets.popitem(last=False)
+            else:
+                self._buckets.move_to_end(client)
+            return bucket.try_take(now)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._buckets)
+
+    def bucket_tokens(self, client: str) -> Optional[float]:
+        """Current balance of one client's bucket (tests/debugging)."""
+        with self._lock:
+            bucket = self._buckets.get(client)
+            return bucket.tokens if bucket is not None else None

@@ -1,0 +1,125 @@
+"""A minimal blocking HTTP client for the serving front door.
+
+:class:`ServeClient` wraps :class:`http.client.HTTPConnection` with
+keep-alive and JSON framing so tests and the load harness can talk to a
+:class:`~repro.serve.server.ReproServer` over a real socket without
+pulling in any third-party HTTP stack.  It deliberately returns raw
+``(status, headers, body)`` triples rather than raising on non-2xx —
+rejections (429, 503) are first-class outcomes the callers assert on.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+__all__ = ["HTTPReply", "ServeClient"]
+
+#: One HTTP exchange: ``(status, headers, parsed JSON body)``.
+HTTPReply = Tuple[int, Dict[str, str], Any]
+
+
+class ServeClient:
+    """Blocking JSON client over one keep-alive connection.
+
+    ::
+
+        with ServeClient(server.host, server.port) as client:
+            status, headers, body = client.query({"query": "cities # population"})
+
+    Not thread-safe: one connection, one in-flight request.  Concurrent
+    load generators hold one client per worker thread.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout_s: float = 30.0,
+        client_id: Optional[str] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        #: Value sent as the rate-limit identity header (``X-Client-Id``
+        #: by default on the server); ``None`` falls back to the peer IP.
+        self.client_id = client_id
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    def __enter__(self) -> ServeClient:
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Drop the underlying connection (reopened lazily on next use)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout_s
+            )
+        return self._conn
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Optional[Mapping[str, str]] = None,
+    ) -> HTTPReply:
+        """One HTTP exchange; reconnects once if keep-alive lapsed.
+
+        The body is parsed as JSON when non-empty (every endpoint speaks
+        JSON); an empty body parses to ``None``.
+        """
+        send_headers: Dict[str, str] = dict(headers or {})
+        if self.client_id is not None:
+            send_headers.setdefault("X-Client-Id", self.client_id)
+        try:
+            return self._exchange(method, path, body, send_headers)
+        except (http.client.HTTPException, ConnectionError, BrokenPipeError):
+            # The server (or an idle timeout) closed the kept-alive
+            # connection between requests; retry once on a fresh one.
+            self.close()
+            return self._exchange(method, path, body, send_headers)
+
+    def _exchange(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes],
+        headers: Dict[str, str],
+    ) -> HTTPReply:
+        conn = self._connection()
+        conn.request(method, path, body=body, headers=headers)
+        response = conn.getresponse()
+        raw = response.read()
+        reply_headers = {k.lower(): v for k, v in response.getheaders()}
+        parsed = json.loads(raw.decode("utf-8")) if raw else None
+        return response.status, reply_headers, parsed
+
+    def post_json(self, path: str, payload: Any) -> HTTPReply:
+        """POST ``payload`` as a JSON body."""
+        raw = json.dumps(payload).encode("utf-8")
+        return self.request(
+            "POST", path, body=raw,
+            headers={"Content-Type": "application/json"},
+        )
+
+    def query(self, payload: Any) -> HTTPReply:
+        """POST one query payload to ``/query``."""
+        return self.post_json("/query", payload)
+
+    def healthz(self) -> HTTPReply:
+        """GET the liveness endpoint."""
+        return self.request("GET", "/healthz")
+
+    def stats(self) -> HTTPReply:
+        """GET the server + service counters."""
+        return self.request("GET", "/stats")

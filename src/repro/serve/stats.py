@@ -1,0 +1,153 @@
+"""Serving-layer counters: admission outcomes, queue health, latency.
+
+:class:`ServerStats` is the frozen snapshot the ``/stats`` endpoint
+serves (next to the engine's ``ServiceStats``); :class:`ServerCounters`
+is the mutable accumulator behind it.  Latency percentiles reuse the
+execution engine's bounded-reservoir
+:class:`~repro.exec.stats.StageAccumulator`, so queue-wait and handle
+times report the same count/total/p50/p95 shape as the pipeline stages.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from ..exec.stats import StageAccumulator, StageStats
+
+__all__ = ["ServerStats", "ServerCounters"]
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """Point-in-time serving-layer counters of one server."""
+
+    #: Requests admitted past rate limiting into the queue.
+    accepted: int
+    #: Requests answered (2xx, degraded included).
+    completed: int
+    #: 429s from a full request queue.
+    rejected_queue_full: int
+    #: 429s from an empty client token bucket.
+    rejected_rate_limited: int
+    #: 400s from malformed/invalid request bodies.
+    rejected_invalid: int
+    #: 503s refused while draining for shutdown.
+    rejected_shutdown: int
+    #: Completed answers that came back degraded (deadline shed).
+    shed_degraded: int
+    #: 500s — the engine raised unexpectedly.
+    errors_internal: int
+    #: Jobs waiting in the bounded queue right now.
+    queue_depth: int
+    #: Jobs currently executing on worker threads.
+    in_flight: int
+    #: Seconds since the server started (monotonic clock seam).
+    uptime_s: float
+    #: Time jobs spent queued before a worker picked them up.
+    queue_wait: StageStats
+    #: Worker execution time (engine call, excluding queue wait).
+    handle: StageStats
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form for the ``/stats`` endpoint."""
+        return {
+            "accepted": self.accepted,
+            "completed": self.completed,
+            "rejected": {
+                "queue_full": self.rejected_queue_full,
+                "rate_limited": self.rejected_rate_limited,
+                "invalid": self.rejected_invalid,
+                "shutdown": self.rejected_shutdown,
+            },
+            "shed_degraded": self.shed_degraded,
+            "errors_internal": self.errors_internal,
+            "queue_depth": self.queue_depth,
+            "in_flight": self.in_flight,
+            "uptime_s": round(self.uptime_s, 3),
+            "queue_wait": self.queue_wait.to_dict(),
+            "handle": self.handle.to_dict(),
+        }
+
+
+class ServerCounters:
+    """Thread-safe accumulator behind :class:`ServerStats`.
+
+    Every mutation happens under one lock; :meth:`snapshot` reads a
+    consistent point-in-time view under the same lock, so ``/stats``
+    served mid-flight never shows e.g. ``completed > accepted``.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._accepted = 0
+        self._completed = 0
+        self._rejected_queue_full = 0
+        self._rejected_rate_limited = 0
+        self._rejected_invalid = 0
+        self._rejected_shutdown = 0
+        self._shed_degraded = 0
+        self._errors_internal = 0
+        self._in_flight = 0
+        self._queue_wait = StageAccumulator()
+        self._handle = StageAccumulator()
+
+    def accept(self) -> None:
+        """One request admitted into the queue."""
+        with self._lock:
+            self._accepted += 1
+
+    def reject(self, reason: str) -> None:
+        """One refusal: ``queue_full`` / ``rate_limited`` / ``invalid`` /
+        ``shutdown``."""
+        with self._lock:
+            if reason == "queue_full":
+                self._rejected_queue_full += 1
+            elif reason == "rate_limited":
+                self._rejected_rate_limited += 1
+            elif reason == "invalid":
+                self._rejected_invalid += 1
+            elif reason == "shutdown":
+                self._rejected_shutdown += 1
+            else:
+                raise ValueError(f"unknown rejection reason {reason!r}")
+
+    def start_execution(self, queue_wait_s: float) -> None:
+        """A worker picked a job up after ``queue_wait_s`` in the queue."""
+        with self._lock:
+            self._in_flight += 1
+            self._queue_wait.add(queue_wait_s)
+
+    def finish_execution(
+        self, handle_s: float, degraded: bool, failed: bool
+    ) -> None:
+        """A worker finished a job (successfully or not)."""
+        with self._lock:
+            self._in_flight -= 1
+            self._handle.add(handle_s)
+            if failed:
+                self._errors_internal += 1
+            else:
+                self._completed += 1
+                if degraded:
+                    self._shed_degraded += 1
+
+    def snapshot(self, queue_depth: int, uptime_s: float) -> ServerStats:
+        """One consistent point-in-time view of every counter."""
+        with self._lock:
+            return ServerStats(
+                accepted=self._accepted,
+                completed=self._completed,
+                rejected_queue_full=self._rejected_queue_full,
+                rejected_rate_limited=self._rejected_rate_limited,
+                rejected_invalid=self._rejected_invalid,
+                rejected_shutdown=self._rejected_shutdown,
+                shed_degraded=self._shed_degraded,
+                errors_internal=self._errors_internal,
+                queue_depth=queue_depth,
+                in_flight=self._in_flight,
+                uptime_s=uptime_s,
+                queue_wait=self._queue_wait.snapshot(),
+                handle=self._handle.snapshot(),
+            )

@@ -164,20 +164,29 @@ class WWTService:
 
     # -- the pipeline -----------------------------------------------------
 
-    def _compute(self, query: Query, inference: str) -> WWTAnswer:
+    def _compute(
+        self,
+        query: Query,
+        inference: str,
+        deadline_ms: Optional[float] = None,
+    ) -> WWTAnswer:
         """Run one query through the staged execution engine, uncached
         except for the probe-stage cache.
 
         The plan (``parse -> probe.* -> column_map -> consolidate ->
         rank``) runs under an :class:`~repro.exec.ExecutionContext`
-        carrying the config's ``deadline_ms``/``degraded_ok``; the span
-        tree it records is the source of both the response's
+        carrying the request's ``deadline_ms`` (falling back to the
+        config's) and the config's ``degraded_ok``; the span tree it
+        records is the source of both the response's
         :class:`~repro.pipeline.wwt.QueryTiming` and the service's
         per-stage aggregates.
         """
         algorithm = DEFAULT_REGISTRY.get_algorithm(inference)  # fail fast
         ctx = ExecutionContext(
-            deadline_ms=self.config.deadline_ms,
+            deadline_ms=(
+                deadline_ms if deadline_ms is not None
+                else self.config.deadline_ms
+            ),
             degraded_ok=self.config.degraded_ok,
         )
         state = QueryState(
@@ -261,6 +270,7 @@ class WWTService:
         query: Query,
         name: str,
         use_cache: bool,
+        deadline_ms: Optional[float] = None,
     ) -> tuple:
         """``(served_without_computing, WWTAnswer)`` for one query.
 
@@ -269,23 +279,30 @@ class WWTService:
         collapsing so concurrent identical queries (a batch with repeats)
         compute the pipeline once — followers wait on the leader's future
         and count as served-from-cache.
+
+        The result-cache key deliberately omits ``deadline_ms``: only
+        non-degraded answers are stored, and those are deadline-invariant
+        (bit-identical whatever the budget was).  Single-flight collapsing
+        *does* key on the deadline, so a tightly budgeted request never
+        adopts a degraded answer computed under someone else's SLO.
         """
         if not use_cache:
-            return False, self._compute(query, name)
+            return False, self._compute(query, name, deadline_ms)
         key = (normalized_query_key(query), name)
         hit, cached = self._result_cache.get(key)
         if hit:
             return True, cached
+        flight_key = key + (deadline_ms,)
         with self._lock:
-            future = self._inflight.get(key)
+            future = self._inflight.get(flight_key)
             leader = future is None
             if leader:
                 future = Future()
-                self._inflight[key] = future
+                self._inflight[flight_key] = future
         if not leader:
             return True, future.result()
         try:
-            full = self._compute(query, name)
+            full = self._compute(query, name, deadline_ms)
             if not full.degraded:
                 # Degraded answers are shaped by transient load — serving
                 # them from cache would pin one request's bad luck.
@@ -297,24 +314,26 @@ class WWTService:
             raise
         finally:
             with self._lock:
-                self._inflight.pop(key, None)
+                self._inflight.pop(flight_key, None)
 
     def answer_full(
         self,
         query: Union[Query, str],
         use_cache: bool = True,
         inference: Optional[str] = None,
+        deadline_ms: Optional[float] = None,
     ) -> WWTAnswer:
         """Answer one query, returning the full pipeline artifact.
 
         This is the power-user API (examples, notebooks, debugging) — it
         exposes the probe result, the mapping problem, and the labeling.
-        Serving callers should prefer :meth:`answer`.
+        Serving callers should prefer :meth:`answer`.  ``deadline_ms``
+        overrides the config's budget for this call only.
         """
         if isinstance(query, str):
             query = Query.parse(query)
         name = inference if inference is not None else self.config.inference
-        return self._cached_answer(query, name, use_cache)[1]
+        return self._cached_answer(query, name, use_cache, deadline_ms)[1]
 
     # -- the serving API --------------------------------------------------
 
@@ -328,7 +347,7 @@ class WWTService:
             else self.config.inference
         )
         cache_hit, full = self._cached_answer(
-            request.query, name, request.use_cache
+            request.query, name, request.use_cache, request.deadline_ms
         )
 
         page_size = (

@@ -48,12 +48,19 @@ class QueryRequest:
     use_cache: bool = True
     #: Per-request inference override; ``None`` uses the config's choice.
     inference: Optional[str] = None
+    #: Per-request wall-clock budget in milliseconds, overriding the
+    #: config's ``deadline_ms`` — the serving layer's SLO knob.  The
+    #: execution engine sheds work once it expires (see DESIGN.md,
+    #: "Execution engine"); ``None`` falls back to the config.
+    deadline_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.page < 1:
             raise ValueError("page is 1-based and must be >= 1")
         if self.page_size is not None and self.page_size < 1:
             raise ValueError("page_size must be >= 1")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError("deadline_ms must be > 0 (None uses the config)")
 
     @classmethod
     def parse(cls, text: str, **options: Any) -> QueryRequest:

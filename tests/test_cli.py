@@ -1,6 +1,12 @@
 """Tests for the command-line interface."""
 
 import io
+import json
+import re
+import signal
+import subprocess
+import sys
+from pathlib import Path
 
 import pytest
 
@@ -301,3 +307,100 @@ class TestIndexCommands:
             out=out,
         ) == 0
         assert "--scale/--seed" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8080
+        assert args.workers == 4
+        assert args.queue_depth == 64
+        assert args.rate_limit is None
+        assert args.burst == 10
+        assert args.deadline_ms is None
+
+    def test_build_server_wires_flags_through(self):
+        from repro.cli import _build_server
+
+        args = build_parser().parse_args(
+            ["serve", "--scale", "0.02", "--port", "0", "--workers", "2",
+             "--queue-depth", "5", "--rate-limit", "9.5", "--burst", "3",
+             "--deadline-ms", "250"]
+        )
+        server = _build_server(args)
+        config = server.config
+        assert config.port == 0
+        assert config.workers == 2
+        assert config.queue_depth == 5
+        assert config.rate_limit == 9.5
+        assert config.rate_burst == 3
+        assert config.default_deadline_ms == 250
+
+    def test_serve_loopback_round_trip(self):
+        """Start the built server in-process and query it over a socket."""
+        from repro.cli import _build_server
+        from repro.serve import ServeClient
+
+        args = build_parser().parse_args(
+            ["serve", "--scale", "0.02", "--port", "0", "--workers", "2"]
+        )
+        server = _build_server(args).start()
+        try:
+            with ServeClient(server.host, server.port) as client:
+                status, _, body = client.healthz()
+                assert status == 200 and body["status"] == "ok"
+                status, _, body = client.query(
+                    {"query": "country | currency"}
+                )
+                assert status == 200
+                assert body["answer"]["header"]
+                assert body["serving"]["cache_hit"] is False
+        finally:
+            server.shutdown()
+
+    def test_invalid_serve_flags_are_cli_errors(self, capsys):
+        code = main(
+            ["serve", "--scale", "0.02", "--port", "0", "--workers", "0"],
+            out=io.StringIO(),
+        )
+        assert code == 2
+        assert "workers" in capsys.readouterr().err
+
+    def test_serve_subprocess_sigint_drains_and_exits_zero(self):
+        """The README flow: start `repro serve`, query it, Ctrl-C it."""
+        import http.client
+
+        repo_src = Path(__file__).resolve().parent.parent / "src"
+        proc = subprocess.Popen(
+            [sys.executable, "-u", "-m", "repro", "serve", "--port", "0",
+             "--scale", "0.02"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            env={"PYTHONPATH": str(repo_src), "PATH": "/usr/bin:/bin"},
+        )
+        try:
+            banner = proc.stdout.readline()
+            match = re.search(r"http://([\d.]+):(\d+)", banner)
+            assert match, f"no serving banner in {banner!r}"
+            host, port = match.group(1), int(match.group(2))
+            conn = http.client.HTTPConnection(host, port, timeout=60)
+            conn.request("GET", "/healthz")
+            reply = conn.getresponse()
+            assert reply.status == 200
+            reply.read()
+            conn.request(
+                "POST", "/query",
+                body=json.dumps({"query": "dog breed"}).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+            )
+            reply = conn.getresponse()
+            body = json.loads(reply.read())
+            assert reply.status == 200
+            assert "answer" in body and "serving" in body
+            conn.close()
+        finally:
+            proc.send_signal(signal.SIGINT)
+            returncode = proc.wait(timeout=60)
+        assert returncode == 0
+        assert "shutting down" in proc.stdout.read()

@@ -17,6 +17,7 @@ GATED = [
     str(REPO_ROOT / "src" / "repro" / "service"),
     str(REPO_ROOT / "src" / "repro" / "index"),
     str(REPO_ROOT / "src" / "repro" / "exec"),
+    str(REPO_ROOT / "src" / "repro" / "serve"),
     str(REPO_ROOT / "src" / "repro" / "cli.py"),
 ]
 
@@ -33,14 +34,17 @@ class TestDocstringGate:
         """The headline APIs carry example-bearing docstrings (`::` blocks)."""
         import repro.cli
         import repro.exec
+        import repro.serve
         from repro.exec import ExecutionContext, ExecutionPlan
         from repro.index import JournaledCorpus, ShardedCorpus, load_corpus
         from repro.index.protocol import CorpusProtocol
+        from repro.serve import ReproServer, ServeClient, ServeConfig
         from repro.service import EngineConfig, WWTService
 
         for obj in (WWTService, EngineConfig, ShardedCorpus,
                     JournaledCorpus, CorpusProtocol, load_corpus, repro.cli,
-                    repro.exec, ExecutionContext, ExecutionPlan):
+                    repro.exec, ExecutionContext, ExecutionPlan,
+                    repro.serve, ReproServer, ServeConfig, ServeClient):
             doc = obj.__doc__ or ""
             assert "::" in doc, f"{obj!r} docstring has no example block"
 

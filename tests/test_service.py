@@ -323,9 +323,9 @@ class TestWWTService:
         computations = []
         original = service._compute
 
-        def counting_compute(query, name):
+        def counting_compute(query, name, deadline_ms=None):
             computations.append(str(query))
-            return original(query, name)
+            return original(query, name, deadline_ms)
 
         service._compute = counting_compute
         responses = service.answer_batch(["country | currency"] * 4,
