@@ -1,12 +1,22 @@
 # Convenience targets; everything also runs as the plain commands shown.
 PYTHONPATH := src
 
-.PHONY: test lint reprolint typecheck check docs docs-coverage \
+.PHONY: test coverage lint reprolint typecheck check docs docs-coverage \
 	bench-incremental bench-shards bench-hotpath bench-exec \
 	bench-serving
 
 test:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest -x -q
+
+# Branch coverage over repro.index + the stdlib gate (tools/coverage_gate:
+# package line floor, binfmt.py at 100% branch). Needs `pip install
+# pytest-cov` (the `cov` extra; CI's coverage job installs it).
+coverage:
+	@python -c "import pytest_cov" 2>/dev/null || \
+		{ echo "pytest-cov is not installed: pip install pytest-cov"; exit 1; }
+	PYTHONPATH=$(PYTHONPATH) python -m pytest -q \
+		--cov=repro.index --cov-branch --cov-report=xml --cov-report=term
+	python tools/coverage_gate.py coverage.xml
 
 # Lint gate (rule set pinned in pyproject.toml). Needs `pip install ruff`
 # (the CI lint job installs it; the runtime itself stays stdlib-only).

@@ -13,11 +13,23 @@ Builds one synthetic corpus, then for each shard count measures:
 and emits a machine-readable ``BENCH_shard_scaling.json`` so every PR
 records a perf datapoint (CI runs ``--smoke`` and uploads the artifact).
 
+``--tables N`` switches the corpus source from the HTML extraction
+pipeline to :func:`~repro.corpus.generator.iter_synthetic_tables` and
+adds a **format sweep** per shard count: the corpus is streamed to disk
+(``build_corpus_stream``, O(shard) memory), persisted in both the v2
+JSON and v3 binary layouts, and the sweep records save/load wall-clock
+for each, the v3 lazy-open + first-probe cost, and — the correctness
+gate — whether the 59-query workload ranks **bit-identically** across
+the two formats.  This is the 10^5-table datapoint ROADMAP item 2 asks
+for; the v3 ``load_ratio_json_over_bin`` is the headline win.
+
 Run standalone (no pytest)::
 
     PYTHONPATH=src python benchmarks/bench_shard_scaling.py --smoke
     PYTHONPATH=src python benchmarks/bench_shard_scaling.py \
         --scale 1.0 --shards 1 2 4 8 --out results/BENCH_shard_scaling.json
+    PYTHONPATH=src python benchmarks/bench_shard_scaling.py \
+        --tables 100000 --shards 1 4 16
 """
 
 from __future__ import annotations
@@ -34,8 +46,16 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.corpus.generator import CorpusConfig, generate_corpus  # noqa: E402
-from repro.index import build_corpus_index, load_corpus  # noqa: E402
+from repro.corpus.generator import (  # noqa: E402
+    CorpusConfig,
+    generate_corpus,
+    iter_synthetic_tables,
+)
+from repro.index import (  # noqa: E402
+    build_corpus_index,
+    build_corpus_stream,
+    load_corpus,
+)
 from repro.pipeline.probe import ProbeConfig, two_stage_probe  # noqa: E402
 from repro.query.workload import WORKLOAD  # noqa: E402
 
@@ -74,6 +94,83 @@ def build_one(tables, num_shards, probe_workers):
         "save_s": round(save_s, 4),
         "load_s": round(load_s, 4),
         "size_kib": round(size_bytes / 1024.0, 1),
+    }
+
+
+def build_format_pair(args, num_shards, workdir, rank_queries):
+    """Stream one corpus to disk and compare the v2/v3 persistence paths.
+
+    Builds once (streamed, v3), then re-persists the loaded corpus as v2
+    JSON so both formats hold the *same* index, and measures each side's
+    save/load/first-probe wall-clock plus the 59-query ranking identity.
+    Returns ``(v3_loaded_corpus, metrics_row)``.
+    """
+    bin_dir = workdir / f"bin-{num_shards}"
+    json_dir = workdir / f"json-{num_shards}"
+
+    t0 = time.perf_counter()
+    build_corpus_stream(
+        iter_synthetic_tables(args.tables, seed=args.seed),
+        bin_dir, num_shards=num_shards, index_format="bin",
+    )
+    build_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    corpus_bin = load_corpus(
+        bin_dir, probe_workers=args.probe_workers, mutable=False
+    )
+    load_bin_s = time.perf_counter() - t0
+    first_tokens = rank_queries[0].all_tokens()
+    t0 = time.perf_counter()
+    corpus_bin.search(first_tokens, limit=60)
+    first_probe_bin_ms = (time.perf_counter() - t0) * 1000.0
+
+    t0 = time.perf_counter()
+    corpus_bin.save(json_dir, index_format="json")
+    save_json_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    corpus_json = load_corpus(
+        json_dir, probe_workers=args.probe_workers, mutable=False
+    )
+    load_json_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    corpus_json.search(first_tokens, limit=60)
+    first_probe_json_ms = (time.perf_counter() - t0) * 1000.0
+
+    rankings_match = True
+    for query in rank_queries:
+        tokens = query.all_tokens()
+        got_bin = [
+            (h.doc_id, h.score) for h in corpus_bin.search(tokens, limit=60)
+        ]
+        got_json = [
+            (h.doc_id, h.score) for h in corpus_json.search(tokens, limit=60)
+        ]
+        if got_bin != got_json:
+            rankings_match = False
+            print(f"  RANKING MISMATCH shards={num_shards} "
+                  f"query={query.keywords}", file=sys.stderr)
+    if hasattr(corpus_json, "close"):
+        corpus_json.close()
+
+    def dir_kib(path):
+        total = sum(f.stat().st_size for f in path.rglob("*") if f.is_file())
+        return round(total / 1024.0, 1)
+
+    return corpus_bin, {
+        "num_shards": num_shards,
+        "build_s": round(build_s, 4),
+        "save_json_s": round(save_json_s, 4),
+        "load_bin_s": round(load_bin_s, 6),
+        "load_json_s": round(load_json_s, 4),
+        "load_ratio_json_over_bin": round(
+            load_json_s / max(load_bin_s, 1e-9), 1
+        ),
+        "first_probe_bin_ms": round(first_probe_bin_ms, 3),
+        "first_probe_json_ms": round(first_probe_json_ms, 3),
+        "size_bin_kib": dir_kib(bin_dir),
+        "size_json_kib": dir_kib(json_dir),
+        "rankings_match_json": rankings_match,
     }
 
 
@@ -120,6 +217,10 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scale", type=float, default=None,
                         help="corpus scale factor (default 1.0)")
+    parser.add_argument("--tables", type=int, default=None,
+                        help="use iter_synthetic_tables at this table count "
+                             "(streamed v3 build) and add the v2-vs-v3 "
+                             "format sweep; overrides --scale")
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--shards", type=int, nargs="+", default=None,
                         help="shard counts to sweep (default: 1 2 4 8)")
@@ -143,43 +244,82 @@ def main(argv=None) -> int:
                                     / "BENCH_shard_scaling.json"))
     args = parser.parse_args(argv)
 
-    # --smoke only fills options the user left unset.
+    # --smoke only fills options the user left unset.  The --tables mode
+    # caps latency-probe queries at 12 by default (two_stage_probe at 10^5
+    # tables is seconds-scale); the ranking-identity check always runs the
+    # full workload regardless.
     smoke_defaults = (0.15, [1, 2, 4], 16, 5)
     full_defaults = (1.0, [1, 2, 4, 8], None, 3)
-    for name, value in zip(
-        ("scale", "shards", "queries", "reps"),
-        smoke_defaults if args.smoke else full_defaults,
-    ):
+    tables_defaults = (None, [1, 4, 16], 12, 2)
+    if args.tables is not None:
+        defaults = tables_defaults
+    elif args.smoke:
+        defaults = smoke_defaults
+    else:
+        defaults = full_defaults
+    for name, value in zip(("scale", "shards", "queries", "reps"), defaults):
         if getattr(args, name) is None:
             setattr(args, name, value)
 
-    print(f"generating corpus (scale={args.scale}, seed={args.seed})...",
-          flush=True)
-    t0 = time.perf_counter()
-    synthetic = generate_corpus(CorpusConfig(seed=args.seed, scale=args.scale))
-    tables = list(synthetic.corpus.store)
-    generate_s = time.perf_counter() - t0
     queries = [wq.query for wq in WORKLOAD[: args.queries]]
-    print(f"  {len(tables)} tables in {generate_s:.1f}s; "
-          f"probing {len(queries)} queries x {args.reps} reps", flush=True)
-
     corpora, results = {}, []
-    try:
-        for k in args.shards:
-            corpora[k], row = build_one(tables, k, args.probe_workers)
-            results.append(row)
-        latencies = probe_all(corpora, queries, args.reps)
-    finally:
-        for loaded in corpora.values():
-            if hasattr(loaded, "close"):
-                loaded.close()
+    if args.tables is not None:
+        rank_queries = [wq.query for wq in WORKLOAD]
+        print(f"format sweep: {args.tables} synthetic tables "
+              f"(seed={args.seed}), shards {args.shards}; ranking identity "
+              f"over {len(rank_queries)} queries", flush=True)
+        with tempfile.TemporaryDirectory(prefix="bench_binfmt_") as tmp:
+            try:
+                for k in args.shards:
+                    corpora[k], row = build_format_pair(
+                        args, k, Path(tmp), rank_queries
+                    )
+                    results.append(row)
+                    print(f"  shards={k}: build {row['build_s']:.1f}s "
+                          f"save-json {row['save_json_s']:.1f}s "
+                          f"load bin {row['load_bin_s'] * 1000:.1f}ms "
+                          f"vs json {row['load_json_s']:.1f}s "
+                          f"({row['load_ratio_json_over_bin']:.0f}x) "
+                          f"first probe {row['first_probe_bin_ms']:.0f}ms "
+                          f"match={row['rankings_match_json']}", flush=True)
+                latencies = probe_all(corpora, queries, args.reps)
+            finally:
+                for loaded in corpora.values():
+                    if hasattr(loaded, "close"):
+                        loaded.close()
+        if not all(r["rankings_match_json"] for r in results):
+            print("ERROR: v3 rankings diverge from v2", file=sys.stderr)
+            return 1
+    else:
+        print(f"generating corpus (scale={args.scale}, seed={args.seed})...",
+              flush=True)
+        t0 = time.perf_counter()
+        synthetic = generate_corpus(
+            CorpusConfig(seed=args.seed, scale=args.scale)
+        )
+        tables = list(synthetic.corpus.store)
+        generate_s = time.perf_counter() - t0
+        print(f"  {len(tables)} tables in {generate_s:.1f}s; "
+              f"probing {len(queries)} queries x {args.reps} reps",
+              flush=True)
+        try:
+            for k in args.shards:
+                corpora[k], row = build_one(tables, k, args.probe_workers)
+                results.append(row)
+            latencies = probe_all(corpora, queries, args.reps)
+        finally:
+            for loaded in corpora.values():
+                if hasattr(loaded, "close"):
+                    loaded.close()
     for row in results:
         row.update(latencies[row["num_shards"]])
-        print(f"  shards={row['num_shards']}: build {row['build_s']:.2f}s "
-              f"load {row['load_s']:.2f}s "
-              f"search p50 {row['search_p50_ms']:.2f}ms "
-              f"probe p50 {row['probe_p50_ms']:.1f}ms "
-              f"p95 {row['probe_p95_ms']:.1f}ms", flush=True)
+        if args.tables is None:
+            print(f"  shards={row['num_shards']}: "
+                  f"build {row['build_s']:.2f}s "
+                  f"load {row['load_s']:.2f}s "
+                  f"search p50 {row['search_p50_ms']:.2f}ms "
+                  f"probe p50 {row['probe_p50_ms']:.1f}ms "
+                  f"p95 {row['probe_p95_ms']:.1f}ms", flush=True)
 
     # Baseline is the 1-shard row when swept, else the smallest shard count
     # — named explicitly in the output so the ratio is never mislabeled.
@@ -198,7 +338,16 @@ def main(argv=None) -> int:
         "config": {
             "scale": args.scale,
             "seed": args.seed,
-            "num_tables": len(tables),
+            "num_tables": (
+                args.tables if args.tables is not None else len(tables)
+            ),
+            "corpus_source": (
+                "iter_synthetic_tables" if args.tables is not None
+                else "generate_corpus"
+            ),
+            "index_format": (
+                "bin-vs-json" if args.tables is not None else "bin"
+            ),
             "num_queries": len(queries),
             "reps": args.reps,
             "probe_workers": args.probe_workers,

@@ -115,6 +115,18 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--num-shards", type=int, default=None,
                        help="hash-partition across N shards "
                             "(default: monolithic single index)")
+    build.add_argument("--format", choices=("json", "bin"), default="bin",
+                       help="shard snapshot format: 'bin' (version-3 "
+                            "binary columnar, mmap'd + lazily loaded; the "
+                            "default) or 'json' (version-2 layout)")
+    build.add_argument("--tables", type=int, default=None, metavar="N",
+                       help="build from N fast synthetic tables (zipfian "
+                            "sizes, domain mixing) streamed straight to "
+                            "disk in O(shard) memory, instead of the "
+                            "HTML-extraction corpus shaped by --scale")
+    build.add_argument("--stream", action="store_true",
+                       help="stream the extraction corpus to disk in "
+                            "O(shard) memory (implied by --tables)")
     add = isub.add_parser(
         "add", help="generate fresh tables and journal them into a corpus"
     )
@@ -132,6 +144,10 @@ def build_parser() -> argparse.ArgumentParser:
         "compact", help="fold the journal into fresh shard snapshots"
     )
     compact.add_argument("path", metavar="DIR", help="corpus directory")
+    compact.add_argument("--format", choices=("json", "bin"), default="bin",
+                         help="snapshot format to rewrite in (default "
+                              "'bin'; compacting a version-2 directory "
+                              "upgrades it)")
     info = isub.add_parser("info", help="describe a persisted corpus")
     info.add_argument("path", metavar="DIR", help="corpus directory")
 
@@ -303,6 +319,35 @@ def _cmd_corpus(args: argparse.Namespace, out: TextIO) -> int:
 
 def _cmd_index(args: argparse.Namespace, out: TextIO) -> int:
     if args.index_command == "build":
+        kind = "monolithic" if args.num_shards is None else (
+            f"{args.num_shards}-shard"
+        )
+        if args.tables is not None or args.stream:
+            # Streaming build: tables go straight to the staged shard
+            # files, one shard in memory at a time (build_corpus_stream);
+            # counts come from the written manifest, not a reload.
+            from .corpus.generator import iter_synthetic_tables, iter_tables
+            from .index.builder import build_corpus_stream
+
+            tables = (
+                iter_synthetic_tables(args.tables, seed=args.seed)
+                if args.tables is not None
+                else iter_tables(CorpusConfig(seed=args.seed,
+                                              scale=args.scale))
+            )
+            t0 = wall_clock()
+            build_corpus_stream(
+                tables, args.out, num_shards=args.num_shards,
+                index_format=args.format,
+            )
+            build_s = wall_clock() - t0
+            manifest = read_manifest(args.out)
+            print(
+                f"{manifest['num_tables']} tables -> {kind} corpus at "
+                f"{args.out} (format {args.format}, streamed)", file=out,
+            )
+            print(f"stream+index+persist {build_s:.2f}s", file=out)
+            return 0
         t0 = wall_clock()
         synthetic = generate_corpus(
             CorpusConfig(seed=args.seed, scale=args.scale),
@@ -311,11 +356,8 @@ def _cmd_index(args: argparse.Namespace, out: TextIO) -> int:
         corpus = synthetic.corpus
         generate_s = wall_clock() - t0
         t0 = wall_clock()
-        corpus.save(args.out)
+        corpus.save(args.out, index_format=args.format)
         persist_s = wall_clock() - t0
-        kind = "monolithic" if args.num_shards is None else (
-            f"{args.num_shards}-shard"
-        )
         print(f"{corpus.num_tables} tables -> {kind} corpus at {args.out}",
               file=out)
         if args.num_shards is not None:
@@ -350,7 +392,7 @@ def _cmd_index(args: argparse.Namespace, out: TextIO) -> int:
 
         with load_corpus(args.path) as corpus:
             t0 = wall_clock()
-            folded = corpus.compact()
+            folded = corpus.compact(index_format=args.format)
             compact_s = wall_clock() - t0
             print(f"folded {folded} journal records into fresh snapshots "
                   f"at {args.path} in {compact_s:.2f}s", file=out)
@@ -374,7 +416,14 @@ def _cmd_index(args: argparse.Namespace, out: TextIO) -> int:
         f.stat().st_size for f in Path(args.path).rglob("*") if f.is_file()
     )
     for entry in manifest["shards"]:
-        print(f"  {entry['dir']}: {entry['num_tables']} tables", file=out)
+        detail = ""
+        if "index_bytes" in entry:
+            detail = (
+                f", index {entry['index_bytes']} bytes "
+                f"(crc32 {entry['index_crc32']:#010x})"
+            )
+        print(f"  {entry['dir']}: {entry['num_tables']} tables{detail}",
+              file=out)
     print(f"size on disk: {total_bytes / 1024:.0f} KiB", file=out)
     return 0
 

@@ -9,6 +9,7 @@ extraction noise, not hand-built fixtures.
 
 from __future__ import annotations
 
+import bisect
 import random
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
@@ -17,12 +18,18 @@ from ..html.parser import parse_html
 from ..index.builder import build_corpus_index
 from ..index.protocol import CorpusProtocol
 from ..tables.extractor import ExtractionCensus, extract_tables
-from ..tables.table import WebTable
+from ..tables.table import ContextSnippet, WebTable
 from .domains import REGISTRY, Domain
 from .groundtruth import TableProvenance
 from .pages import GeneratedPage, render_page
 
-__all__ = ["CorpusConfig", "SyntheticCorpus", "generate_corpus", "iter_tables"]
+__all__ = [
+    "CorpusConfig",
+    "SyntheticCorpus",
+    "generate_corpus",
+    "iter_synthetic_tables",
+    "iter_tables",
+]
 
 
 @dataclass(frozen=True)
@@ -148,6 +155,101 @@ def iter_tables(
     yield from _extracted_tables(
         config, registry, ExtractionCensus(), id_prefix=id_prefix
     )
+
+
+def _zipf_cumweights(n: int, s: float) -> List[float]:
+    """Cumulative Zipf(s) weights over ranks 1..n (for bisect sampling)."""
+    acc = 0.0
+    out: List[float] = []
+    for rank in range(1, n + 1):
+        acc += 1.0 / rank ** s
+        out.append(acc)
+    return out
+
+
+def iter_synthetic_tables(
+    num_tables: int,
+    seed: int = 42,
+    registry: Optional[Dict[str, Domain]] = None,
+    id_prefix: str = "syn-",
+    mix_prob: float = 0.12,
+    zipf_s: float = 1.07,
+    max_rows: int = 48,
+) -> Iterator[WebTable]:
+    """Stream ``num_tables`` synthetic tables at web-corpus scale.
+
+    The HTML round-trip of :func:`iter_tables` makes every table cost a
+    full render+parse+extract — right for fidelity, far too slow for the
+    10^5–10^6 table range the paper's engine targets.  This path builds
+    :class:`WebTable` objects directly from the same domain wordbanks,
+    with the skew a crawl shows instead of the registry's hand-set page
+    counts:
+
+    - **Zipfian domain popularity** with exponent ``zipf_s`` over a
+      seeded shuffle of the registry (a handful of head domains dominate,
+      the tail thins out — mirroring content popularity on the web);
+    - **Zipfian table sizes**: body row counts follow the same law,
+      scaled into ``[2, max_rows]``, so most tables are short and a few
+      are long;
+    - **domain mixing**: with probability ``mix_prob`` a table's context
+      sentence names a *different* domain's topic, the off-topic noise
+      that makes relevance non-trivial.
+
+    Tables stream one at a time — O(1) memory, ready for
+    :func:`~repro.index.builder.build_corpus_stream`.  The stream is a
+    pure function of its arguments (seeded ``random.Random``), so two
+    runs produce identical corpora — which is what lets benchmarks
+    compare formats on "the same" 10^5-table corpus without storing it.
+    """
+    if num_tables < 0:
+        raise ValueError("num_tables must be >= 0")
+    registry = registry if registry is not None else REGISTRY
+    rng = random.Random(seed)
+    domains = [registry[k] for k in sorted(registry)]
+    rng.shuffle(domains)
+    dom_cum = _zipf_cumweights(len(domains), zipf_s)
+    dom_total = dom_cum[-1]
+    size_cum = _zipf_cumweights(max(1, max_rows - 1), zipf_s)
+    size_total = size_cum[-1]
+    topics = [d.topic_phrase for d in domains]
+    for i in range(num_tables):
+        domain = domains[
+            bisect.bisect_left(dom_cum, rng.random() * dom_total)
+        ]
+        num_rows = 2 + bisect.bisect_left(
+            size_cum, rng.random() * size_total
+        )
+        picked = [
+            (c, a) for c, a in enumerate(domain.attributes)
+            if a.presence >= 1.0 or rng.random() < a.presence
+        ]
+        if not picked:
+            picked = [(0, domain.attributes[0])]
+        cols = [c for c, _ in picked]
+        attrs = [a for _, a in picked]
+        header = [
+            rng.choice(a.vague_headers)
+            if a.vague_headers and rng.random() < domain.vague_prob
+            else rng.choice(a.headers)
+            for a in attrs
+        ]
+        rows = [
+            [domain.rows[rng.randrange(len(domain.rows))][c] for c in cols]
+            for _ in range(num_rows)
+        ]
+        topic = domain.topic_phrase
+        if len(topics) > 1 and rng.random() < mix_prob:
+            other = rng.choice(topics)
+            if other != domain.topic_phrase:
+                topic = f"{topic} {other}"
+        yield WebTable.from_rows(
+            rows,
+            header=header,
+            table_id=f"{id_prefix}{i}",
+            context=[ContextSnippet(topic)],
+            page_title=domain.page_title,
+            url=f"http://synth.example/{domain.key}/{i}",
+        )
 
 
 def generate_corpus(

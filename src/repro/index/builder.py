@@ -11,18 +11,40 @@ Ties the offline half of Figure 2 together: given :class:`WebTable` objects
 alternatively produce a hash-partitioned
 :class:`~repro.index.sharded.ShardedCorpus` (``num_shards=``) and persist
 either kind to a directory (``save=``) for O(read) reloads.
+
+Persisted shards come in two formats, selected by ``index_format``:
+``"bin"`` (the default; manifest ``version: 3``) writes the
+:mod:`repro.index.binfmt` binary columnar snapshot that loads through
+``mmap`` and supports lazy per-shard materialization, while ``"json"``
+(manifest ``version: 2``) keeps the PR 2 JSON snapshot.  Both versions
+load through the same entry points.  :func:`build_corpus_stream` is the
+O(shard)-memory streaming builder for corpora that don't fit in RAM at
+once.
 """
 
 from __future__ import annotations
 
 import json
+import shutil
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from ..tables.table import WebTable
 from ..text.tfidf import TermStatistics
 from ..text.tokenize import tokenize
+from .binfmt import SHARD_BIN_FILE, read_index_bin, write_index_bin
 from .inverted import FIELD_BOOSTS, InvertedIndex, SearchHit
 from .store import TableStore
 
@@ -30,16 +52,31 @@ __all__ = [
     "IndexedCorpus",
     "analyze_table",
     "build_corpus_index",
+    "build_corpus_stream",
     "INDEX_FORMAT",
     "INDEX_VERSION",
+    "JSON_INDEX_VERSION",
+    "SUPPORTED_VERSIONS",
+    "DEFAULT_INDEX_FORMAT",
 ]
 
 #: Manifest ``format`` marker of the persisted corpus directory layout.
 INDEX_FORMAT = "repro-index"
-#: Manifest ``version``; bump on incompatible layout changes.  Version 2
-#: added the ``journal_seq`` manifest key and per-shard write-ahead
-#: journals (see DESIGN.md, "On-disk corpus format, version 2").
-INDEX_VERSION = 2
+#: Current manifest ``version`` written by default.  Version 2 added the
+#: ``journal_seq`` manifest key and per-shard write-ahead journals; version
+#: 3 switched shard snapshots to the binary columnar format of
+#: :mod:`repro.index.binfmt` with per-shard byte lengths + CRC-32 checksums
+#: in the manifest (see DESIGN.md, "On-disk corpus format").
+INDEX_VERSION = 3
+#: The JSON-snapshot manifest version (still fully readable and writable).
+JSON_INDEX_VERSION = 2
+#: Manifest versions this build can load.
+SUPPORTED_VERSIONS = (2, 3)
+#: Default shard snapshot format for new saves.
+DEFAULT_INDEX_FORMAT = "bin"
+#: Shard snapshot format <-> manifest version (one determines the other).
+_FORMAT_VERSIONS: Dict[str, int] = {"json": JSON_INDEX_VERSION, "bin": INDEX_VERSION}
+_VERSION_FORMATS: Dict[int, str] = {v: f for f, v in _FORMAT_VERSIONS.items()}
 
 #: File names inside a persisted corpus directory (see DESIGN.md).
 MANIFEST_FILE = "manifest.json"
@@ -63,6 +100,11 @@ class IndexedCorpus:
     def num_tables(self) -> int:
         """Number of tables in the corpus."""
         return len(self.store)
+
+    @property
+    def boosts(self) -> Dict[str, float]:
+        """Field boosts of the underlying index (copy)."""
+        return dict(self.index.boosts)
 
     # -- CorpusProtocol --------------------------------------------------------
 
@@ -105,22 +147,28 @@ class IndexedCorpus:
     def __contains__(self, table_id: str) -> bool:
         return table_id in self.store
 
-    def __iter__(self) -> Iterator[str]:
+    def __iter__(self) -> Iterator[WebTable]:
         return iter(self.store)
 
     # -- persistence -----------------------------------------------------------
 
-    def save(self, path: Union[str, Path]) -> Path:
+    def save(
+        self,
+        path: Union[str, Path],
+        index_format: str = DEFAULT_INDEX_FORMAT,
+    ) -> Path:
         """Persist to a directory (manifest + one shard snapshot).
 
         The layout is the single-shard case of the sharded layout, so a
         monolithic corpus and a ``ShardedCorpus`` share one on-disk format
         (and one writer, :func:`save_corpus_dir`);
         ``repro.index.sharded.load_corpus`` dispatches on the manifest's
-        ``kind``.
+        ``kind``.  ``index_format`` selects the shard snapshot format
+        (``"bin"`` by default, ``"json"`` for the version-2 layout).
         """
         return save_corpus_dir(
-            path, [(self.index, self.store)], self.stats, kind="monolithic"
+            path, [(self.index, self.store)], self.stats, kind="monolithic",
+            index_format=index_format,
         )
 
     @classmethod
@@ -146,44 +194,87 @@ class IndexedCorpus:
         if not ignore_journal:
             _refuse_unfolded_journal(path, manifest)
         stats = load_stats(path)
-        index, store = _load_shard(path / manifest["shards"][0]["dir"])
+        entry = manifest["shards"][0]
+        index, store = _load_shard(
+            path / entry["dir"], version=manifest["version"], entry=entry
+        )
         return cls(index=index, store=store, stats=stats)
 
 
 # -- shared persistence helpers (used by ShardedCorpus too) --------------------
 
 
-def _save_shard(shard_dir: Path, index: InvertedIndex, store: TableStore) -> None:
-    """Write one shard's index snapshot + table store under ``shard_dir``."""
+def _write_shard_index(
+    shard_dir: Path, index: InvertedIndex, index_format: str
+) -> Dict[str, Any]:
+    """Write one shard's index snapshot; returns extra manifest-entry keys.
+
+    ``"json"`` writes the version-2 ``index.json`` (no extras); ``"bin"``
+    writes the version-3 ``index.bin`` and returns its byte length and
+    CRC-32, which the manifest records so a lazy load can verify the
+    snapshot before materializing it.
+    """
+    if index_format == "json":
+        (shard_dir / SHARD_INDEX_FILE).write_text(
+            json.dumps(index.to_dict()), encoding="utf-8"
+        )
+        return {}
+    nbytes, crc = write_index_bin(shard_dir / SHARD_BIN_FILE, index)
+    return {"index_bytes": nbytes, "index_crc32": crc}
+
+
+def _save_shard(
+    shard_dir: Path,
+    index: InvertedIndex,
+    store: TableStore,
+    index_format: str = DEFAULT_INDEX_FORMAT,
+) -> Dict[str, Any]:
+    """Write one shard's index snapshot + table store under ``shard_dir``.
+
+    Returns the extra manifest-entry keys of :func:`_write_shard_index`.
+    """
     shard_dir.mkdir(parents=True, exist_ok=True)
-    (shard_dir / SHARD_INDEX_FILE).write_text(
-        json.dumps(index.to_dict()), encoding="utf-8"
-    )
+    extras = _write_shard_index(shard_dir, index, index_format)
     store.save(shard_dir / SHARD_TABLES_FILE)
+    return extras
 
 
-def _load_shard(shard_dir: Path) -> tuple:
+def _load_shard(
+    shard_dir: Path,
+    version: int = JSON_INDEX_VERSION,
+    entry: Optional[Dict[str, Any]] = None,
+) -> Tuple[InvertedIndex, TableStore]:
     """Read one shard written by :func:`_save_shard`.
 
-    Corrupt snapshots (truncated writes, hand edits) surface as
+    ``version`` selects the snapshot decoder (2 = ``index.json``,
+    3 = ``index.bin``); a version-3 ``entry`` supplies the manifest's
+    recorded byte length and CRC-32 for pre-decode verification.  Corrupt
+    snapshots (truncated writes, hand edits, flipped bytes) surface as
     ``ValueError`` naming the file — matching ``TableStore.load`` and
     :func:`read_manifest` — so the CLI reports them as errors, not
     tracebacks.
     """
-    index_path = shard_dir / SHARD_INDEX_FILE
-    try:
-        index = InvertedIndex.from_dict(
-            json.loads(index_path.read_text(encoding="utf-8"))
+    if version == JSON_INDEX_VERSION:
+        index_path = shard_dir / SHARD_INDEX_FILE
+        try:
+            index = InvertedIndex.from_dict(
+                json.loads(index_path.read_text(encoding="utf-8"))
+            )
+        except (json.JSONDecodeError, KeyError, TypeError, AttributeError) as exc:
+            raise ValueError(
+                f"{index_path}: corrupt index snapshot: {exc!r}"
+            ) from exc
+    else:
+        index = read_index_bin(
+            shard_dir / SHARD_BIN_FILE,
+            expected_bytes=None if entry is None else int(entry["index_bytes"]),
+            expected_crc32=None if entry is None else int(entry["index_crc32"]),
         )
-    except (json.JSONDecodeError, KeyError, TypeError, AttributeError) as exc:
-        raise ValueError(
-            f"{index_path}: corrupt index snapshot: {exc!r}"
-        ) from exc
     store = TableStore.load(shard_dir / SHARD_TABLES_FILE)
     return index, store
 
 
-def journal_paths(path: Union[str, Path], manifest: dict) -> List[Path]:
+def journal_paths(path: Union[str, Path], manifest: Dict[str, Any]) -> List[Path]:
     """Existing, non-empty per-shard journal files of a corpus directory.
 
     Compaction replaces the whole directory (journals included), so any
@@ -199,7 +290,7 @@ def journal_paths(path: Union[str, Path], manifest: dict) -> List[Path]:
     return out
 
 
-def _refuse_unfolded_journal(path: Path, manifest: dict) -> None:
+def _refuse_unfolded_journal(path: Path, manifest: Dict[str, Any]) -> None:
     """Raise if a snapshot-only loader would drop journaled mutations."""
     pending = journal_paths(path, manifest)
     if pending:
@@ -224,12 +315,95 @@ def load_stats(path: Path) -> TermStatistics:
         ) from exc
 
 
+class _SaveTransaction:
+    """The crash-safe directory swap underlying every corpus save.
+
+    Everything (manifest last) goes into a temporary sibling directory
+    which :meth:`finish` swaps into place, so an interrupted save never
+    destroys an existing corpus at ``path`` and never leaves a
+    half-written one behind — at worst the temp/backup sibling remains
+    for manual cleanup.  Stale shards from a previous save can't survive
+    either, since the directory is replaced wholesale.
+
+    :func:`save_corpus_dir` drives it for in-memory corpora;
+    :func:`build_corpus_stream` drives it directly so shard files can be
+    written incrementally without ever holding the whole corpus.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.tmp = self.path.parent / f".{self.path.name}.saving"
+        self._backup = self.path.parent / f".{self.path.name}.replaced"
+        if self._backup.exists():
+            if self.path.exists():
+                shutil.rmtree(self._backup)
+            else:
+                # A previous save crashed between the two renames: the
+                # backup is the only surviving copy.  Restore it instead of
+                # deleting it, so a retried save can never destroy the last
+                # good corpus.
+                self._backup.rename(self.path)
+        if self.tmp.exists():
+            shutil.rmtree(self.tmp)
+        self.tmp.mkdir()
+
+    def shard_dir(self, shard_num: int) -> Path:
+        """Create (if needed) and return the staged ``shard-NNNN`` directory."""
+        shard_dir = self.tmp / f"shard-{shard_num:04d}"
+        shard_dir.mkdir(exist_ok=True)
+        return shard_dir
+
+    def finish(
+        self,
+        shard_entries: Sequence[Dict[str, Any]],
+        stats: TermStatistics,
+        kind: str,
+        journal_seq: int,
+        boosts: Dict[str, float],
+        index_format: str,
+    ) -> Path:
+        """Write stats + manifest into the staging dir and swap it live."""
+        (self.tmp / STATS_FILE).write_text(
+            json.dumps(stats.to_dict()), encoding="utf-8"
+        )
+        manifest = {
+            "format": INDEX_FORMAT,
+            "version": _FORMAT_VERSIONS[index_format],
+            "kind": kind,
+            "num_shards": len(shard_entries),
+            "num_tables": sum(e["num_tables"] for e in shard_entries),
+            "journal_seq": journal_seq,
+            "boosts": boosts,
+            "shards": list(shard_entries),
+        }
+        (self.tmp / MANIFEST_FILE).write_text(
+            json.dumps(manifest, indent=2), encoding="utf-8"
+        )
+        if self.path.exists():
+            self.path.rename(self._backup)
+        self.tmp.rename(self.path)
+        if self._backup.exists():
+            shutil.rmtree(self._backup)
+        return self.path
+
+
+def _check_index_format(index_format: str) -> None:
+    """Reject unknown shard snapshot formats before any bytes are written."""
+    if index_format not in _FORMAT_VERSIONS:
+        raise ValueError(
+            f"unknown index_format {index_format!r}; "
+            f"options: {sorted(_FORMAT_VERSIONS)}"
+        )
+
+
 def save_corpus_dir(
     path: Union[str, Path],
-    shard_pairs: Sequence[tuple],
+    shard_pairs: Sequence[Tuple[InvertedIndex, TableStore]],
     stats: TermStatistics,
     kind: str,
     journal_seq: int = 0,
+    index_format: str = DEFAULT_INDEX_FORMAT,
 ) -> Path:
     """Write the persisted corpus layout — the one writer for both kinds.
 
@@ -237,59 +411,24 @@ def save_corpus_dir(
     per shard; ``kind`` is ``"monolithic"`` or ``"sharded"``;
     ``journal_seq`` is the highest write-ahead-journal sequence number
     folded into the snapshots being written (0 for a fresh build — see
-    ``repro.index.journal``).
-
-    The write is crash-safe: everything (manifest last) goes into a
-    temporary sibling directory which is then swapped into place, so an
-    interrupted save never destroys an existing corpus at ``path`` and
-    never leaves a half-written one behind — at worst the temp/backup
-    sibling remains for manual cleanup.  Stale shards from a previous save
-    can't survive either, since the directory is replaced wholesale.
+    ``repro.index.journal``); ``index_format`` selects the shard snapshot
+    format and thereby the manifest version (``"bin"`` -> 3, ``"json"`` ->
+    2).  The write is crash-safe (see :class:`_SaveTransaction`).
     """
-    import shutil
-
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.parent / f".{path.name}.saving"
-    backup = path.parent / f".{path.name}.replaced"
-    if backup.exists():
-        if path.exists():
-            shutil.rmtree(backup)
-        else:
-            # A previous save crashed between the two renames: the backup
-            # is the only surviving copy.  Restore it instead of deleting
-            # it, so a retried save can never destroy the last good corpus.
-            backup.rename(path)
-    if tmp.exists():
-        shutil.rmtree(tmp)
-    tmp.mkdir()
+    _check_index_format(index_format)
+    txn = _SaveTransaction(path)
     shard_entries = []
     for i, (index, store) in enumerate(shard_pairs):
-        shard_dir = tmp / f"shard-{i:04d}"
-        _save_shard(shard_dir, index, store)
-        shard_entries.append({"dir": shard_dir.name, "num_tables": len(store)})
-    (tmp / STATS_FILE).write_text(
-        json.dumps(stats.to_dict()), encoding="utf-8"
+        shard_dir = txn.shard_dir(i)
+        entry: Dict[str, Any] = {
+            "dir": shard_dir.name, "num_tables": len(store),
+        }
+        entry.update(_save_shard(shard_dir, index, store, index_format))
+        shard_entries.append(entry)
+    return txn.finish(
+        shard_entries, stats, kind=kind, journal_seq=journal_seq,
+        boosts=dict(shard_pairs[0][0].boosts), index_format=index_format,
     )
-    manifest = {
-        "format": INDEX_FORMAT,
-        "version": INDEX_VERSION,
-        "kind": kind,
-        "num_shards": len(shard_entries),
-        "num_tables": sum(e["num_tables"] for e in shard_entries),
-        "journal_seq": journal_seq,
-        "boosts": dict(shard_pairs[0][0].boosts),
-        "shards": shard_entries,
-    }
-    (tmp / MANIFEST_FILE).write_text(
-        json.dumps(manifest, indent=2), encoding="utf-8"
-    )
-    if path.exists():
-        path.rename(backup)
-    tmp.rename(path)
-    if backup.exists():
-        shutil.rmtree(backup)
-    return path
 
 
 #: Manifest keys every loader indexes unconditionally.
@@ -298,24 +437,26 @@ _MANIFEST_REQUIRED = (
 )
 
 
-def read_manifest(path: Union[str, Path]) -> dict:
+def read_manifest(path: Union[str, Path]) -> Dict[str, Any]:
     """Read and validate a persisted corpus manifest."""
     path = Path(path)
     manifest_path = path / MANIFEST_FILE
     if not manifest_path.is_file():
         raise ValueError(f"{path} is not a persisted corpus (no {MANIFEST_FILE})")
     try:
-        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        manifest: Dict[str, Any] = json.loads(
+            manifest_path.read_text(encoding="utf-8")
+        )
     except json.JSONDecodeError as exc:
         raise ValueError(f"{manifest_path}: invalid manifest JSON: {exc}") from exc
     if manifest.get("format") != INDEX_FORMAT:
         raise ValueError(
             f"{manifest_path}: unexpected format {manifest.get('format')!r}"
         )
-    if manifest.get("version") != INDEX_VERSION:
+    if manifest.get("version") not in SUPPORTED_VERSIONS:
         raise ValueError(
             f"{manifest_path}: unsupported version {manifest.get('version')!r} "
-            f"(this build reads version {INDEX_VERSION})"
+            f"(this build reads versions {list(SUPPORTED_VERSIONS)})"
         )
     missing = [k for k in _MANIFEST_REQUIRED if k not in manifest]
     if missing:
@@ -330,6 +471,15 @@ def read_manifest(path: Union[str, Path]) -> dict:
         raise ValueError(
             f"{manifest_path}: malformed 'shards' list — every entry needs "
             "a 'dir' key"
+        )
+    if manifest["version"] == INDEX_VERSION and not all(
+        isinstance(e.get("index_bytes"), int)
+        and isinstance(e.get("index_crc32"), int)
+        for e in shards
+    ):
+        raise ValueError(
+            f"{manifest_path}: version-{INDEX_VERSION} shard entries need "
+            "integer 'index_bytes' and 'index_crc32' keys"
         )
     return manifest
 
@@ -367,13 +517,87 @@ def _index_one(
     stats.add_document([t for toks in fields.values() for t in toks])
 
 
+def build_corpus_stream(
+    tables: Iterable[WebTable],
+    save: Union[str, Path],
+    num_shards: Optional[int] = None,
+    boosts: Optional[Dict[str, float]] = None,
+    index_format: str = DEFAULT_INDEX_FORMAT,
+) -> Path:
+    """Stream ``tables`` straight to a persisted corpus directory.
+
+    The O(shard)-memory build path for corpora too large to hold at once
+    (ROADMAP item 2): pass 1 routes each table's JSON row directly to its
+    staged shard's ``tables.jsonl`` (nothing retained in memory); pass 2
+    loads the staged shards back *one at a time*, indexes each through the
+    same :func:`analyze_table` path as the in-memory builders, folds the
+    shared statistics, and writes the shard snapshot before moving on —
+    peak memory is one shard, not the corpus.  Document frequencies are
+    order-independent counts, so the shard-major statistics fold produces
+    rankings bit-identical to the in-memory build of the same tables.
+
+    The directory swap is the same crash-safe transaction every save uses
+    (:class:`_SaveTransaction`).  Returns the corpus path; open it with
+    :func:`~repro.index.sharded.load_corpus`.
+    """
+    _check_index_format(index_format)
+    from .sharded import shard_of
+
+    kind = "monolithic" if num_shards is None else "sharded"
+    n = 1 if num_shards is None else num_shards
+    if n < 1:
+        raise ValueError("num_shards must be >= 1")
+    field_boosts = dict(boosts or FIELD_BOOSTS)
+    txn = _SaveTransaction(save)
+
+    # Pass 1: spill every table to its shard's tables.jsonl, exactly the
+    # bytes TableStore.save would write (one JSON object per line).
+    shard_dirs = [txn.shard_dir(i) for i in range(n)]
+    handles = [
+        (d / SHARD_TABLES_FILE).open("w", encoding="utf-8")
+        for d in shard_dirs
+    ]
+    try:
+        for table in tables:
+            fh = handles[shard_of(table.table_id, n)]
+            fh.write(json.dumps(table.to_dict(), ensure_ascii=False))
+            fh.write("\n")
+    finally:
+        for fh in handles:
+            fh.close()
+
+    # Pass 2: index one shard at a time (duplicate ids surface here, from
+    # TableStore.load's path:line contract — equal ids hash to equal
+    # shards, so no duplicate can hide across two spill files).
+    stats = TermStatistics()
+    shard_entries: List[Dict[str, Any]] = []
+    for shard_dir in shard_dirs:
+        store = TableStore.load(shard_dir / SHARD_TABLES_FILE)
+        index = InvertedIndex(field_boosts)
+        for table in store:
+            fields = analyze_table(table)
+            index.add_document(table.table_id, fields)
+            stats.add_document([t for toks in fields.values() for t in toks])
+        entry: Dict[str, Any] = {
+            "dir": shard_dir.name, "num_tables": len(store),
+        }
+        entry.update(_write_shard_index(shard_dir, index, index_format))
+        shard_entries.append(entry)
+    return txn.finish(
+        shard_entries, stats, kind=kind, journal_seq=0,
+        boosts=field_boosts, index_format=index_format,
+    )
+
+
 def build_corpus_index(
     tables: Iterable[WebTable],
     boosts: Optional[Dict[str, float]] = None,
     num_shards: Optional[int] = None,
     save: Optional[Union[str, Path]] = None,
     probe_workers: int = 1,
-) -> Union[IndexedCorpus, ShardedCorpus]:
+    index_format: str = DEFAULT_INDEX_FORMAT,
+    stream: bool = False,
+) -> "CorpusProtocol":
     """Index ``tables`` into a queryable corpus.
 
     Each table becomes one document with the three boosted fields of
@@ -385,8 +609,29 @@ def build_corpus_index(
     :class:`~repro.index.sharded.ShardedCorpus` hash-partitioned over that
     many shards (ranking-equivalent — see DESIGN.md) with
     ``probe_workers``-wide scatter-gather.  ``save=`` additionally persists
-    the built corpus to that directory.
+    the built corpus to that directory in ``index_format`` (``"bin"`` or
+    ``"json"``).
+
+    ``stream=True`` consumes ``tables`` without ever holding the corpus in
+    memory: the build goes through :func:`build_corpus_stream` (which
+    requires ``save=``) and the returned corpus is the *persisted* one,
+    reopened read-only — version-3 saves open in O(manifest) with lazy
+    per-shard materialization.
     """
+    if stream:
+        if save is None:
+            raise ValueError(
+                "stream=True writes the corpus incrementally and needs "
+                "save= (the streamed corpus lives on disk)"
+            )
+        from .sharded import load_corpus
+
+        build_corpus_stream(
+            tables, save, num_shards=num_shards, boosts=boosts,
+            index_format=index_format,
+        )
+        return load_corpus(save, probe_workers=probe_workers, mutable=False)
+    corpus: "CorpusProtocol"
     if num_shards is not None:
         from .sharded import build_sharded_corpus
 
@@ -401,5 +646,5 @@ def build_corpus_index(
             _index_one(table, index, store, stats)
         corpus = IndexedCorpus(index=index, store=store, stats=stats)
     if save is not None:
-        corpus.save(save)
+        corpus.save(save, index_format=index_format)  # type: ignore[attr-defined]
     return corpus

@@ -43,6 +43,8 @@ import threading
 from collections import Counter
 from pathlib import Path
 from typing import (
+    TYPE_CHECKING,
+    Any,
     Dict,
     Iterable,
     Iterator,
@@ -58,6 +60,8 @@ from ..core.features import BoundedCache, STATS_CACHE_SIZE
 from ..tables.table import WebTable
 from ..text.tfidf import TermStatistics
 from .builder import (
+    _FORMAT_VERSIONS,
+    DEFAULT_INDEX_FORMAT,
     JOURNAL_FILE,
     IndexedCorpus,
     analyze_table,
@@ -65,6 +69,9 @@ from .builder import (
 )
 from .inverted import InvertedIndex, SearchHit, lucene_idf
 from .store import TableStore
+
+if TYPE_CHECKING:
+    from .sharded import ShardedCorpus
 
 __all__ = [
     "JournaledCorpus",
@@ -253,10 +260,19 @@ class JournaledCorpus:
         self._next_seq = base_seq + 1
         self._staleness = stats_staleness
         self._lock = threading.Lock()
+        #: Manifest version of the backing directory (set by :meth:`open`);
+        #: compaction rewrites when it trails the requested format even if
+        #: the journal is empty, which is how ``compact()`` upgrades a
+        #: version-2 directory to the binary format.
+        self._disk_version: Optional[int] = None
 
-        pairs = self._base_pairs()
-        self._num_route_shards = len(pairs)
-        self._boosts = dict(pairs[0][0].boosts)
+        # Route and boost metadata come from the base's cheap surfaces, NOT
+        # from its (index, store) pairs — touching those would materialize
+        # every lazy version-3 shard at open and forfeit the O(manifest)
+        # load this wrapper sits on top of.
+        shards = getattr(base, "shards", None)
+        self._num_route_shards = len(shards) if shards is not None else 1
+        self._boosts = dict(base.boosts)
         self._delta_index = InvertedIndex(self._boosts)
         self._delta_store = TableStore()
         #: Distinct analyzed terms per delta table (for df decrements when
@@ -307,6 +323,7 @@ class JournaledCorpus:
             base, path=path, base_seq=manifest["journal_seq"],
             stats_staleness=stats_staleness,
         )
+        corpus._disk_version = manifest["version"]
         pending: List[Tuple[int, Path, dict]] = []
         for entry in manifest["shards"]:
             journal = path / entry["dir"] / JOURNAL_FILE
@@ -744,7 +761,11 @@ class JournaledCorpus:
             else "monolithic"
         )
 
-    def save(self, path: Union[str, Path]) -> Path:
+    def save(
+        self,
+        path: Union[str, Path],
+        index_format: str = DEFAULT_INDEX_FORMAT,
+    ) -> Path:
         """Export the *live* corpus (snapshot + journal folded) to ``path``.
 
         This instance is left untouched — same journal, same in-memory
@@ -752,6 +773,7 @@ class JournaledCorpus:
         (its manifest's ``journal_seq`` already covers every record).  To
         fold the served directory itself, prefer :meth:`compact`, which
         does the same write without copying add-only shards.
+        ``index_format`` selects the shard snapshot format of the export.
         """
         with self._lock:
             merged = (
@@ -762,9 +784,10 @@ class JournaledCorpus:
             return save_corpus_dir(
                 path, pairs, merged, kind=self._kind(),
                 journal_seq=self._next_seq - 1,
+                index_format=index_format,
             )
 
-    def compact(self) -> int:
+    def compact(self, index_format: str = DEFAULT_INDEX_FORMAT) -> int:
         """Fold the journal into fresh shard snapshots; returns records folded.
 
         Only shards with deletions are rebuilt; shards with only adds are
@@ -777,10 +800,21 @@ class JournaledCorpus:
         at any point leaves either the old snapshot + journal or the new
         snapshot, never a mix.  Stale temp/backup dirs from a previous
         crash are pruned by the same writer.
+
+        The rewrite lands in ``index_format`` (binary by default), so
+        compacting a version-2 directory *upgrades* it to version 3 — even
+        when there is nothing to fold: a clean corpus whose on-disk
+        version trails the requested format is rewritten anyway (returning
+        0, since no journal records were folded).
         """
         with self._lock:
             folded = self.journal_depth
-            if folded == 0 and self._clean:
+            upgrade = (
+                self._path is not None
+                and self._disk_version is not None
+                and self._disk_version != _FORMAT_VERSIONS[index_format]
+            )
+            if folded == 0 and self._clean and not upgrade:
                 return 0
             merged = (
                 self.base.stats if self._clean
@@ -800,7 +834,9 @@ class JournaledCorpus:
                 save_corpus_dir(
                     self._path, pairs, merged, kind=self._kind(),
                     journal_seq=folded_through,
+                    index_format=index_format,
                 )
+                self._disk_version = _FORMAT_VERSIONS[index_format]
             self._base_seq = folded_through
             return folded
 

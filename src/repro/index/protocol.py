@@ -9,11 +9,18 @@ pipeline is written once and runs unchanged against
 :class:`~repro.index.builder.IndexedCorpus` (one in-memory index) or
 :class:`~repro.index.sharded.ShardedCorpus` (hash-partitioned scatter-gather
 over N of them).
+
+:class:`ShardProtocol` is the narrower *per-shard* contract
+``ShardedCorpus`` consumes: the eager
+:class:`~repro.index.builder.IndexedCorpus` and the mmap-backed
+:class:`~repro.index.binfmt.LazyShard` (version-3 snapshots, materialized
+on first probe) both satisfy it.
 """
 
 from __future__ import annotations
 
 from typing import (
+    Dict,
     Iterable,
     List,
     Optional,
@@ -25,9 +32,44 @@ from typing import (
 
 from ..tables.table import WebTable
 from ..text.tfidf import TermStatistics
-from .inverted import SearchHit
+from .inverted import InvertedIndex, SearchHit
+from .store import TableStore
 
-__all__ = ["CorpusProtocol"]
+__all__ = ["CorpusProtocol", "ShardProtocol"]
+
+
+@runtime_checkable
+class ShardProtocol(Protocol):
+    """What one shard must provide to sit inside a ``ShardedCorpus``.
+
+    ``num_tables`` and ``boosts`` must be answerable from cheap metadata
+    (a lazy shard serves them straight from the manifest); ``index`` and
+    ``store`` may materialize on first access.  ``stats`` is the *shared
+    corpus-global* statistics object, same as on the corpus itself.
+    """
+
+    #: Corpus-global document-frequency table (shared across shards).
+    stats: TermStatistics
+
+    @property
+    def num_tables(self) -> int:
+        """Number of tables in this shard (cheap; no materialization)."""
+        ...
+
+    @property
+    def boosts(self) -> Dict[str, float]:
+        """Field boosts of this shard's index (cheap; no materialization)."""
+        ...
+
+    @property
+    def index(self) -> InvertedIndex:
+        """The shard's inverted index (may materialize on first access)."""
+        ...
+
+    @property
+    def store(self) -> TableStore:
+        """The shard's table store (may materialize on first access)."""
+        ...
 
 
 @runtime_checkable

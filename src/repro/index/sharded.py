@@ -25,9 +25,13 @@ dispatch.
 
 Persistence is a directory (see DESIGN.md): ``manifest.json`` +
 ``stats.json`` (the shared :class:`~repro.text.tfidf.TermStatistics`) +
-one ``shard-NNNN/`` per shard holding an index snapshot (``index.json``)
-and the table store (``tables.jsonl``).  :func:`load_corpus` opens either a
-monolithic or a sharded layout in O(read).
+one ``shard-NNNN/`` per shard holding an index snapshot (``index.bin`` for
+version-3 manifests, ``index.json`` for version 2) and the table store
+(``tables.jsonl``).  :func:`load_corpus` opens either a monolithic or a
+sharded layout in O(read) — and a version-3 *sharded* layout in
+O(manifest): its shards load as mmap-backed
+:class:`~repro.index.binfmt.LazyShard` objects whose arrays materialize on
+first probe, not at open.
 """
 
 from __future__ import annotations
@@ -36,12 +40,26 @@ import heapq
 import zlib
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
-from typing import Callable, Iterable, List, Optional, Sequence, Set, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Union,
+)
 
 from ..core.features import BoundedCache, STATS_CACHE_SIZE
 from ..tables.table import WebTable
 from ..text.tfidf import TermStatistics
+from .binfmt import LazyShard
 from .builder import (
+    DEFAULT_INDEX_FORMAT,
+    INDEX_VERSION,
     IndexedCorpus,
     _index_one,
     _load_shard,
@@ -52,7 +70,11 @@ from .builder import (
     save_corpus_dir,
 )
 from .inverted import FIELD_BOOSTS, InvertedIndex, SearchHit, lucene_idf
+from .protocol import ShardProtocol
 from .store import TableStore
+
+if TYPE_CHECKING:
+    from .protocol import CorpusProtocol
 
 __all__ = ["ShardedCorpus", "build_sharded_corpus", "load_corpus", "shard_of"]
 
@@ -83,7 +105,7 @@ class ShardedCorpus:
 
     def __init__(
         self,
-        shards: Sequence[IndexedCorpus],
+        shards: Sequence[ShardProtocol],
         stats: TermStatistics,
         probe_workers: int = 1,
         validate: bool = True,
@@ -92,7 +114,7 @@ class ShardedCorpus:
             raise ValueError("a ShardedCorpus needs at least one shard")
         if probe_workers < 1:
             raise ValueError("probe_workers must be >= 1")
-        self.shards: List[IndexedCorpus] = list(shards)
+        self.shards: List[ShardProtocol] = list(shards)
         # Table access routes by shard_of(), so the shards MUST be the
         # CRC32 partition — arbitrary shard lists (e.g. two independently
         # built corpora glued together) would make get_table/get_many miss
@@ -139,13 +161,22 @@ class ShardedCorpus:
         """Number of tables across all shards."""
         return self._num_tables
 
+    @property
+    def boosts(self) -> Dict[str, float]:
+        """Field boosts shared by every shard's index (copy).
+
+        Served from shard 0's cheap metadata surface — reading it never
+        materializes a lazy shard.
+        """
+        return dict(self.shards[0].boosts)
+
     def shard_sizes(self) -> List[int]:
         """Per-shard table counts (partition balance diagnostics)."""
         return [s.num_tables for s in self.shards]
 
     # -- scatter-gather machinery ----------------------------------------------
 
-    def _map_shards(self, fn: Callable[[IndexedCorpus], object]) -> List[object]:
+    def _map_shards(self, fn: Callable[[ShardProtocol], object]) -> List[object]:
         """Apply ``fn`` to every shard, in shard order."""
         if self._executor is not None:
             return list(self._executor.map(fn, self.shards))
@@ -265,20 +296,27 @@ class ShardedCorpus:
 
     # -- persistence -----------------------------------------------------------
 
-    def save(self, path: Union[str, Path]) -> Path:
+    def save(
+        self,
+        path: Union[str, Path],
+        index_format: str = DEFAULT_INDEX_FORMAT,
+    ) -> Path:
         """Persist to a directory: manifest + shared stats + per-shard files.
 
         Same writer as ``IndexedCorpus.save``
         (:func:`~repro.index.builder.save_corpus_dir`), so the two kinds
         cannot drift apart on disk.  The write is crash-safe (temp dir +
         swap), which also means a re-save with a different shard count
-        cannot leave stale shard directories behind.
+        cannot leave stale shard directories behind.  ``index_format``
+        selects the shard snapshot format (``"bin"`` by default); saving
+        necessarily materializes lazy shards.
         """
         return save_corpus_dir(
             path,
             [(shard.index, shard.store) for shard in self.shards],
             self.stats,
             kind="sharded",
+            index_format=index_format,
         )
 
     @classmethod
@@ -300,12 +338,28 @@ class ShardedCorpus:
         if not ignore_journal:
             _refuse_unfolded_journal(path, manifest)
         stats = load_stats(path)
-        shards = []
+        shards: List[ShardProtocol] = []
         for entry in manifest["shards"]:
-            index, store = _load_shard(path / entry["dir"])
-            shards.append(IndexedCorpus(index=index, store=store, stats=stats))
+            if manifest["version"] == INDEX_VERSION:
+                # Version 3: O(manifest) open — the shard's arrays mmap in
+                # on first probe, verified against the manifest's recorded
+                # byte length and CRC-32 at that point.
+                shards.append(
+                    LazyShard(
+                        path / entry["dir"], entry, stats, manifest["boosts"]
+                    )
+                )
+            else:
+                index, store = _load_shard(
+                    path / entry["dir"], version=manifest["version"],
+                    entry=entry,
+                )
+                shards.append(
+                    IndexedCorpus(index=index, store=store, stats=stats)
+                )
         # validate=False: the persisted partition came from shard_of() at
-        # build time; re-hashing every id would make load O(num_tables).
+        # build time; re-hashing every id would make load O(num_tables)
+        # (and materialize every lazy shard).
         return cls(
             shards=shards, stats=stats, probe_workers=probe_workers,
             validate=False,
@@ -315,7 +369,7 @@ class ShardedCorpus:
 def build_sharded_corpus(
     tables: Iterable[WebTable],
     num_shards: int,
-    boosts: Optional[dict] = None,
+    boosts: Optional[Dict[str, float]] = None,
     probe_workers: int = 1,
 ) -> ShardedCorpus:
     """Hash-partition ``tables`` across ``num_shards`` indexed shards.

@@ -84,6 +84,11 @@ class EngineConfig:
     #: of the served corpus (``None`` = never; compact manually or via
     #: ``repro index compact``).
     auto_compact_threshold: Optional[int] = None
+    #: Shard snapshot format for corpora saved or compacted on behalf of
+    #: this config: ``"bin"`` (version-3 binary columnar, mmap'd + lazily
+    #: loaded — the default) or ``"json"`` (the version-2 layout).  Both
+    #: load transparently regardless of this setting.
+    index_format: str = "bin"
     #: Per-query wall-clock budget in milliseconds (``None`` = unbounded).
     #: The execution engine checks it between stages: once exceeded, the
     #: remaining skippable stages are skipped and column mapping falls
@@ -116,6 +121,11 @@ class EngineConfig:
             raise ValueError("num_shards must be >= 1 (None for monolithic)")
         if self.probe_workers < 1:
             raise ValueError("probe_workers must be >= 1")
+        if self.index_format not in ("json", "bin"):
+            raise ValueError(
+                f"unknown index_format {self.index_format!r}; "
+                "options: ['bin', 'json']"
+            )
         if (
             self.auto_compact_threshold is not None
             and self.auto_compact_threshold < 1
@@ -158,6 +168,7 @@ class EngineConfig:
             "page_size": self.page_size,
             "num_shards": self.num_shards,
             "index_path": self.index_path,
+            "index_format": self.index_format,
             "probe_workers": self.probe_workers,
             "auto_compact_threshold": self.auto_compact_threshold,
             "deadline_ms": self.deadline_ms,
@@ -188,7 +199,7 @@ class EngineConfig:
         top_known = {
             "inference", "cache_size", "probe_cache_size",
             "feature_cache_size", "max_workers", "page_size",
-            "num_shards", "index_path", "probe_workers",
+            "num_shards", "index_path", "index_format", "probe_workers",
             "auto_compact_threshold", "deadline_ms", "degraded_ok",
         }
         unknown = sorted(set(data) - top_known)

@@ -451,9 +451,12 @@ class WWTService:
 
         Returns the number of journal records folded.  Cached answers stay
         valid (compaction preserves rankings exactly), so the caches are
-        left alone.
+        left alone.  Snapshots are rewritten in ``config.index_format``
+        (binary by default), which also upgrades a version-2 directory.
         """
-        return self._mutable_corpus().compact()
+        return self._mutable_corpus().compact(
+            index_format=self.config.index_format
+        )
 
     def _maybe_auto_compact(self) -> None:
         threshold = self.config.auto_compact_threshold
@@ -461,7 +464,7 @@ class WWTService:
             threshold is not None
             and getattr(self.corpus, "journal_depth", 0) >= threshold
         ):
-            self.corpus.compact()
+            self.corpus.compact(index_format=self.config.index_format)
 
     # -- operations -------------------------------------------------------
 

@@ -14,7 +14,7 @@ a list of scored text snippets extracted from the parent document
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from ..text.tokenize import tokenize
 

@@ -1,0 +1,163 @@
+"""Tests for the stdlib Cobertura coverage gate (``tools/coverage_gate``).
+
+The gate's judgment is what CI relies on, so its pass/fail logic is
+pinned against crafted reports: a clean report passes; a report with a
+low package floor, a partial decoder branch, an uncovered decoder line,
+or missing branch data each fails with a message naming the problem.
+"""
+
+from pathlib import Path
+
+from tools.coverage_gate import check, main, parse_report
+
+HEADER = '<?xml version="1.0" ?>\n<coverage version="7.0">'
+FOOTER = "</coverage>"
+
+
+def make_class(filename, lines):
+    """One Cobertura ``<class>`` block from ``(number, hits, cond)`` rows.
+
+    ``cond`` is ``None`` for a plain statement line or a
+    ``condition-coverage`` string like ``"50% (1/2)"`` for a branch line.
+    """
+    rows = []
+    for number, hits, cond in lines:
+        if cond is None:
+            rows.append(f'<line number="{number}" hits="{hits}"/>')
+        else:
+            rows.append(
+                f'<line number="{number}" hits="{hits}" branch="true" '
+                f'condition-coverage="{cond}"/>'
+            )
+    body = "".join(rows)
+    return (
+        f'<packages><package name="p"><classes>'
+        f'<class name="x" filename="{filename}">'
+        f"<methods/><lines>{body}</lines>"
+        f"</class></classes></package></packages>"
+    )
+
+
+def write_report(tmp_path, *blocks):
+    path = tmp_path / "coverage.xml"
+    path.write_text(HEADER + "".join(blocks) + FOOTER, encoding="utf-8")
+    return path
+
+
+def clean_binfmt(filename="src/repro/index/binfmt.py"):
+    return make_class(
+        filename,
+        [(1, 5, None), (2, 3, "100% (2/2)"), (3, 1, None),
+         (4, 2, "100% (4/4)")],
+    )
+
+
+class TestParse:
+    def test_tallies_lines_and_branches(self, tmp_path):
+        path = write_report(tmp_path, clean_binfmt())
+        record = parse_report(path)["src/repro/index/binfmt.py"]
+        assert (record.lines_hit, record.lines_total) == (4, 4)
+        assert (record.branches_hit, record.branches_total) == (6, 6)
+        assert record.line_rate == 1.0
+        assert record.branch_rate == 1.0
+
+    def test_merges_duplicate_class_entries(self, tmp_path):
+        # coverage.py can emit one <class> per traced context for the
+        # same file; tallies must merge, not overwrite.
+        block = clean_binfmt() + make_class(
+            "src/repro/index/binfmt.py", [(9, 0, None)]
+        )
+        path = write_report(tmp_path, block)
+        record = parse_report(path)["src/repro/index/binfmt.py"]
+        assert (record.lines_hit, record.lines_total) == (4, 5)
+        assert record.missed_lines == [9]
+
+
+class TestCheck:
+    def test_clean_report_passes(self, tmp_path):
+        path = write_report(
+            tmp_path, clean_binfmt(),
+            make_class("src/repro/index/builder.py",
+                       [(1, 1, None), (2, 1, None)]),
+        )
+        assert check(parse_report(path)) == []
+
+    def test_low_package_floor_fails(self, tmp_path):
+        lines = [(n, 1 if n <= 2 else 0, None) for n in range(1, 11)]
+        path = write_report(
+            tmp_path, clean_binfmt(),
+            make_class("src/repro/index/builder.py", lines),
+        )
+        failures = check(parse_report(path))
+        assert any("below the 90% floor" in f for f in failures)
+
+    def test_partial_decoder_branch_fails(self, tmp_path):
+        path = write_report(
+            tmp_path,
+            make_class("src/repro/index/binfmt.py",
+                       [(1, 1, None), (2, 1, "50% (1/2)")]),
+        )
+        failures = check(parse_report(path))
+        assert any(
+            "branch coverage 50.0%" in f and "lines [2]" in f
+            for f in failures
+        ), failures
+
+    def test_uncovered_decoder_line_fails_even_at_high_floor(self, tmp_path):
+        # 1 missed line out of many keeps the package above 90% but the
+        # decoder's own line bar is absolute.
+        lines = [(n, 1, None) for n in range(1, 40)] + [(40, 0, None)]
+        path = write_report(
+            tmp_path, make_class("src/repro/index/binfmt.py", lines),
+        )
+        failures = check(parse_report(path))
+        assert any("uncovered lines [40]" in f for f in failures), failures
+
+    def test_missing_branch_data_fails(self, tmp_path):
+        path = write_report(
+            tmp_path,
+            make_class("src/repro/index/binfmt.py",
+                       [(1, 1, None), (2, 1, None)]),
+        )
+        failures = check(parse_report(path))
+        assert any("--cov-branch" in f for f in failures), failures
+
+    def test_missing_package_fails(self, tmp_path):
+        path = write_report(
+            tmp_path, make_class("src/repro/service/facade.py",
+                                 [(1, 1, None)]),
+        )
+        failures = check(parse_report(path))
+        assert any("--cov=repro.index" in f for f in failures), failures
+
+    def test_missing_decoder_file_fails(self, tmp_path):
+        path = write_report(
+            tmp_path, make_class("src/repro/index/builder.py",
+                                 [(1, 1, None)]),
+        )
+        failures = check(parse_report(path))
+        assert any("binfmt.py not found" in f for f in failures), failures
+
+
+class TestMain:
+    def test_exit_codes(self, tmp_path, capsys):
+        good = write_report(
+            tmp_path, clean_binfmt(),
+        )
+        assert main([str(good)]) == 0
+        assert "coverage gate passed" in capsys.readouterr().out
+
+        bad = tmp_path / "bad.xml"
+        bad.write_text(
+            HEADER
+            + make_class("src/repro/index/binfmt.py",
+                         [(1, 0, None), (2, 1, "50% (1/2)")])
+            + FOOTER,
+            encoding="utf-8",
+        )
+        assert main([str(bad)]) == 1
+        assert "coverage gate FAILED" in capsys.readouterr().out
+
+    def test_missing_report_is_exit_2(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.xml")]) == 2
+        assert "not found" in capsys.readouterr().out

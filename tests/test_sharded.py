@@ -246,6 +246,13 @@ class TestPersistence:
 
     def test_corrupt_shard_snapshot_raises_valueerror(self, tmp_path):
         build_corpus_index(make_tables(3), save=tmp_path / "c")
+        (tmp_path / "c" / "shard-0000" / "index.bin").write_bytes(b"junk")
+        with pytest.raises(ValueError, match="index.bin"):
+            load_corpus(tmp_path / "c").search(["country"])
+
+    def test_corrupt_json_shard_snapshot_raises_valueerror(self, tmp_path):
+        build_corpus_index(make_tables(3), save=tmp_path / "c",
+                           index_format="json")
         (tmp_path / "c" / "shard-0000" / "index.json").write_text("{}")
         with pytest.raises(ValueError, match="corrupt index snapshot"):
             load_corpus(tmp_path / "c")

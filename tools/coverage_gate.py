@@ -1,0 +1,217 @@
+#!/usr/bin/env python
+"""Test-coverage gate over a Cobertura ``coverage.xml``, stdlib-only.
+
+``pytest --cov`` (CI's coverage job) emits a Cobertura XML report; this
+script parses it with ``xml.etree`` — no dependency on the coverage
+package itself — and enforces two bars on the persistence-critical
+``repro.index`` package:
+
+- **package line floor**: aggregate line coverage over every file under
+  ``src/repro/index/`` must reach ``--line-floor`` (default 90%);
+- **decoder branch bar**: ``binfmt.py`` — the decoder whose *failure*
+  paths are the contract (every corrupt input must raise, never crash or
+  misload) — must have **100% branch coverage**: an unexecuted branch
+  there is an unproven corruption check.
+
+Keeping the gate stdlib-only means the *judgment* is testable and
+runnable anywhere the repo runs (``tests/test_coverage_gate.py`` feeds
+it crafted reports), even though producing ``coverage.xml`` needs
+pytest-cov (the ``cov`` extra, installed by CI).
+
+Usage::
+
+    PYTHONPATH=src python -m pytest -q --cov=repro.index --cov-branch \
+        --cov-report=xml
+    python tools/coverage_gate.py coverage.xml
+"""
+
+from __future__ import annotations
+
+import argparse
+import xml.etree.ElementTree as ET
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+#: Path prefix (as recorded in coverage.xml) selecting the gated package.
+DEFAULT_PACKAGE_PREFIX = "repro/index/"
+#: File inside the package held to the 100%-branch bar.
+DEFAULT_BRANCH_FILE = "binfmt.py"
+
+
+class FileCoverage:
+    """Line and branch tallies for one source file in the report."""
+
+    def __init__(self, filename: str) -> None:
+        self.filename = filename
+        self.lines_total = 0
+        self.lines_hit = 0
+        self.branches_total = 0
+        self.branches_hit = 0
+        self.missed_lines: List[int] = []
+        self.partial_branches: List[int] = []
+
+    @property
+    def line_rate(self) -> float:
+        """Covered fraction of statement lines (1.0 when there are none)."""
+        if self.lines_total == 0:
+            return 1.0
+        return self.lines_hit / self.lines_total
+
+    @property
+    def branch_rate(self) -> float:
+        """Covered fraction of branch conditions (1.0 when there are none)."""
+        if self.branches_total == 0:
+            return 1.0
+        return self.branches_hit / self.branches_total
+
+
+def _parse_condition_coverage(text: str) -> Tuple[int, int]:
+    """``(hit, total)`` from a Cobertura ``condition-coverage`` attribute.
+
+    The attribute reads like ``"50% (1/2)"``; the parenthesized counts are
+    authoritative (the percentage is rounded).
+    """
+    open_at = text.rindex("(")
+    hit_s, total_s = text[open_at + 1 : text.rindex(")")].split("/")
+    return int(hit_s), int(total_s)
+
+
+def parse_report(xml_path: Path) -> Dict[str, FileCoverage]:
+    """Parse a Cobertura report into per-file tallies keyed by filename.
+
+    Tallies are rebuilt from the individual ``<line>`` elements rather
+    than trusting the precomputed ``line-rate``/``branch-rate``
+    attributes, so the gate can name the exact missed lines and partial
+    branches in its failure output.
+    """
+    root = ET.parse(xml_path).getroot()
+    files: Dict[str, FileCoverage] = {}
+    for cls in root.iter("class"):
+        filename = cls.get("filename", "")
+        record = files.get(filename)
+        if record is None:
+            record = files[filename] = FileCoverage(filename)
+        for line in cls.iter("line"):
+            number = int(line.get("number", "0"))
+            hits = int(line.get("hits", "0"))
+            record.lines_total += 1
+            if hits > 0:
+                record.lines_hit += 1
+            else:
+                record.missed_lines.append(number)
+            if line.get("branch") == "true":
+                condition = line.get("condition-coverage", "100% (0/0)")
+                hit, total = _parse_condition_coverage(condition)
+                record.branches_total += total
+                record.branches_hit += hit
+                if hit < total:
+                    record.partial_branches.append(number)
+    return files
+
+
+def check(
+    files: Dict[str, FileCoverage],
+    package_prefix: str = DEFAULT_PACKAGE_PREFIX,
+    line_floor: float = 90.0,
+    branch_file: str = DEFAULT_BRANCH_FILE,
+) -> List[str]:
+    """Return the list of gate violations (empty when all bars hold)."""
+    package = [
+        f for name, f in sorted(files.items()) if package_prefix in name
+    ]
+    failures: List[str] = []
+    if not package:
+        failures.append(
+            f"no files matching {package_prefix!r} in the report — was "
+            "coverage collected with --cov=repro.index?"
+        )
+        return failures
+
+    lines_total = sum(f.lines_total for f in package)
+    lines_hit = sum(f.lines_hit for f in package)
+    line_pct = 100.0 * lines_hit / lines_total if lines_total else 100.0
+    if line_pct < line_floor:
+        worst = sorted(package, key=lambda f: f.line_rate)[:5]
+        detail = ", ".join(
+            f"{f.filename} {100.0 * f.line_rate:.0f}%" for f in worst
+        )
+        failures.append(
+            f"package line coverage {line_pct:.1f}% is below the "
+            f"{line_floor:.0f}% floor for {package_prefix} "
+            f"(lowest: {detail})"
+        )
+
+    gated = [f for f in package if f.filename.endswith("/" + branch_file)]
+    if not gated:
+        failures.append(
+            f"{branch_file} not found under {package_prefix!r} in the "
+            "report — the decoder branch bar cannot be checked"
+        )
+    for record in gated:
+        if record.branches_total == 0:
+            failures.append(
+                f"{record.filename}: no branch data in the report — was "
+                "coverage collected with --cov-branch?"
+            )
+        elif record.branch_rate < 1.0:
+            failures.append(
+                f"{record.filename}: branch coverage "
+                f"{100.0 * record.branch_rate:.1f}% "
+                f"({record.branches_hit}/{record.branches_total}) — the "
+                "decoder requires 100%; partial branches at lines "
+                f"{record.partial_branches}"
+            )
+        if record.missed_lines:
+            failures.append(
+                f"{record.filename}: uncovered lines "
+                f"{record.missed_lines} — every decoder path must be "
+                "exercised"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("xml", nargs="?", default="coverage.xml",
+                        help="Cobertura report path (default coverage.xml)")
+    parser.add_argument("--package-prefix", default=DEFAULT_PACKAGE_PREFIX,
+                        help="path fragment selecting the gated package")
+    parser.add_argument("--line-floor", type=float, default=90.0,
+                        help="minimum package line coverage %% (default 90)")
+    parser.add_argument("--branch-file", default=DEFAULT_BRANCH_FILE,
+                        help="file held to the 100%%-branch bar")
+    args = parser.parse_args(argv)
+
+    xml_path = Path(args.xml)
+    if not xml_path.is_file():
+        print(f"coverage report not found: {xml_path}")
+        return 2
+    files = parse_report(xml_path)
+    failures = check(
+        files,
+        package_prefix=args.package_prefix,
+        line_floor=args.line_floor,
+        branch_file=args.branch_file,
+    )
+    package = [
+        f for name, f in sorted(files.items())
+        if args.package_prefix in name
+    ]
+    for record in package:
+        print(f"{record.filename}: lines "
+              f"{record.lines_hit}/{record.lines_total} "
+              f"({100.0 * record.line_rate:.1f}%), branches "
+              f"{record.branches_hit}/{record.branches_total} "
+              f"({100.0 * record.branch_rate:.1f}%)")
+    if failures:
+        print("coverage gate FAILED:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"coverage gate passed ({len(package)} files under "
+          f"{args.package_prefix})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
