@@ -3,7 +3,7 @@ PYTHONPATH := src
 
 .PHONY: test coverage lint reprolint typecheck check docs docs-coverage \
 	bench-incremental bench-shards bench-hotpath bench-exec \
-	bench-serving
+	bench-serving bench-faults
 
 test:
 	PYTHONPATH=$(PYTHONPATH) python -m pytest -x -q
@@ -46,14 +46,14 @@ check: lint typecheck reprolint
 docs:
 	@python -c "import pdoc" 2>/dev/null || \
 		{ echo "pdoc is not installed: pip install pdoc"; exit 1; }
-	PYTHONPATH=$(PYTHONPATH) python -m pdoc repro.service repro.index repro.exec repro.serve repro.cli -o docs/api
+	PYTHONPATH=$(PYTHONPATH) python -m pdoc repro.service repro.index repro.exec repro.serve repro.faults repro.cli -o docs/api
 	@echo "API reference written to docs/api/"
 
 # Stdlib-only docstring gate (CI additionally runs interrogate).
 docs-coverage:
 	python tools/docstring_coverage.py --fail-under 95 -v \
 		src/repro/service src/repro/index src/repro/exec src/repro/serve \
-		src/repro/cli.py
+		src/repro/faults src/repro/cli.py
 
 bench-incremental:
 	PYTHONPATH=$(PYTHONPATH) python benchmarks/bench_incremental.py --smoke
@@ -69,3 +69,6 @@ bench-exec:
 
 bench-serving:
 	PYTHONPATH=$(PYTHONPATH) python benchmarks/bench_serving.py --smoke
+
+bench-faults:
+	PYTHONPATH=$(PYTHONPATH) python benchmarks/bench_faults.py --smoke

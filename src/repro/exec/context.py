@@ -29,6 +29,8 @@ __all__ = [
     "DeadlineExceeded",
     "ExecutionCancelled",
     "ExecutionContext",
+    "REASON_DEADLINE",
+    "REASON_SHARD_FAILURE",
     "Span",
     "SPAN_OK",
     "SPAN_DEGRADED",
@@ -49,6 +51,12 @@ def wall_clock() -> float:
     """
     return time.perf_counter()
 
+
+#: Degradation reason: the deadline budget forced skips or fallbacks.
+REASON_DEADLINE = "deadline"
+#: Degradation reason: one or more corpus shards were unreachable, so
+#: the answer covers only part of the corpus (see ``QueryState.coverage``).
+REASON_SHARD_FAILURE = "shard_failure"
 
 #: Span ran normally.
 SPAN_OK = "ok"
@@ -246,6 +254,9 @@ class ExecutionContext:
         self._stack: List[Span] = [self.root]
         #: Did any stage skip or fall back?  (The answer is partial.)
         self.degraded = False
+        #: Why, in first-occurrence order — :data:`REASON_DEADLINE`,
+        #: :data:`REASON_SHARD_FAILURE`, or both.  Empty iff not degraded.
+        self.degraded_reasons: List[str] = []
         #: Did the budget run out at any between-stage check?
         self.deadline_hit = False
 
@@ -318,12 +329,19 @@ class ExecutionContext:
         """Record a zero-duration skipped span and mark the run degraded."""
         node = Span(name, status=SPAN_SKIPPED, note=note)
         self._stack[-1].children.append(node)
-        self.degraded = True
+        self.mark_degraded(REASON_DEADLINE)
         return node
 
-    def mark_degraded(self) -> None:
-        """Flag the run as having returned a partial/degraded answer."""
+    def mark_degraded(self, reason: str = REASON_DEADLINE) -> None:
+        """Flag the run as having returned a partial/degraded answer.
+
+        ``reason`` says *why* — deadline pressure or shard failure — and
+        accumulates in :attr:`degraded_reasons` (deduplicated, in
+        first-occurrence order) so serving layers can report both.
+        """
         self.degraded = True
+        if reason not in self.degraded_reasons:
+            self.degraded_reasons.append(reason)
 
     def adopt(self, spans: Sequence[Span]) -> None:
         """Graft copies of previously recorded spans into the tree.

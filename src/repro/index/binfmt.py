@@ -60,6 +60,7 @@ from typing import (
     Union,
 )
 
+from ..faults.injection import POINT_SHARD_MATERIALIZE, trip
 from ..text.tfidf import TermStatistics
 from .inverted import InvertedIndex, _PostingList
 from .store import TableStore
@@ -620,6 +621,7 @@ class LazyShard:
         with self._lock:
             pair = self._pair
             if pair is None:
+                trip(POINT_SHARD_MATERIALIZE, key=self._dir.name)
                 index = read_index_bin(
                     self._dir / SHARD_BIN_FILE,
                     expected_bytes=self._expected_bytes,

@@ -135,7 +135,7 @@ class _PostingList:
         """Remove ``doc_num``'s entry, preserving order; False if absent."""
         try:
             i = self.doc_nums.index(doc_num)
-        except ValueError:
+        except ValueError:  # reprolint: disable=R008 -- absence is this method's documented False return, not an absorbed failure; the caller counts removals
             return False
         del self.doc_nums[i]
         del self.tfs[i]

@@ -57,6 +57,7 @@ from typing import (
 )
 
 from ..core.features import BoundedCache, STATS_CACHE_SIZE
+from ..faults.injection import POINT_JOURNAL_APPEND, trip
 from ..tables.table import WebTable
 from ..text.tfidf import TermStatistics
 from .builder import (
@@ -103,6 +104,7 @@ def append_records(path: Union[str, Path], records: Sequence[dict]) -> None:
     """
     if not records:
         return
+    trip(POINT_JOURNAL_APPEND)
     path = Path(path)
     with path.open("a", encoding="utf-8") as fh:
         for record in records:
@@ -180,7 +182,7 @@ def repair_journal(path: Union[str, Path]) -> bool:
     try:
         _parse_record(kept[cut:].decode())
         return False
-    except (UnicodeDecodeError, json.JSONDecodeError, KeyError, TypeError,
+    except (UnicodeDecodeError, json.JSONDecodeError, KeyError, TypeError,  # reprolint: disable=R008 -- an unparsable tail IS the detection result this function exists to find; the truncation below acts on it and the caller is told bytes were dropped
             ValueError):
         pass
     with path.open("r+b") as fh:
@@ -482,7 +484,7 @@ class JournaledCorpus:
                             fh.truncate(size)
                             fh.flush()
                             os.fsync(fh.fileno())
-                except OSError:  # pragma: no cover - best-effort rollback
+                except OSError:  # reprolint: disable=R008 -- best-effort rollback inside a handler that re-raises the original append failure below; a rarer rollback error must not mask it # pragma: no cover
                     pass
             raise
 
@@ -855,6 +857,8 @@ class JournaledCorpus:
 
         if getattr(self.base, "shards", None) is not None:
             probe_workers = self.base.probe_workers
+            health = getattr(self.base, "health_policy", None)
+            clock = getattr(self.base, "_clock", None)
             self.base.close()
             shards = [
                 IndexedCorpus(index=index, store=store, stats=merged)
@@ -862,7 +866,7 @@ class JournaledCorpus:
             ]
             self.base = ShardedCorpus(
                 shards=shards, stats=merged, probe_workers=probe_workers,
-                validate=False,
+                validate=False, health=health, clock=clock,
             )
         else:
             index, store = pairs[0]

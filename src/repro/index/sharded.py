@@ -38,10 +38,12 @@ from __future__ import annotations
 
 import heapq
 import zlib
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future, ThreadPoolExecutor
+from functools import partial
 from pathlib import Path
 from typing import (
     TYPE_CHECKING,
+    Any,
     Callable,
     Dict,
     Iterable,
@@ -50,10 +52,13 @@ from typing import (
     Optional,
     Sequence,
     Set,
+    TypeVar,
     Union,
 )
 
 from ..core.features import BoundedCache, STATS_CACHE_SIZE
+from ..faults.health import Coverage, HealthPolicy, HealthTracker
+from ..faults.injection import POINT_SHARD_SEARCH, trip
 from ..tables.table import WebTable
 from ..text.tfidf import TermStatistics
 from .binfmt import LazyShard
@@ -77,6 +82,8 @@ if TYPE_CHECKING:
     from .protocol import CorpusProtocol
 
 __all__ = ["ShardedCorpus", "build_sharded_corpus", "load_corpus", "shard_of"]
+
+T = TypeVar("T")
 
 
 def shard_of(table_id: str, num_shards: int) -> int:
@@ -109,6 +116,8 @@ class ShardedCorpus:
         stats: TermStatistics,
         probe_workers: int = 1,
         validate: bool = True,
+        health: Optional[HealthPolicy] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         if not shards:
             raise ValueError("a ShardedCorpus needs at least one shard")
@@ -135,6 +144,18 @@ class ShardedCorpus:
                         )
         self.stats = stats
         self.probe_workers = probe_workers
+        #: The policy this corpus was constructed with (``None`` = strict
+        #: all-or-nothing scatter, the pre-failure-domain behaviour) —
+        #: kept so compaction can rebuild an equivalent corpus.
+        self.health_policy = health
+        self._clock = clock
+        #: Per-shard failure domains.  ``None`` (the default) preserves
+        #: the exact strict scatter path: any shard error raises through,
+        #: rankings stay bit-identical, and no health bookkeeping runs.
+        self._health: Optional[HealthTracker] = (
+            HealthTracker(len(self.shards), health, clock=clock)
+            if health is not None else None
+        )
         self._num_tables = sum(s.num_tables for s in self.shards)
         self._idf_cache: BoundedCache[str, float] = BoundedCache(
             STATS_CACHE_SIZE
@@ -176,11 +197,72 @@ class ShardedCorpus:
 
     # -- scatter-gather machinery ----------------------------------------------
 
-    def _map_shards(self, fn: Callable[[ShardProtocol], object]) -> List[object]:
-        """Apply ``fn`` to every shard, in shard order."""
-        if self._executor is not None:
-            return list(self._executor.map(fn, self.shards))
-        return [fn(shard) for shard in self.shards]
+    def _run_jobs(self, jobs: Sequence[Callable[[], T]]) -> List[T]:
+        """Run ``jobs`` (one per shard, in shard order) and gather results.
+
+        Serial without a pool.  With a pool, the executor reference is
+        snapshotted once so a concurrent :meth:`close` cannot null it
+        mid-scatter, and submission failure falls back cleanly: futures
+        already submitted still complete (``shutdown(wait=True)`` waits
+        for them), the remainder runs serially on this thread, and the
+        gathered order is preserved.
+        """
+        executor = self._executor
+        if executor is None:
+            return [job() for job in jobs]
+        futures: List[Future[T]] = []
+        try:
+            for job in jobs:
+                futures.append(executor.submit(job))
+        except RuntimeError:  # reprolint: disable=R008 -- close() raced this scatter; the serial fallback below completes the probe, so nothing is lost and there is no failure to record
+            # "cannot schedule new futures after shutdown": close() ran
+            # between submits.  Finish the remaining shards serially.
+            tail = [job() for job in jobs[len(futures):]]
+            return [future.result() for future in futures] + tail
+        return [future.result() for future in futures]
+
+    def _map_shards(self, fn: Callable[[ShardProtocol], T]) -> List[T]:
+        """Apply ``fn`` to every shard, in shard order (all-or-nothing)."""
+        return self._run_jobs([partial(fn, shard) for shard in self.shards])
+
+    def _probe_jobs(
+        self, fn: Callable[[ShardProtocol], T], point: str
+    ) -> List[Callable[[], T]]:
+        """Per-shard strict probe jobs, each guarded by fault point ``point``."""
+
+        def job(si: int, shard: ShardProtocol) -> T:
+            trip(point, key=str(si))
+            return fn(shard)
+
+        return [partial(job, si, shard) for si, shard in enumerate(self.shards)]
+
+    def _scatter_health(
+        self,
+        tracker: HealthTracker,
+        fn: Callable[[ShardProtocol], T],
+        point: str,
+    ) -> List[Optional[T]]:
+        """Health-gated scatter: per-shard result, or ``None`` for a shard
+        that failed this probe or is sitting out a backoff/quarantine
+        window.  Every outcome is recorded to the tracker, which is what
+        drives the retry → quarantine → reopen lifecycle.
+        """
+
+        def attempt(si: int, shard: ShardProtocol) -> Optional[T]:
+            if not tracker.available(si):
+                return None
+            try:
+                trip(point, key=str(si))
+                result = fn(shard)
+            except Exception as exc:
+                tracker.record_failure(si, exc)
+                return None
+            tracker.record_success(si)
+            return result
+
+        return self._run_jobs(
+            [partial(attempt, si, shard) for si, shard in enumerate(self.shards)]
+        )
 
     def global_idf(self, term: str) -> float:
         """Lucene-classic IDF from corpus-global document frequencies.
@@ -190,7 +272,24 @@ class ShardedCorpus:
         document lives in exactly one shard, so global df is the sum of
         shard dfs); cached because the posting structure is immutable
         after construction.
+
+        With failure domains enabled and any shard unhealthy, the df is
+        summed over *reachable* shards only — the IDF the partial answer
+        is actually scored with — and bypasses the cache, so values
+        computed under partial visibility never leak into full-coverage
+        probes (or vice versa).
         """
+        tracker = self._health
+        if tracker is not None and not tracker.all_healthy():
+            df = 0
+            for si, shard in enumerate(self.shards):
+                if not tracker.available(si):
+                    continue
+                try:
+                    df += shard.index.document_frequency(term)
+                except Exception as exc:
+                    tracker.record_failure(si, exc)
+            return lucene_idf(self._num_tables, df)
         cached = self._idf_cache.get(term)
         if cached is None:
             df = sum(s.index.document_frequency(term) for s in self.shards)
@@ -217,16 +316,37 @@ class ShardedCorpus:
         subset of its competitors), so the merge equals the monolithic
         ranking.  ``with_field_scores`` requests the diagnostic per-field
         breakdown on every hit (off on the hot path).
+
+        With failure domains enabled (``health=`` at construction), a
+        failing or backing-off shard contributes nothing instead of
+        raising — the merge covers the reachable shards and
+        :meth:`coverage` quantifies what was missed.  Without them, any
+        shard error raises through (the strict pre-failure-domain
+        contract).
         """
         if self._num_tables == 0:
             return []
         field_list = list(fields) if fields is not None else None
-        results = self._map_shards(
-            lambda s: s.index.search(
+
+        def probe(s: ShardProtocol) -> List[SearchHit]:
+            return s.index.search(
                 terms, limit=limit, fields=field_list, idf=self.global_idf,
                 with_field_scores=with_field_scores,
             )
-        )
+
+        tracker = self._health
+        if tracker is None:
+            results = self._run_jobs(
+                self._probe_jobs(probe, POINT_SHARD_SEARCH)
+            )
+        else:
+            results = [
+                hits
+                for hits in self._scatter_health(
+                    tracker, probe, POINT_SHARD_SEARCH
+                )
+                if hits is not None
+            ]
         merged = [hit for hits in results for hit in hits]
         return heapq.nsmallest(
             limit, merged, key=lambda h: (-h.score, h.doc_id)
@@ -237,9 +357,23 @@ class ShardedCorpus:
     ) -> Set[str]:
         """Scatter-gather conjunctive containment probe (PMI²'s H and B sets)."""
         field_list = list(fields)
-        results = self._map_shards(
-            lambda s: s.index.docs_containing_all(terms, field_list)
-        )
+
+        def probe(s: ShardProtocol) -> Set[str]:
+            return s.index.docs_containing_all(terms, field_list)
+
+        tracker = self._health
+        if tracker is None:
+            results = self._run_jobs(
+                self._probe_jobs(probe, POINT_SHARD_SEARCH)
+            )
+        else:
+            results = [
+                docs
+                for docs in self._scatter_health(
+                    tracker, probe, POINT_SHARD_SEARCH
+                )
+                if docs is not None
+            ]
         out: Set[str] = set()
         for docs in results:
             out.update(docs)
@@ -250,12 +384,32 @@ class ShardedCorpus:
         return self.shards[shard_of(table_id, self.num_shards)].store.get(table_id)
 
     def get_many(self, table_ids: Iterable[str]) -> List[WebTable]:
-        """Fetch several tables, preserving input order, skipping unknowns."""
+        """Fetch several tables, preserving input order, skipping unknowns.
+
+        With failure domains enabled, tables on a failing or backing-off
+        shard are skipped (recorded to the tracker) rather than raising —
+        the same partial-result contract as :meth:`search`.
+        """
+        tracker = self._health
         out: List[WebTable] = []
+        if tracker is None:
+            for table_id in table_ids:
+                store = self.shards[shard_of(table_id, self.num_shards)].store
+                if table_id in store:
+                    out.append(store.get(table_id))
+            return out
         for table_id in table_ids:
-            store = self.shards[shard_of(table_id, self.num_shards)].store
-            if table_id in store:
-                out.append(store.get(table_id))
+            si = shard_of(table_id, self.num_shards)
+            if not tracker.available(si):
+                continue
+            try:
+                store = self.shards[si].store
+                if table_id in store:
+                    out.append(store.get(table_id))
+            except Exception as exc:
+                tracker.record_failure(si, exc)
+                continue
+            tracker.record_success(si)
         return out
 
     def ids(self) -> List[str]:
@@ -275,6 +429,27 @@ class ShardedCorpus:
             f"{self.num_tables} tables, workers={self.probe_workers})"
         )
 
+    # -- failure domains -------------------------------------------------------
+
+    def coverage(self) -> Coverage:
+        """How much of the corpus a probe routed right now reaches.
+
+        Without failure domains this is always the full-coverage record.
+        With them, reachability reflects the tracker's *current* health
+        states — a shard that failed during the probe just described was
+        marked unhealthy by that very failure, so reading coverage right
+        after a probe describes that probe accurately.
+        """
+        tracker = self._health
+        if tracker is None:
+            return Coverage.full(self.num_shards, self._num_tables)
+        return tracker.coverage(self.shard_sizes())
+
+    def health_snapshot(self) -> Optional[List[Dict[str, Any]]]:
+        """Per-shard health diagnostics (``None`` without failure domains)."""
+        tracker = self._health
+        return tracker.snapshot() if tracker is not None else None
+
     # -- lifecycle -------------------------------------------------------------
 
     def close(self) -> None:
@@ -282,11 +457,15 @@ class ShardedCorpus:
 
         Long-lived processes that cycle through corpora (benchmark sweeps,
         index reloads) should close discarded instances; probes after
-        ``close`` fall back to the serial scatter path.
+        ``close`` fall back to the serial scatter path.  The executor
+        reference is cleared *before* the shutdown so scatters starting
+        mid-close go serial, while in-flight scatters hold their own
+        snapshot of the pool and are waited for.
         """
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+        executor = self._executor
+        self._executor = None
+        if executor is not None:
+            executor.shutdown(wait=True)
 
     def __enter__(self) -> ShardedCorpus:
         return self
@@ -325,13 +504,16 @@ class ShardedCorpus:
         path: Union[str, Path],
         probe_workers: int = 1,
         ignore_journal: bool = False,
+        health: Optional[HealthPolicy] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> ShardedCorpus:
         """Load a corpus saved by :meth:`save` in O(read) — no re-indexing.
 
         Snapshot only: refuses directories carrying an unfolded
         write-ahead journal unless ``ignore_journal=True`` (see
         :meth:`IndexedCorpus.load`); :func:`load_corpus` is the journal-
-        aware entry point.
+        aware entry point.  ``health`` enables per-shard failure domains
+        (see :meth:`search`); ``clock`` injects the tracker's clock.
         """
         path = Path(path)
         manifest = read_manifest(path)
@@ -362,7 +544,7 @@ class ShardedCorpus:
         # (and materialize every lazy shard).
         return cls(
             shards=shards, stats=stats, probe_workers=probe_workers,
-            validate=False,
+            validate=False, health=health, clock=clock,
         )
 
 
@@ -424,6 +606,8 @@ def load_corpus(
     probe_workers: int = 1,
     mutable: bool = True,
     stats_staleness: int = 0,
+    health: Optional[HealthPolicy] = None,
+    clock: Optional[Callable[[], float]] = None,
 ) -> CorpusProtocol:
     """Open a persisted corpus directory, whichever kind it holds.
 
@@ -449,6 +633,12 @@ def load_corpus(
     behaviour); it refuses directories with unfolded journal records
     rather than silently dropping them.  ``stats_staleness`` is forwarded
     to the journaled wrapper (0 = rankings always exact).
+
+    ``health`` enables per-shard failure domains on sharded corpora
+    (retry/quarantine lifecycle, partial scatter-gather, coverage — see
+    :meth:`ShardedCorpus.search`); monolithic corpora have a single
+    failure domain and ignore it.  ``clock`` injects the health
+    tracker's clock (tests).
     """
     from .journal import JournaledCorpus
 
@@ -459,7 +649,8 @@ def load_corpus(
         base = IndexedCorpus.load(path, ignore_journal=mutable)
     elif manifest["kind"] == "sharded":
         base = ShardedCorpus.load(
-            path, probe_workers=probe_workers, ignore_journal=mutable
+            path, probe_workers=probe_workers, ignore_journal=mutable,
+            health=health, clock=clock,
         )
     else:
         raise ValueError(f"{path}: unknown corpus kind {manifest['kind']!r}")

@@ -12,6 +12,7 @@ import json
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Union
 
+from ..faults.injection import POINT_STORE_GET, trip
 from ..tables.table import WebTable
 
 __all__ = ["TableStore"]
@@ -35,6 +36,7 @@ class TableStore:
 
     def get(self, table_id: str) -> WebTable:
         """Fetch a table by id (KeyError if absent)."""
+        trip(POINT_STORE_GET, key=table_id)
         return self._tables[table_id]
 
     def remove(self, table_id: str) -> WebTable:

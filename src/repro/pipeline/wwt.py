@@ -22,6 +22,7 @@ from .probe import PROBE_TIMING_SPANS, ProbeConfig, ProbeResult
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
     from ..exec.context import Span
+    from ..faults.health import Coverage
 
 __all__ = ["QueryTiming", "WWTAnswer", "WWTEngine"]
 
@@ -103,6 +104,12 @@ class WWTAnswer:
     #: order: executed this request or replayed from the probe cache;
     #: deadline-skipped stages are absent.
     stages_ran: list = field(default_factory=list)
+    #: Why the answer is degraded, in first-occurrence order
+    #: (``"deadline"``, ``"shard_failure"``); empty iff not degraded.
+    degraded_reasons: list = field(default_factory=list)
+    #: Worst shard coverage the probes saw; ``None`` when the corpus has
+    #: no failure domains or every shard answered every probe.
+    coverage: Optional[Coverage] = None
 
 
 class WWTEngine:

@@ -66,6 +66,11 @@ class ServeClient:
             )
         return self._conn
 
+    #: Methods safe to retry even after the request may have reached the
+    #: server (idempotent by HTTP semantics — and by this server's
+    #: routes: both GET endpoints are pure reads).
+    _IDEMPOTENT = frozenset({"GET", "HEAD"})
+
     def request(
         self,
         method: str,
@@ -75,19 +80,32 @@ class ServeClient:
     ) -> HTTPReply:
         """One HTTP exchange; reconnects once if keep-alive lapsed.
 
+        The retry is deliberately narrow: it fires only when the failure
+        provably preceded the request leaving this client (the send
+        itself raised), or when the method is idempotent.  A POST whose
+        bytes may have reached the server is *not* resent — the server
+        could have executed it (a journaled mutation, a counted query)
+        and a blind resend would double-apply it; the error propagates to
+        the caller, who owns the retry decision.
+
         The body is parsed as JSON when non-empty (every endpoint speaks
         JSON); an empty body parses to ``None``.
         """
         send_headers: Dict[str, str] = dict(headers or {})
         if self.client_id is not None:
             send_headers.setdefault("X-Client-Id", self.client_id)
+        sent = [False]
         try:
-            return self._exchange(method, path, body, send_headers)
+            return self._exchange(method, path, body, send_headers, sent)
         except (http.client.HTTPException, ConnectionError, BrokenPipeError):
             # The server (or an idle timeout) closed the kept-alive
-            # connection between requests; retry once on a fresh one.
+            # connection.  Retry once on a fresh connection — but only
+            # when the request never left (``sent`` still False) or the
+            # method is idempotent; otherwise re-raise.
             self.close()
-            return self._exchange(method, path, body, send_headers)
+            if sent[0] and method.upper() not in self._IDEMPOTENT:
+                raise
+            return self._exchange(method, path, body, send_headers, [False])
 
     def _exchange(
         self,
@@ -95,9 +113,14 @@ class ServeClient:
         path: str,
         body: Optional[bytes],
         headers: Dict[str, str],
+        sent: list,
     ) -> HTTPReply:
         conn = self._connection()
         conn.request(method, path, body=body, headers=headers)
+        # From here the bytes are (at least partially) on the wire: a
+        # failure past this point no longer proves the server never saw
+        # the request.
+        sent[0] = True
         response = conn.getresponse()
         raw = response.read()
         reply_headers = {k.lower(): v for k, v in response.getheaders()}

@@ -39,9 +39,19 @@ import queue
 import threading
 from concurrent.futures import Future
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Tuple,
+)
 
 from ..exec.context import wall_clock
+from ..faults.injection import POINT_SERVE_WORKER, trip
 from ..service.facade import ServiceStats
 from ..service.types import QueryRequest, QueryResponse
 from .admission import RateLimiter
@@ -62,6 +72,9 @@ from .protocol import (
     response_envelope,
 )
 from .stats import ServerCounters, ServerStats
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from ..faults.health import Coverage
 
 __all__ = ["AnswerService", "ReproServer"]
 
@@ -164,16 +177,8 @@ class _Handler(BaseHTTPRequestHandler):
         they stay responsive while the worker pool is saturated."""
         front = self.server.repro
         if self.path == "/healthz":
-            draining = front.is_draining
-            self._send_json(
-                503 if draining else 200,
-                {
-                    "status": "draining" if draining else "ok",
-                    "uptime_s": round(front.uptime_s, 3),
-                    "queue_depth": front.queue_depth,
-                    "workers": front.config.workers,
-                },
-            )
+            status, payload = front.health_payload()
+            self._send_json(status, payload)
             return
         if self.path == "/stats":
             self._send_json(200, front.stats_payload())
@@ -206,15 +211,13 @@ class _Handler(BaseHTTPRequestHandler):
             front.count_refusal(exc)
             self._refuse(exc)
             return
-        except TimeoutError as exc:
-            # The engine ran under degraded_ok=False and the deadline
-            # expired — an expected serving outcome, not a server bug.
+        except TimeoutError as exc:  # reprolint: disable=R008 -- an expected serving outcome (degraded_ok=False budget expiry), already counted as failed by the worker's finish_execution; this handler only serializes the 504
             self.close_connection = True
             self._send_json(
                 504, error_envelope(ERROR_DEADLINE_EXCEEDED, str(exc))
             )
             return
-        except Exception as exc:  # engine bug surfaced through the future
+        except Exception as exc:  # reprolint: disable=R008 -- engine bug surfaced through the future, already counted as failed by the worker's finish_execution; this handler only serializes the 500
             self.close_connection = True
             self._send_json(
                 500, error_envelope(ERROR_INTERNAL, f"{type(exc).__name__}: {exc}")
@@ -345,7 +348,7 @@ class ReproServer:
         while True:
             try:
                 job = self._queue.get_nowait()
-            except queue.Empty:
+            except queue.Empty:  # reprolint: disable=R008 -- the empty queue is this drain loop's termination condition, not a failure; stragglers found before it get set_exception below
                 break
             if job is not None:
                 job.future.set_exception(ServeError(
@@ -452,6 +455,7 @@ class ReproServer:
                     request = dataclasses.replace(
                         request, deadline_ms=max(remaining, MIN_BUDGET_MS)
                     )
+                trip(POINT_SERVE_WORKER)
                 response = self.service.answer(request)
                 degraded = response.degraded
                 job.future.set_result((response, queue_wait_s * 1000.0))
@@ -497,6 +501,50 @@ class ReproServer:
     def uptime_s(self) -> float:
         """Seconds since construction (monotonic clock seam)."""
         return self._clock() - self._started_at
+
+    def service_coverage(self) -> Optional[Coverage]:
+        """Current shard coverage of the served engine's corpus.
+
+        ``None`` when the engine exposes no coverage surface (stub
+        services, corpora without failure domains) — readiness then falls
+        back to draining-only semantics.
+        """
+        coverage_fn = getattr(self.service, "coverage", None)
+        if coverage_fn is None:
+            return None
+        coverage: Optional[Coverage] = coverage_fn()
+        return coverage
+
+    def health_payload(self) -> Tuple[int, Dict[str, Any]]:
+        """``GET /healthz``'s ``(status, body)`` — liveness plus readiness.
+
+        Draining always reports 503.  With a coverage-aware engine, shard
+        coverage below ``config.min_coverage`` reports 503 ``unavailable``
+        (take this instance out of rotation); a reachable-but-incomplete
+        corpus reports 200 ``degraded`` — still serving, answers flagged
+        partial; otherwise 200 ``ok``.
+        """
+        coverage = self.service_coverage()
+        if self.is_draining:
+            status, code = "draining", 503
+        elif (
+            coverage is not None
+            and coverage.fraction < self.config.min_coverage
+        ):
+            status, code = "unavailable", 503
+        elif coverage is not None and not coverage.complete:
+            status, code = "degraded", 200
+        else:
+            status, code = "ok", 200
+        payload: Dict[str, Any] = {
+            "status": status,
+            "uptime_s": round(self.uptime_s, 3),
+            "queue_depth": self.queue_depth,
+            "workers": self.config.workers,
+        }
+        if coverage is not None:
+            payload["coverage"] = coverage.to_dict()
+        return code, payload
 
     def stats(self) -> ServerStats:
         """Serving-layer counters snapshot."""

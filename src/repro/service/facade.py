@@ -74,6 +74,12 @@ class ServiceStats:
     deadline_hits: int = 0
     #: Queries answered degraded (stages skipped or fallback inference).
     degraded_answers: int = 0
+    #: Degraded queries broken down by reason (``"deadline"``,
+    #: ``"shard_failure"``); a query degraded for both counts under both.
+    degraded_reasons: Dict[str, int] = field(default_factory=dict)
+    #: Queries answered from a partial corpus (some shard unreachable) —
+    #: the subset of ``degraded_answers`` carrying a coverage record.
+    partial_answers: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-dict form for logging/CLI output."""
@@ -90,6 +96,8 @@ class ServiceStats:
             },
             "deadline_hits": self.deadline_hits,
             "degraded_answers": self.degraded_answers,
+            "degraded_reasons": dict(sorted(self.degraded_reasons.items())),
+            "partial_answers": self.partial_answers,
         }
 
 
@@ -161,6 +169,8 @@ class WWTService:
         self._stage_stats: Dict[str, StageAccumulator] = {}
         self._deadline_hits = 0
         self._degraded_answers = 0
+        self._degraded_reasons: Dict[str, int] = {}
+        self._partial_answers = 0
 
     # -- the pipeline -----------------------------------------------------
 
@@ -216,16 +226,21 @@ class WWTService:
             else:
                 _FULL_PLAN.run(ctx, state)
         finally:
-            self._record_execution(ctx)
+            self._record_execution(ctx, state)
         if not hit:
             # A truncated probe (skipped stages) is partial — caching it
             # would serve short candidate sets to unbounded queries.  A
-            # probe that ran every stage is the query's real candidate
+            # probe computed over a partial corpus (shards unreachable)
+            # is partial the same way: replaying it after the shards heal
+            # would pin the outage's candidate set.  A probe that ran
+            # every stage at full coverage is the query's real candidate
             # set and cacheable even when a *later* stage degraded.
             probe_spans = [
                 s for s in ctx.root.children if s.name.startswith("probe.")
             ]
-            if all(s.status != SPAN_SKIPPED for s in probe_spans):
+            if all(s.status != SPAN_SKIPPED for s in probe_spans) and (
+                state.coverage is None or state.coverage.complete
+            ):
                 self._probe_cache.put(probe_key, (state.probe, probe_spans))
 
         return WWTAnswer(
@@ -238,9 +253,13 @@ class WWTService:
             spans=ctx.root,
             degraded=ctx.degraded,
             stages_ran=ctx.root.stage_names(),
+            degraded_reasons=list(ctx.degraded_reasons),
+            coverage=state.coverage,
         )
 
-    def _record_execution(self, ctx: ExecutionContext) -> None:
+    def _record_execution(
+        self, ctx: ExecutionContext, state: Optional[QueryState] = None
+    ) -> None:
         """Fold one execution's spans into the per-stage aggregates."""
         with self._lock:
             for span in ctx.root.leaves():
@@ -264,6 +283,12 @@ class WWTService:
                 self._deadline_hits += 1
             if ctx.degraded:
                 self._degraded_answers += 1
+            for reason in ctx.degraded_reasons:
+                self._degraded_reasons[reason] = (
+                    self._degraded_reasons.get(reason, 0) + 1
+                )
+            if state is not None and state.coverage is not None:
+                self._partial_answers += 1
 
     def _cached_answer(
         self,
@@ -376,6 +401,8 @@ class WWTService:
             stages_ran=list(full.stages_ran),
             trace=full.spans,
             explain=build_explain(full) if request.explain else None,
+            degraded_reasons=list(full.degraded_reasons),
+            coverage=full.coverage,
         )
 
     def answer_batch(
@@ -479,6 +506,8 @@ class WWTService:
             }
             deadline_hits = self._deadline_hits
             degraded_answers = self._degraded_answers
+            degraded_reasons = dict(self._degraded_reasons)
+            partial_answers = self._partial_answers
         feature = self._feature_cache.stats()  # one atomic snapshot
         return ServiceStats(
             queries=queries,
@@ -495,7 +524,21 @@ class WWTService:
             stages=stages,
             deadline_hits=deadline_hits,
             degraded_answers=degraded_answers,
+            degraded_reasons=degraded_reasons,
+            partial_answers=partial_answers,
         )
+
+    def coverage(self) -> Optional[Any]:
+        """The served corpus's current shard :class:`~repro.faults.Coverage`.
+
+        ``None`` when the corpus has no failure domains (monolithic, or
+        sharded without a health policy) — absence means "coverage is not
+        a concept here", not "coverage is unknown".
+        """
+        coverage_fn = getattr(self.corpus, "coverage", None)
+        if coverage_fn is None:
+            return None
+        return coverage_fn()
 
     def clear_caches(self) -> None:
         """Drop all serving caches (hit/miss counters are kept).

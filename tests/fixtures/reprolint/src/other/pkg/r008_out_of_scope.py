@@ -1,0 +1,8 @@
+"""R008 negative: absorbing a failure outside the recovery packages."""
+
+
+def poll(fn):
+    try:
+        return fn()
+    except Exception:
+        return None

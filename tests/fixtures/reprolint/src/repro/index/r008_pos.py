@@ -1,0 +1,18 @@
+"""R008 positive: recovery paths absorbing failures without recording."""
+
+
+def load_shard(path, shards):
+    try:
+        return shards[path]
+    except KeyError:  # line 7: flagged (absorbed, nothing recorded)
+        return None
+
+
+def scatter(jobs):
+    results = []
+    for job in jobs:
+        try:
+            results.append(job())
+        except Exception:  # line 16: flagged (shard failure vanishes)
+            continue
+    return results

@@ -1,10 +1,10 @@
 """Fixture-based self-tests for the reprolint invariant linter.
 
-Every rule R001-R007 is exercised against a positive fixture (code that
+Every rule R001-R008 is exercised against a positive fixture (code that
 must be flagged, with pinned line numbers) and a negative fixture (the
 compliant counterpart, which must be clean); the scoped rules (R003,
-R006) additionally prove the same code is *not* flagged outside their
-packages.  The hygiene fixtures pin the disable-comment grammar: a
+R006, R008) additionally prove the same code is *not* flagged outside
+their packages.  The hygiene fixtures pin the disable-comment grammar: a
 reasoned disable suppresses exactly its target, while bare, unknown-id,
 and malformed disables are themselves errors (R000).  Finally, the
 linter must run green over the real ``src/``, ``benchmarks/``, and
@@ -39,10 +39,11 @@ def lines_of(violations, rule_id):
 
 
 class TestRuleCatalog(unittest.TestCase):
-    def test_all_seven_rules_registered_in_order(self):
+    def test_all_rules_registered_in_order(self):
         self.assertEqual(
             [rule.id for rule in ALL_RULES],
-            ["R001", "R002", "R003", "R004", "R005", "R006", "R007"],
+            ["R001", "R002", "R003", "R004", "R005", "R006", "R007",
+             "R008"],
         )
 
     def test_every_rule_has_title_and_docstring(self):
@@ -51,7 +52,7 @@ class TestRuleCatalog(unittest.TestCase):
             self.assertTrue((rule.__doc__ or "").strip(), rule.id)
 
     def test_lookup_by_id(self):
-        self.assertIs(RULES_BY_ID["R007"], ALL_RULES[-1])
+        self.assertIs(RULES_BY_ID["R008"], ALL_RULES[-1])
 
 
 class TestR001WallClock(unittest.TestCase):
@@ -129,6 +130,20 @@ class TestR007MutableDefault(unittest.TestCase):
 
     def test_negative_none_sentinels_are_clean(self):
         self.assertEqual(lint_fixture("src/repro/core/r007_neg.py"), [])
+
+
+class TestR008UnrecordedRecovery(unittest.TestCase):
+    def test_positive(self):
+        violations = lint_fixture("src/repro/index/r008_pos.py")
+        self.assertEqual(lines_of(violations, "R008"), [7, 16])
+
+    def test_negative_recording_handlers_are_clean(self):
+        self.assertEqual(lint_fixture("src/repro/index/r008_neg.py"), [])
+
+    def test_negative_out_of_scope_package(self):
+        self.assertEqual(
+            lint_fixture("src/other/pkg/r008_out_of_scope.py"), []
+        )
 
 
 class TestDisableHygiene(unittest.TestCase):

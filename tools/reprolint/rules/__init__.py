@@ -19,6 +19,7 @@ from .r004_unbounded_cache import UnboundedCacheRule
 from .r005_lock_discipline import LockDisciplineRule
 from .r006_swallowed_cancellation import SwallowedCancellationRule
 from .r007_mutable_default import MutableDefaultRule
+from .r008_unrecorded_recovery import UnrecordedRecoveryRule
 
 __all__ = [
     "ALL_RULES",
@@ -30,6 +31,7 @@ __all__ = [
     "LockDisciplineRule",
     "SwallowedCancellationRule",
     "MutableDefaultRule",
+    "UnrecordedRecoveryRule",
 ]
 
 #: Every rule, instantiated, in id order.
@@ -41,6 +43,7 @@ ALL_RULES: List[Rule] = [
     LockDisciplineRule(),
     SwallowedCancellationRule(),
     MutableDefaultRule(),
+    UnrecordedRecoveryRule(),
 ]
 
 #: Rule lookup by id (``"R001"`` …), used for disable-comment validation.
