@@ -1,0 +1,420 @@
+# reprolint: disable-file=R001 -- benchmark harness: measures real wall-clock scatter/serve/cold-open latency by design; results are reports, not ranked answers
+"""Parallel-execution benchmark: scatter modes, serve modes, lazy opens.
+
+Measures the three surfaces ISSUE 10 added and what each one promises:
+
+- **scatter**: the same persisted corpus loaded with
+  ``parallel_mode`` in (serial, thread, process) at several worker
+  counts; reports per-query scatter latency and speedup over serial.
+  Speedups are *recorded, never gated* — on a single-core container
+  process scatter pays IPC for no parallelism and honestly loses.
+- **identity**: the full 59-query workload answered end-to-end under
+  every mode must be byte-identical (the two-phase idf design's whole
+  claim; fatal under ``--strict``).
+- **serve modes**: ``execution_mode="thread"`` vs ``"async"`` under
+  closed-loop load — throughput recorded, answer payloads compared
+  byte-for-byte (diffs fatal under ``--strict``).
+- **lazy store**: cold time-to-first-table of an eager
+  ``TableStore.load`` (parses every row) vs ``LazyTableStore.open``
+  (offset sidecar + one row parse) at 10^5 tables.
+
+Emits machine-readable ``BENCH_parallel.json``; CI runs
+``--smoke --strict`` and uploads the artifact.
+
+Run standalone (no pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py --smoke
+    PYTHONPATH=src python benchmarks/bench_parallel.py \
+        --scale 0.3 --workers 1 2 4 --shards 8 \
+        --out results/BENCH_parallel.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.corpus.generator import CorpusConfig, generate_corpus  # noqa: E402
+from repro.index import ShardedCorpus, build_sharded_corpus  # noqa: E402
+from repro.index.store import (  # noqa: E402
+    LazyTableStore,
+    TableStore,
+    write_offsets_sidecar,
+)
+from repro.query.workload import WORKLOAD  # noqa: E402
+from repro.serve import ReproServer, ServeClient, ServeConfig  # noqa: E402
+from repro.serve.protocol import answer_payload  # noqa: E402
+from repro.service import QueryRequest, WWTService  # noqa: E402
+from repro.tables.table import WebTable  # noqa: E402
+from repro.text.tokenize import tokenize  # noqa: E402
+
+MODES = ("serial", "thread", "process")
+
+
+def term_sets_for(queries):
+    """Analyzed search-term lists, one per workload query."""
+    sets = []
+    for query in queries:
+        terms = []
+        for column in query.columns:
+            terms.extend(tokenize(column))
+        if terms:
+            sets.append(sorted(set(terms)))
+    return sets
+
+
+def load_mode(corpus_dir, mode, workers):
+    """Open the persisted corpus under one scatter configuration."""
+    return ShardedCorpus.load(
+        corpus_dir, probe_workers=workers, parallel_mode=mode
+    )
+
+
+def bench_scatter(corpus_dir, term_sets, workers_list, repeats):
+    """Per-query scatter latency for every mode × worker count."""
+    rows = []
+    serial_ms = None
+    for mode in MODES:
+        for workers in ([1] if mode == "serial" else workers_list):
+            corpus = load_mode(corpus_dir, mode, workers)
+            try:
+                corpus.search(term_sets[0], limit=20)  # warm: mmap + spawn
+                samples = []
+                for _ in range(repeats):
+                    t0 = time.perf_counter()
+                    for terms in term_sets:
+                        corpus.search(terms, limit=20)
+                    samples.append(
+                        (time.perf_counter() - t0) * 1000.0 / len(term_sets)
+                    )
+            finally:
+                corpus.close()
+            per_query_ms = min(samples)
+            if mode == "serial":
+                serial_ms = per_query_ms
+            row = {
+                "mode": mode,
+                "workers": workers,
+                "per_query_ms": round(per_query_ms, 4),
+                "speedup_vs_serial": (
+                    round(serial_ms / per_query_ms, 3) if serial_ms else None
+                ),
+            }
+            rows.append(row)
+            print(f"  {mode:>7} x{workers}: {row['per_query_ms']:>8.3f} "
+                  f"ms/query  ({row['speedup_vs_serial']}x vs serial)",
+                  flush=True)
+    return rows
+
+
+def bench_mode_identity(corpus_dir, queries, workers):
+    """End-to-end answers under every mode, compared byte-for-byte."""
+    digests = {}
+    for mode in MODES:
+        corpus = load_mode(corpus_dir, mode, workers)
+        try:
+            service = WWTService(corpus)
+            digests[mode] = [
+                json.dumps(
+                    answer_payload(
+                        service.answer(QueryRequest(query=q, use_cache=False))
+                    ),
+                    sort_keys=True,
+                )
+                for q in queries
+            ]
+        finally:
+            corpus.close()
+    diffs = sum(
+        1
+        for i in range(len(queries))
+        if not (
+            digests["serial"][i] == digests["thread"][i]
+            == digests["process"][i]
+        )
+    )
+    return {"queries": len(queries), "workers": workers, "mode_diffs": diffs}
+
+
+def run_closed_loop(server, queries, concurrency, requests_per_client):
+    """Closed-loop load against a live server; returns (qps, errors)."""
+    results = []
+    lock = threading.Lock()
+
+    def client_loop(worker_id):
+        rows = []
+        with ServeClient(
+            server.host, server.port, timeout_s=60.0,
+            client_id=f"load-{worker_id}",
+        ) as client:
+            for i in range(requests_per_client):
+                query = queries[(worker_id + i) % len(queries)]
+                try:
+                    status, _, _ = client.query(
+                        {"query": str(query), "use_cache": False}
+                    )
+                except OSError:
+                    status = -1
+                rows.append(status)
+        with lock:
+            results.extend(rows)
+
+    threads = [
+        threading.Thread(target=client_loop, args=(worker_id,))
+        for worker_id in range(concurrency)
+    ]
+    t0 = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed_s = time.perf_counter() - t0
+    answered = sum(1 for s in results if s == 200)
+    errors = sum(1 for s in results if s != 200)
+    return {
+        "requests": len(results),
+        "answered_2xx": answered,
+        "errors": errors,
+        "elapsed_s": round(elapsed_s, 3),
+        "qps": round(answered / elapsed_s, 2) if elapsed_s else None,
+    }
+
+
+def bench_serve_modes(corpus, queries, concurrency, requests_per_client):
+    """thread vs async serving: throughput + answer byte-identity."""
+    rows = {}
+    answers = {}
+    for mode in ("thread", "async"):
+        service = WWTService(corpus)
+        config = ServeConfig(
+            port=0, workers=4, queue_depth=64, execution_mode=mode
+        )
+        with ReproServer(service, config) as server:
+            # One sequential pass first, capturing payloads for identity.
+            with ServeClient(server.host, server.port) as client:
+                answers[mode] = []
+                for query in queries:
+                    status, _, body = client.query(
+                        {"query": str(query), "use_cache": False}
+                    )
+                    answers[mode].append(
+                        json.dumps(body["answer"], sort_keys=True)
+                        if status == 200 else f"status={status}"
+                    )
+            row = run_closed_loop(
+                server, queries, concurrency, requests_per_client
+            )
+        rows[mode] = row
+        print(f"  {mode:>6}: {row['qps']:>7.1f} qps "
+              f"({row['answered_2xx']}/{row['requests']} answered, "
+              f"{row['errors']} errors)", flush=True)
+    diffs = sum(
+        1 for a, b in zip(answers["thread"], answers["async"]) if a != b
+    )
+    ratio = (
+        round(rows["async"]["qps"] / rows["thread"]["qps"], 3)
+        if rows["thread"]["qps"] else None
+    )
+    return {
+        "thread": rows["thread"],
+        "async": rows["async"],
+        "async_vs_thread_qps": ratio,
+        "answer_diffs": diffs,
+    }
+
+
+def bench_lazy_cold(num_tables, repeats):
+    """Cold time-to-first-table: eager full parse vs lazy offset open."""
+    with tempfile.TemporaryDirectory(prefix="bench-lazy-") as tmp:
+        path = Path(tmp) / "tables.jsonl"
+        with path.open("w", encoding="utf-8") as fh:
+            for i in range(num_tables):
+                table = WebTable.from_rows(
+                    [[f"value {i}", str(i), f"note {i % 97}"]],
+                    header=["name", "rank", "note"],
+                    table_id=f"t{i}",
+                )
+                fh.write(json.dumps(table.to_dict(), ensure_ascii=False))
+                fh.write("\n")
+        write_offsets_sidecar(path)
+        ids = [f"t{i}" for i in range(num_tables)]
+        first = ids[num_tables // 2]
+
+        eager_ms, lazy_ms = [], []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            store = TableStore.load(path)
+            store.get(first)
+            eager_ms.append((time.perf_counter() - t0) * 1000.0)
+
+            t0 = time.perf_counter()
+            lazy = LazyTableStore.open(path, ids)
+            lazy.get(first)
+            lazy_ms.append((time.perf_counter() - t0) * 1000.0)
+            lazy.close()
+
+    row = {
+        "num_tables": num_tables,
+        "eager_first_probe_ms": round(min(eager_ms), 3),
+        "lazy_first_probe_ms": round(min(lazy_ms), 3),
+        "speedup": round(min(eager_ms) / min(lazy_ms), 2),
+    }
+    print(f"  {num_tables} tables: eager {row['eager_first_probe_ms']:.1f}ms"
+          f" vs lazy {row['lazy_first_probe_ms']:.2f}ms "
+          f"({row['speedup']}x)", flush=True)
+    return row
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[1])
+    parser.add_argument("--scale", type=float, default=None,
+                        help="corpus scale (default 0.3)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--queries", type=int, default=None,
+                        help="workload queries (default: all 59)")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="shard count for the persisted corpus "
+                             "(default 8)")
+    parser.add_argument("--workers", type=int, nargs="+", default=None,
+                        help="worker counts for thread/process scatter "
+                             "(default: 1 2 4)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timing repeats, best-of taken (default 3)")
+    parser.add_argument("--lazy-tables", type=int, default=None,
+                        help="table count for the lazy-open comparison "
+                             "(default 100000)")
+    parser.add_argument("--concurrency", type=int, default=None,
+                        help="closed-loop clients for the serve sweep "
+                             "(default 4)")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="requests per closed-loop client (default 6)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast run for CI; fills any unset "
+                             "option with scale 0.05, 8 queries, 4 shards, "
+                             "workers 1 2, 2000 lazy tables")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero on any cross-mode identity "
+                             "diff (speedups are recorded, never gated)")
+    parser.add_argument("--out", metavar="PATH",
+                        default=str(REPO_ROOT / "results"
+                                    / "BENCH_parallel.json"))
+    args = parser.parse_args(argv)
+
+    # --smoke only fills options the user left unset.
+    smoke_defaults = (0.05, 8, 4, [1, 2], 2, 2000, 2, 3)
+    full_defaults = (0.3, len(WORKLOAD), 8, [1, 2, 4], 3, 100_000, 4, 6)
+    for name, value in zip(
+        ("scale", "queries", "shards", "workers", "repeats",
+         "lazy_tables", "concurrency", "requests"),
+        smoke_defaults if args.smoke else full_defaults,
+    ):
+        if getattr(args, name) is None:
+            setattr(args, name, value)
+
+    queries = [wq.query for wq in WORKLOAD[: args.queries]]
+    t0 = time.perf_counter()
+    corpus = generate_corpus(
+        CorpusConfig(seed=args.seed, scale=args.scale)
+    ).corpus
+    tables = list(corpus.store)
+    print(f"parallel benchmark: scale={args.scale} "
+          f"({len(tables)} tables, "
+          f"{time.perf_counter() - t0:.1f}s to build), "
+          f"{len(queries)} queries, shards={args.shards}, "
+          f"workers={args.workers}, cpu_count={os.cpu_count()}",
+          flush=True)
+
+    with tempfile.TemporaryDirectory(prefix="bench-parallel-") as tmp:
+        corpus_dir = Path(tmp) / "corpus"
+        build_sharded_corpus(tables, args.shards).save(corpus_dir)
+
+        print("scatter latency (best-of, caches cold per mode):",
+              flush=True)
+        scatter = bench_scatter(
+            corpus_dir, term_sets_for(queries), args.workers, args.repeats
+        )
+
+        print("cross-mode identity (end-to-end answers):", flush=True)
+        identity = bench_mode_identity(
+            corpus_dir, queries, max(args.workers)
+        )
+        print(f"  {identity['mode_diffs']} diffs over "
+              f"{identity['queries']} queries x {len(MODES)} modes",
+              flush=True)
+
+    print("serve modes (closed-loop, caches off):", flush=True)
+    serve = bench_serve_modes(
+        corpus, queries, args.concurrency, args.requests
+    )
+    print(f"  answer identity: {serve['answer_diffs']} diffs over "
+          f"{len(queries)} queries", flush=True)
+
+    print("lazy table store (cold time-to-first-table):", flush=True)
+    lazy = bench_lazy_cold(args.lazy_tables, max(2, args.repeats))
+
+    failures = []
+    if identity["mode_diffs"]:
+        failures.append(
+            f"{identity['mode_diffs']} cross-mode answer diffs"
+        )
+    if serve["answer_diffs"]:
+        failures.append(
+            f"{serve['answer_diffs']} thread-vs-async answer diffs"
+        )
+    for mode in ("thread", "async"):
+        if serve[mode]["errors"]:
+            failures.append(
+                f"{serve[mode]['errors']} serve errors in {mode} mode"
+            )
+
+    report = {
+        "benchmark": "parallel",
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+        },
+        "config": {
+            "seed": args.seed,
+            "scale": args.scale,
+            "num_queries": len(queries),
+            "shards": args.shards,
+            "workers": args.workers,
+            "repeats": args.repeats,
+            "lazy_tables": args.lazy_tables,
+            "concurrency": args.concurrency,
+            "requests_per_client": args.requests,
+            "smoke": args.smoke,
+        },
+        "scatter": scatter,
+        "identity": identity,
+        "serve_modes": serve,
+        "lazy_store": lazy,
+        "failures": failures,
+    }
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2), encoding="utf-8")
+    print(f"wrote {out}")
+
+    if failures:
+        for failure in failures:
+            print(f"WARNING: {failure}", file=sys.stderr)
+        if args.strict:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

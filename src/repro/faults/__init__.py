@@ -33,6 +33,7 @@ from .injection import (
     POINT_SERVE_WORKER,
     POINT_SHARD_MATERIALIZE,
     POINT_SHARD_SEARCH,
+    POINT_SHARD_WORKER,
     POINT_STORE_GET,
     EveryNth,
     FaultInjector,
@@ -64,6 +65,7 @@ __all__ = [
     "POINT_SERVE_WORKER",
     "POINT_SHARD_MATERIALIZE",
     "POINT_SHARD_SEARCH",
+    "POINT_SHARD_WORKER",
     "POINT_STORE_GET",
     "WithProbability",
     "activate",

@@ -58,12 +58,13 @@ from typing import (
     Set,
     Tuple,
     Union,
+    cast,
 )
 
 from ..faults.injection import POINT_SHARD_MATERIALIZE, trip
 from ..text.tfidf import TermStatistics
 from .inverted import InvertedIndex, _PostingList
-from .store import TableStore
+from .store import LazyTableStore, TableStore
 
 __all__ = [
     "BIN_MAGIC",
@@ -627,12 +628,20 @@ class LazyShard:
                     expected_bytes=self._expected_bytes,
                     expected_crc32=self._expected_crc32,
                 )
-                store = TableStore.load(self._dir / "tables.jsonl")
-                if index.num_docs != len(store):
-                    raise ValueError(
-                        f"{self._dir}: index holds {index.num_docs} "
-                        f"documents but the table store holds {len(store)}"
-                    )
+                # Lazy store: the decoded index's doc-name order *is* the
+                # tables.jsonl line order (both follow build insertion
+                # order), so no id sidecar is needed — rows parse on
+                # first get(), erasing the eager-JSON cold-start cliff.
+                # A decoded snapshot is removal-free (the encoder rejects
+                # None doc names), hence the cast.
+                # The lazy open itself enforces index-vs-store row-count
+                # agreement: a tables.jsonl with more or fewer rows than
+                # the decoded index has documents fails construction with
+                # a "table store holds N rows" ValueError.
+                store: TableStore = LazyTableStore.open(
+                    self._dir / "tables.jsonl",
+                    cast(List[str], index._doc_names),
+                )
                 if len(store) != self._num_tables:
                     raise ValueError(
                         f"{self._dir}: shard holds {len(store)} tables but "

@@ -46,7 +46,7 @@ from ..text.tfidf import TermStatistics
 from ..text.tokenize import tokenize
 from .binfmt import SHARD_BIN_FILE, read_index_bin, write_index_bin
 from .inverted import FIELD_BOOSTS, InvertedIndex, SearchHit
-from .store import TableStore
+from .store import TableStore, write_offsets_sidecar
 
 __all__ = [
     "IndexedCorpus",
@@ -236,6 +236,9 @@ def _save_shard(
     shard_dir.mkdir(parents=True, exist_ok=True)
     extras = _write_shard_index(shard_dir, index, index_format)
     store.save(shard_dir / SHARD_TABLES_FILE)
+    # Row-offset sidecar: lets LazyShard open the table store without
+    # parsing (or even reading) tables.jsonl — see store.LazyTableStore.
+    write_offsets_sidecar(shard_dir / SHARD_TABLES_FILE)
     return extras
 
 
@@ -582,6 +585,7 @@ def build_corpus_stream(
             "dir": shard_dir.name, "num_tables": len(store),
         }
         entry.update(_write_shard_index(shard_dir, index, index_format))
+        write_offsets_sidecar(shard_dir / SHARD_TABLES_FILE)
         shard_entries.append(entry)
     return txn.finish(
         shard_entries, stats, kind=kind, journal_seq=0,

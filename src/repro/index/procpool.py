@@ -1,0 +1,330 @@
+"""``repro.index.procpool`` — process-pool scatter execution for shards.
+
+``probe_workers`` threads buy little for the CPU-bound shard probe: the
+GIL serializes the scoring loops.  This module escapes it with a
+persistent pool of **worker processes**, each opening its own shard via
+the version-3 mmap :class:`~repro.index.binfmt.LazyShard` path — a
+cheap per-worker open with zero index pickling — and answering scatter
+requests with top-k postings over IPC.
+
+**IPC protocol.**  Only primitives cross the boundary, in both
+directions:
+
+- down: the corpus directory path (at spawn), shard ordinals, term
+  lists, limits, field lists, and an explicit ``{term: idf}`` mapping;
+- up: document-frequency dicts, ``(doc_id, score, field_scores)`` hit
+  tuples, and sorted doc-id lists.
+
+No index, store, lock, mmap handle, or socket is ever pickled
+(reprolint R009 enforces this shape repo-wide).  Shipping the *parent's*
+IDF values down is what makes process-mode rankings bit-identical to
+serial execution: the worker scores with exactly the floats the parent
+computed from corpus-global document frequencies, so per-document scores
+— and therefore the gather merge — cannot drift.
+
+**Fork-vs-spawn contract.**  The pool always uses the ``spawn`` start
+method, on every platform: a forked child would inherit the parent's
+mmap views, executor threads, lock states, and any active
+:class:`~repro.faults.injection.FaultInjector` mid-flight — exactly the
+shared state whose absence makes worker crashes recoverable.  Spawned
+workers rebuild the world from the persisted corpus directory alone,
+which is also why process mode requires a *saved* corpus.
+
+**Failure contract.**  A worker crash (``BrokenProcessPool``) or an IPC
+timeout discards the executor — the next scatter attempt lazily builds a
+fresh pool, i.e. respawns the workers — and re-raises, so
+:class:`~repro.index.sharded.ShardedCorpus` feeds the failure into its
+per-shard :class:`~repro.faults.health.HealthTracker` (retry →
+quarantine → reopen) instead of killing the query.  Fault rules armed at
+the ``shard.worker`` point ship to workers at (re)spawn, so chaos tests
+can fault inside the child process deterministically.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..faults.injection import (
+    POINT_SHARD_WORKER,
+    FaultInjector,
+    FaultRule,
+    activate,
+    active_injector,
+    trip,
+)
+
+__all__ = ["ProcessScatterPool", "DEFAULT_IPC_TIMEOUT_S"]
+
+#: How long the parent waits for one worker reply before declaring the
+#: shard unreachable (generous: a cold worker decodes its shard first).
+DEFAULT_IPC_TIMEOUT_S = 60.0
+
+#: A hit crossing the IPC boundary: ``(doc_id, score, field_scores)``.
+HitTuple = Tuple[str, float, Dict[str, float]]
+
+
+# -- worker-process side -------------------------------------------------------
+#
+# Everything below the fold runs inside a spawned worker.  State lives in
+# process-global module variables (re-initialized per spawn by
+# `_worker_init`), never in pickled closures.
+
+_WORKER_DIR: Optional[Path] = None
+_WORKER_MANIFEST: Optional[Dict[str, Any]] = None
+_WORKER_STATS: Optional[Any] = None
+_WORKER_SHARDS: Dict[int, Any] = {}
+
+
+def _worker_init(corpus_dir: str, rules: Sequence[FaultRule]) -> None:  # pragma: no cover - runs in spawned workers
+    """Per-spawn initializer: read the manifest, arm shipped fault rules.
+
+    Runs once in each fresh worker process.  Only the manifest and stats
+    are read here — shard snapshots decode lazily on the first request
+    for their ordinal, so a pool over N shards with W < N workers never
+    pays for shards a worker is not asked about.
+    """
+    global _WORKER_DIR, _WORKER_MANIFEST, _WORKER_STATS
+    from .builder import load_stats, read_manifest
+
+    _WORKER_DIR = Path(corpus_dir)
+    _WORKER_MANIFEST = read_manifest(_WORKER_DIR)
+    _WORKER_STATS = load_stats(_WORKER_DIR)
+    _WORKER_SHARDS.clear()
+    if rules and active_injector() is None:
+        activate(FaultInjector(list(rules)))
+
+
+def _worker_shard(ordinal: int) -> Any:  # pragma: no cover - runs in spawned workers
+    """The worker's own view of shard ``ordinal`` (opened on first use)."""
+    shard = _WORKER_SHARDS.get(ordinal)
+    if shard is None:
+        if _WORKER_DIR is None or _WORKER_MANIFEST is None:
+            raise RuntimeError("worker used before _worker_init ran")
+        from .binfmt import LazyShard
+        from .builder import INDEX_VERSION, IndexedCorpus, _load_shard
+
+        entry = _WORKER_MANIFEST["shards"][ordinal]
+        if _WORKER_MANIFEST["version"] == INDEX_VERSION:
+            shard = LazyShard(
+                _WORKER_DIR / entry["dir"], entry, _WORKER_STATS,
+                _WORKER_MANIFEST["boosts"],
+            )
+        else:
+            index, store = _load_shard(
+                _WORKER_DIR / entry["dir"],
+                version=_WORKER_MANIFEST["version"], entry=entry,
+            )
+            shard = IndexedCorpus(
+                index=index, store=store, stats=_WORKER_STATS
+            )
+        _WORKER_SHARDS[ordinal] = shard
+    return shard
+
+
+def _worker_df(ordinal: int, terms: Sequence[str]) -> Dict[str, int]:  # pragma: no cover - runs in spawned workers
+    """Per-term local document frequencies of one shard (worker side)."""
+    trip(POINT_SHARD_WORKER, key=str(ordinal))
+    index = _worker_shard(ordinal).index
+    return {term: index.document_frequency(term) for term in terms}
+
+
+def _worker_search(  # pragma: no cover - runs in spawned workers
+    ordinal: int,
+    terms: Sequence[str],
+    limit: int,
+    fields: Optional[List[str]],
+    idf_values: Dict[str, float],
+    with_field_scores: bool,
+) -> List[HitTuple]:
+    """One shard's ranked probe, scored with the parent's IDF values.
+
+    The explicit ``idf_values`` lookup (not a recomputation) is the
+    bit-identity seam: the worker multiplies by the exact floats the
+    serial path would.
+    """
+    trip(POINT_SHARD_WORKER, key=str(ordinal))
+    index = _worker_shard(ordinal).index
+
+    def idf(term: str) -> float:
+        return idf_values[term]
+
+    hits = index.search(
+        terms, limit=limit, fields=fields, idf=idf,
+        with_field_scores=with_field_scores,
+    )
+    return [(h.doc_id, h.score, h.field_scores) for h in hits]
+
+
+def _worker_docs_all(  # pragma: no cover - runs in spawned workers
+    ordinal: int, terms: Sequence[str], fields: List[str]
+) -> List[str]:
+    """One shard's conjunctive containment probe (worker side).
+
+    Returns a sorted list (not a set) so the bytes on the pipe are
+    deterministic; the parent unions shard results anyway.
+    """
+    trip(POINT_SHARD_WORKER, key=str(ordinal))
+    docs = _worker_shard(ordinal).index.docs_containing_all(terms, fields)
+    return sorted(docs)
+
+
+# -- parent-process side -------------------------------------------------------
+
+
+class ProcessScatterPool:
+    """A persistent, self-healing pool of shard-probe worker processes.
+
+    The executor builds lazily on first use and is *discarded* (never
+    repaired in place) on a crash or timeout, so the next scatter attempt
+    — typically the health tracker's half-open reopen probe — respawns
+    fresh workers.  All public methods block for at most ``timeout_s``
+    per request and raise the underlying failure through to the caller's
+    failure-domain accounting.
+
+    Fault rules armed at the ``shard.worker`` point on the parent's
+    active injector are snapshotted into each (re)spawned pool, giving
+    deterministic in-worker faulting; keyed rules (key = shard ordinal)
+    stay deterministic regardless of which worker serves the ordinal.
+    """
+
+    def __init__(
+        self,
+        corpus_dir: Union[str, Path],
+        workers: int,
+        timeout_s: float = DEFAULT_IPC_TIMEOUT_S,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("a ProcessScatterPool needs workers >= 1")
+        self._dir = str(corpus_dir)
+        self._workers = workers
+        self._timeout_s = timeout_s
+        self._lock = threading.Lock()
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._spawns = 0
+
+    @property
+    def workers(self) -> int:
+        """Configured worker-process count."""
+        return self._workers
+
+    @property
+    def spawns(self) -> int:
+        """How many times a pool has been (re)built — respawn telemetry."""
+        return self._spawns
+
+    def _shard_worker_rules(self) -> List[FaultRule]:
+        """``shard.worker`` rules to ship to freshly spawned workers."""
+        injector = active_injector()
+        if injector is None:
+            return []
+        return [
+            rule for rule in injector.rules()
+            if rule.point == POINT_SHARD_WORKER
+        ]
+
+    def _ensure(self) -> ProcessPoolExecutor:
+        """The live executor, building (= spawning workers) if needed."""
+        with self._lock:
+            executor = self._executor
+            if executor is None:
+                executor = ProcessPoolExecutor(
+                    max_workers=self._workers,
+                    mp_context=multiprocessing.get_context("spawn"),
+                    initializer=_worker_init,
+                    initargs=(self._dir, tuple(self._shard_worker_rules())),
+                )
+                self._executor = executor
+                self._spawns += 1
+            return executor
+
+    def _discard(self, executor: ProcessPoolExecutor) -> None:
+        """Drop a broken/timed-out executor so the next call respawns."""
+        with self._lock:
+            if self._executor is executor:
+                self._executor = None
+        executor.shutdown(wait=False, cancel_futures=True)
+
+    def _run(self, fn: Callable[..., Any], *args: Any) -> Any:
+        """Submit one request and wait for its reply (bounded).
+
+        A broken pool or a timeout discards the executor and re-raises —
+        the caller's health tracker records the failure and its reopen
+        probe triggers the respawn.  An exception *returned* by a healthy
+        worker (e.g. an :class:`~repro.faults.injection.InjectedFault`)
+        re-raises without discarding: the process is fine, the probe
+        failed.
+        """
+        executor = self._ensure()
+        try:
+            future = executor.submit(fn, *args)
+            return future.result(timeout=self._timeout_s)
+        except (BrokenProcessPool, FutureTimeoutError):
+            self._discard(executor)
+            raise
+
+    # -- scatter requests ------------------------------------------------------
+
+    def document_frequencies(
+        self, ordinal: int, terms: Sequence[str]
+    ) -> Dict[str, int]:
+        """Shard ``ordinal``'s local df for each term, over IPC."""
+        result = self._run(_worker_df, ordinal, list(terms))
+        return dict(result)
+
+    def search(
+        self,
+        ordinal: int,
+        terms: Sequence[str],
+        limit: int,
+        fields: Optional[List[str]],
+        idf_values: Dict[str, float],
+        with_field_scores: bool,
+    ) -> List[HitTuple]:
+        """Shard ``ordinal``'s local top-``limit``, scored with
+        ``idf_values``, over IPC."""
+        result = self._run(
+            _worker_search, ordinal, list(terms), limit, fields,
+            dict(idf_values), with_field_scores,
+        )
+        return list(result)
+
+    def docs_containing_all(
+        self, ordinal: int, terms: Sequence[str], fields: List[str]
+    ) -> List[str]:
+        """Shard ``ordinal``'s local conjunctive containment, over IPC."""
+        result = self._run(
+            _worker_docs_all, ordinal, list(terms), list(fields)
+        )
+        return list(result)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def worker_pids(self) -> List[int]:
+        """Live worker process ids (chaos tests kill these for real)."""
+        with self._lock:
+            executor = self._executor
+        if executor is None:
+            return []
+        processes = getattr(executor, "_processes", None) or {}
+        return sorted(processes.keys())
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent); a later scatter respawns it."""
+        with self._lock:
+            executor = self._executor
+            self._executor = None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "live" if self._executor is not None else "idle"
+        return (
+            f"ProcessScatterPool({self._dir!r}, workers={self._workers}, "
+            f"{state}, spawns={self._spawns})"
+        )

@@ -4,18 +4,48 @@ The offline pipeline extracts tables once and stores them on disk; query
 time reads raw tables back by id (the "Table Read" slices of Figure 7).
 Storage is JSON-lines — one table per line — which keeps the store
 greppable and append-friendly.
+
+Two store flavours share one contract:
+
+- :class:`TableStore` holds parsed :class:`WebTable` objects in memory —
+  the builder's working form, and what version-2 snapshots load into.
+- :class:`LazyTableStore` fronts the *on-disk* ``tables.jsonl`` directly:
+  it knows every row's byte offset (from the ``tables.offsets`` sidecar,
+  or a newline scan of the mmap'd file) and parses a row's JSON only when
+  that table is first read.  At 10^5 tables this turns shard
+  materialization's eager parse — tens of seconds of ``json.loads`` —
+  into an O(rows) offset load, with per-row cost deferred to first
+  access (ROADMAP item 2's last cold-start cliff).
 """
 
 from __future__ import annotations
 
 import json
+import mmap
+import struct
+import threading
+import zlib
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Union
 
 from ..faults.injection import POINT_STORE_GET, trip
 from ..tables.table import WebTable
 
-__all__ = ["TableStore"]
+__all__ = [
+    "TableStore",
+    "LazyTableStore",
+    "TABLES_OFFSETS_FILE",
+    "scan_line_offsets",
+    "write_offsets_sidecar",
+    "read_offsets_sidecar",
+]
+
+#: Per-shard sidecar recording each ``tables.jsonl`` row's byte offset, so
+#: a lazy open never touches the table file at all (see DESIGN.md).
+TABLES_OFFSETS_FILE = "tables.offsets"
+
+#: Sidecar magic + version; bumping the layout bumps the trailing byte.
+_OFFSETS_MAGIC = b"RPOF\x00\x01"
 
 
 class TableStore:
@@ -107,3 +137,295 @@ class TableStore:
                     )
                 store.add(table)
         return store
+
+
+# -- row-offset machinery ------------------------------------------------------
+
+
+def scan_line_offsets(path: Union[str, Path]) -> List[int]:
+    """Byte offsets of every non-empty line of ``path``, plus an end mark.
+
+    The sidecar-less fallback: one pass over the mmap'd bytes looking for
+    newlines — no JSON is parsed, which is the entire point.  Returns
+    ``[start_0, start_1, ..., end_of_last_row]``; a row's bytes are
+    ``data[offsets[i]:offsets[i + 1]]`` (trailing newline included).
+    """
+    path = Path(path)
+    size = path.stat().st_size
+    offsets: List[int] = []
+    if size == 0:
+        return [0]
+    with path.open("rb") as fh:
+        with mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ) as mm:
+            pos = 0
+            while pos < size:
+                end = mm.find(b"\n", pos)
+                if end == -1:
+                    end = size - 1  # final line without a trailing newline
+                if mm[pos:end + 1].strip():
+                    offsets.append(pos)
+                pos = end + 1
+    offsets.append(size)
+    return offsets
+
+
+def write_offsets_sidecar(
+    tables_path: Union[str, Path], sidecar_path: Optional[Path] = None
+) -> Path:
+    """Derive and write the ``tables.offsets`` sidecar for a tables file.
+
+    Layout: magic, ``u64`` row count, ``count + 1`` little-endian ``i64``
+    offsets (the last is the data size), then a ``u32`` CRC-32 of the
+    offset bytes.  Every reader cross-checks the CRC, the row count, and
+    the recorded data size against the actual file, and falls back to
+    :func:`scan_line_offsets` on any mismatch — a stale or corrupt
+    sidecar degrades to a slower open, never to wrong rows.
+    """
+    tables_path = Path(tables_path)
+    if sidecar_path is None:
+        sidecar_path = tables_path.parent / TABLES_OFFSETS_FILE
+    offsets = scan_line_offsets(tables_path)
+    payload = struct.pack("<Q", len(offsets) - 1)
+    payload += struct.pack(f"<{len(offsets)}q", *offsets)
+    blob = _OFFSETS_MAGIC + payload + struct.pack("<I", zlib.crc32(payload))
+    sidecar_path.write_bytes(blob)
+    return sidecar_path
+
+
+def read_offsets_sidecar(
+    sidecar_path: Union[str, Path],
+    expected_rows: int,
+    data_size: int,
+) -> Optional[List[int]]:
+    """Read a sidecar written by :func:`write_offsets_sidecar`.
+
+    Returns ``None`` — "scan instead" — when the sidecar is missing,
+    truncated, checksum-corrupt, or disagrees with the live tables file
+    (row count or total size): a sidecar is a cache, and a cache that
+    cannot prove itself fresh must not be believed.
+    """
+    sidecar_path = Path(sidecar_path)
+    try:
+        blob = sidecar_path.read_bytes()
+    except OSError:  # reprolint: disable=R008 -- a missing/unreadable sidecar is the documented "scan instead" signal, not a failure: the caller falls back to the authoritative newline scan and LazyTableStore verifies every id on parse
+        return None
+    header_len = len(_OFFSETS_MAGIC) + 8
+    if len(blob) < header_len + 4 or not blob.startswith(_OFFSETS_MAGIC):
+        return None
+    (count,) = struct.unpack_from("<Q", blob, len(_OFFSETS_MAGIC))
+    body_end = header_len + (count + 1) * 8
+    if count != expected_rows or len(blob) != body_end + 4:
+        return None
+    payload = blob[len(_OFFSETS_MAGIC):body_end]
+    (crc,) = struct.unpack_from("<I", blob, body_end)
+    if zlib.crc32(payload) != crc:
+        return None
+    offsets = list(struct.unpack_from(f"<{count + 1}q", blob, header_len))
+    if offsets[-1] != data_size or any(
+        offsets[i] >= offsets[i + 1] for i in range(count)
+    ):
+        return None
+    return offsets
+
+
+class LazyTableStore(TableStore):
+    """A :class:`TableStore` whose rows parse from disk on first access.
+
+    Construction records only the row ids (supplied by the caller — for a
+    version-3 shard they are the decoded index's document names, whose
+    insertion order *is* the ``tables.jsonl`` line order by the builder's
+    single-analysis-path invariant) and each row's byte offsets; no JSON
+    is parsed until a table is actually read.  Parsed rows are cached, so
+    steady-state reads cost the same as the eager store.  The mutation
+    surface (``add``/``remove``) and verbatim ``save`` keep the journal's
+    compaction paths working unchanged over a lazy base store.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        table_ids: Sequence[str],
+        offsets: Sequence[int],
+    ) -> None:
+        super().__init__()
+        self._path = Path(path)
+        self._line_ids: List[str] = [str(t) for t in table_ids]
+        if len(offsets) != len(self._line_ids) + 1:
+            raise ValueError(
+                f"{self._path}: {len(self._line_ids)} table ids expected "
+                f"but the table store holds {max(0, len(offsets) - 1)} rows "
+                "(truncated or tampered tables file?)"
+            )
+        self._offsets: List[int] = [int(o) for o in offsets]
+        self._line_of: Dict[str, int] = {
+            tid: i for i, tid in enumerate(self._line_ids)
+        }
+        if len(self._line_of) != len(self._line_ids):
+            raise ValueError(f"{self._path}: duplicate table ids in row order")
+        self._removed: Set[str] = set()
+        self._extra_order: List[str] = []
+        self._load_lock = threading.Lock()
+        self._mm: Optional[mmap.mmap] = None
+        if self._line_ids:
+            with self._path.open("rb") as fh:
+                self._mm = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+
+    @classmethod
+    def open(
+        cls, path: Union[str, Path], table_ids: Sequence[str]
+    ) -> LazyTableStore:
+        """Open a tables file lazily, preferring the offsets sidecar.
+
+        ``table_ids`` supplies the row ids in line order (each parsed row
+        is verified against its expected id, so a mismatched id list
+        surfaces as a ``path:line`` ``ValueError`` at first read, not as
+        a silently misrouted table).
+        """
+        path = Path(path)
+        offsets = read_offsets_sidecar(
+            path.parent / TABLES_OFFSETS_FILE,
+            expected_rows=len(table_ids),
+            data_size=path.stat().st_size,
+        )
+        if offsets is None:
+            offsets = scan_line_offsets(path)
+        return cls(path, table_ids, offsets)
+
+    # -- lazy row parsing ------------------------------------------------------
+
+    def _lineno(self, row: int) -> int:
+        """1-based physical line number of ``row`` (error paths only)."""
+        mm = self._mm
+        if mm is None:
+            return row + 1
+        return bytes(mm[: self._offsets[row]]).count(b"\n") + 1
+
+    def _parse_row(self, row: int) -> WebTable:
+        """Parse row ``row``'s JSON line into its :class:`WebTable`."""
+        mm = self._mm
+        if mm is None:  # pragma: no cover - empty stores hold no rows
+            raise KeyError(self._line_ids[row])
+        raw = bytes(mm[self._offsets[row]: self._offsets[row + 1]]).strip()
+        try:
+            data = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"{self._path}:{self._lineno(row)}: invalid table JSON: {exc}"
+            ) from exc
+        table = WebTable.from_dict(data)
+        if table.table_id != self._line_ids[row]:
+            raise ValueError(
+                f"{self._path}:{self._lineno(row)}: row holds table id "
+                f"{table.table_id!r} but {self._line_ids[row]!r} was expected "
+                "(tables file and index snapshot disagree)"
+            )
+        return table
+
+    def _fetch(self, table_id: str) -> WebTable:
+        """Cached-or-parsed row lookup (KeyError when absent/removed)."""
+        cached = self._tables.get(table_id)
+        if cached is not None:
+            return cached
+        row = self._line_of.get(table_id)
+        if row is None or table_id in self._removed:
+            raise KeyError(table_id)
+        with self._load_lock:
+            cached = self._tables.get(table_id)
+            if cached is None:
+                cached = self._parse_row(row)
+                self._tables[table_id] = cached
+        return cached
+
+    # -- TableStore contract ---------------------------------------------------
+
+    def add(self, table: WebTable) -> None:
+        """Add a table (journal compaction's in-place append path)."""
+        if not table.table_id:
+            raise ValueError("table must have a table_id")
+        if (
+            table.table_id in self._line_of
+            and table.table_id not in self._removed
+        ):
+            raise ValueError(f"duplicate table id {table.table_id!r}")
+        if table.table_id in self._extra_order:
+            raise ValueError(f"duplicate table id {table.table_id!r}")
+        with self._load_lock:
+            self._tables[table.table_id] = table
+            self._extra_order.append(table.table_id)
+
+    def get(self, table_id: str) -> WebTable:
+        """Fetch a table by id, parsing its row on first access."""
+        trip(POINT_STORE_GET, key=table_id)
+        return self._fetch(table_id)
+
+    def remove(self, table_id: str) -> WebTable:
+        """Remove and return a table by id (KeyError if absent)."""
+        with self._load_lock:
+            if table_id in self._extra_order:
+                self._extra_order.remove(table_id)
+                return self._tables.pop(table_id)
+        if table_id in self._removed or table_id not in self._line_of:
+            raise KeyError(table_id)
+        table = self._fetch(table_id)
+        with self._load_lock:
+            self._removed.add(table_id)
+            self._tables.pop(table_id, None)
+        return table
+
+    def get_many(self, table_ids: Iterable[str]) -> List[WebTable]:
+        """Fetch several tables, preserving input order, skipping unknowns."""
+        return [self._fetch(t) for t in table_ids if t in self]
+
+    def __contains__(self, table_id: str) -> bool:
+        if table_id in self._tables:
+            return True
+        return table_id in self._line_of and table_id not in self._removed
+
+    def __len__(self) -> int:
+        return (
+            len(self._line_ids) - len(self._removed) + len(self._extra_order)
+        )
+
+    def __iter__(self) -> Iterator[WebTable]:
+        for tid in self.ids():
+            yield self._fetch(tid)
+
+    def ids(self) -> List[str]:
+        """All table ids: file row order first, then journal appends."""
+        kept = [t for t in self._line_ids if t not in self._removed]
+        return kept + list(self._extra_order)
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the store as JSON-lines, copying unparsed rows verbatim.
+
+        Surviving on-disk rows are copied byte-for-byte (no parse +
+        re-serialize round trip — a saved lazy store is bit-identical to
+        its source rows), then journal-appended tables serialize after
+        them, matching the eager store's insertion-order contract.  All
+        source bytes are gathered *before* the target opens, so saving
+        over the store's own backing file is safe.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        mm = self._mm
+        chunks: List[bytes] = []
+        for i, tid in enumerate(self._line_ids):
+            if tid in self._removed or mm is None:
+                continue
+            raw = bytes(mm[self._offsets[i]: self._offsets[i + 1]])
+            chunks.append(raw if raw.endswith(b"\n") else raw + b"\n")
+        for tid in self._extra_order:
+            line = json.dumps(self._tables[tid].to_dict(), ensure_ascii=False)
+            chunks.append(line.encode("utf-8") + b"\n")
+        with path.open("wb") as fh:
+            for chunk in chunks:
+                fh.write(chunk)
+
+    def close(self) -> None:
+        """Release the mmap handle (idempotent; parsed rows stay served)."""
+        mm = self._mm
+        self._mm = None
+        if mm is not None:
+            mm.close()

@@ -79,6 +79,13 @@ class EngineConfig:
     #: Scatter-gather width for sharded probes (1 = serial scatter, which
     #: wins for small in-memory shards; raise it for large/disk shards).
     probe_workers: int = 1
+    #: How a sharded corpus executes its scatter: ``"serial"`` (in the
+    #: calling thread), ``"thread"`` (GIL-bound thread pool — the
+    #: default), or ``"process"`` (persistent spawn workers, each holding
+    #: its own mmap'd shard; needs ``index_path``/a persisted corpus).
+    #: Monolithic corpora ignore it.  Rankings are bit-identical across
+    #: all three modes (see DESIGN.md, "Process-parallel scatter-gather").
+    parallel_mode: str = "thread"
     #: Journal depth at which :meth:`WWTService.add_tables` /
     #: :meth:`WWTService.delete_tables` trigger an automatic ``compact()``
     #: of the served corpus (``None`` = never; compact manually or via
@@ -121,6 +128,11 @@ class EngineConfig:
             raise ValueError("num_shards must be >= 1 (None for monolithic)")
         if self.probe_workers < 1:
             raise ValueError("probe_workers must be >= 1")
+        if self.parallel_mode not in ("serial", "thread", "process"):
+            raise ValueError(
+                f"unknown parallel_mode {self.parallel_mode!r}; "
+                "options: ['process', 'serial', 'thread']"
+            )
         if self.index_format not in ("json", "bin"):
             raise ValueError(
                 f"unknown index_format {self.index_format!r}; "
@@ -170,6 +182,7 @@ class EngineConfig:
             "index_path": self.index_path,
             "index_format": self.index_format,
             "probe_workers": self.probe_workers,
+            "parallel_mode": self.parallel_mode,
             "auto_compact_threshold": self.auto_compact_threshold,
             "deadline_ms": self.deadline_ms,
             "degraded_ok": self.degraded_ok,
@@ -200,7 +213,8 @@ class EngineConfig:
             "inference", "cache_size", "probe_cache_size",
             "feature_cache_size", "max_workers", "page_size",
             "num_shards", "index_path", "index_format", "probe_workers",
-            "auto_compact_threshold", "deadline_ms", "degraded_ok",
+            "parallel_mode", "auto_compact_threshold", "deadline_ms",
+            "degraded_ok",
         }
         unknown = sorted(set(data) - top_known)
         if unknown:

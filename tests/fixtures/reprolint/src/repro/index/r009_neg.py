@@ -1,0 +1,25 @@
+"""R009 negative: only spawn-safe primitives cross the pool boundary."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def _worker_init(corpus_dir, rules):
+    pass
+
+
+def _worker_probe(ordinal, terms):
+    return (ordinal, sorted(terms))
+
+
+class GoodPool:
+    def __init__(self, corpus_dir, rules):
+        self._dir = corpus_dir
+        # Path + tuple of frozen value objects: rebuildable in the child.
+        self._executor = ProcessPoolExecutor(
+            max_workers=2,
+            initializer=_worker_init,
+            initargs=(self._dir, tuple(rules)),
+        )
+
+    def probe(self, ordinal, terms):
+        return self._executor.submit(_worker_probe, ordinal, list(terms))

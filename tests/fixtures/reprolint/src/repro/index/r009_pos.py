@@ -1,0 +1,28 @@
+"""R009 positive: fork-unsafe state shipped across the pool boundary."""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+_LOCK = threading.Lock()
+
+
+class BadPool:
+    def __init__(self, corpus_dir):
+        self._dir = corpus_dir
+        self._executor = ProcessPoolExecutor(
+            max_workers=2,
+            initializer=self._setup,        # line 14: bound method
+            initargs=(self, _LOCK),         # line 15: self + lock handle
+        )
+
+    def _setup(self):
+        pass
+
+    def probe(self, ordinal):
+        return self._executor.submit(lambda: ordinal)  # line 22: lambda
+
+    def gather(self, handle):
+        return self._executor.submit(self._merge, handle)  # line 25: bound
+
+    def _merge(self, handle):
+        return handle

@@ -1,0 +1,243 @@
+"""The asyncio execution surface: plan, facade, and serving mode.
+
+The contract under test is byte-identity: ``ExecutionPlan.run_async``,
+``WWTService.answer_async``, and the server's ``execution_mode="async"``
+must produce exactly the answers their synchronous counterparts produce
+— same rows, scores, spans, and degradation decisions — because the
+stage bodies are untouched and only the boundaries between them become
+``await`` points.  Timing fields are the only sanctioned difference.
+"""
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.corpus.generator import CorpusConfig, generate_corpus
+from repro.exec.context import ExecutionContext
+from repro.exec.plan import ExecutionPlan, Stage
+from repro.serve import ReproServer, ServeConfig, ServeClient
+from repro.serve.protocol import answer_payload
+from repro.service import EngineConfig, QueryRequest, WWTService
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+# ---------------------------------------------------------------------------
+# ExecutionPlan.run_async
+
+
+class TestRunAsync:
+    def plan_and_state(self):
+        order = []
+
+        def stage(name):
+            def fn(ctx, state):
+                order.append(name)
+                state[name] = True
+            return fn
+
+        plan = ExecutionPlan([
+            Stage("parse", stage("parse")),
+            Stage("rank", stage("rank")),
+        ])
+        return plan, order
+
+    def test_runs_stages_in_order_on_the_loop(self):
+        plan, order = self.plan_and_state()
+        state = {}
+        result = run(plan.run_async(ExecutionContext(), state))
+        assert result is state
+        assert order == ["parse", "rank"]
+        assert state == {"parse": True, "rank": True}
+
+    def test_async_matches_sync_skip_and_fallback_decisions(self):
+        clock = FakeClock()
+
+        def slow(ctx, state):
+            state.append("slow")
+            clock.now += 10.0
+
+        def cheap(ctx, state):
+            state.append("cheap")
+
+        def build():
+            return ExecutionPlan([
+                Stage("a", slow),
+                Stage("b", slow, skippable=True),
+                Stage("c", slow, fallback=cheap, fallback_note="cheap"),
+            ])
+
+        def fresh_ctx():
+            return ExecutionContext(
+                deadline_ms=5.0, degraded_ok=True, clock=clock,
+            )
+
+        clock.now = 0.0
+        sync_state = []
+        sync_ctx = fresh_ctx()
+        build().run(sync_ctx, sync_state)
+
+        clock.now = 0.0
+        async_state = []
+        async_ctx = fresh_ctx()
+        run(build().run_async(async_ctx, async_state))
+
+        assert async_state == sync_state == ["slow", "cheap"]
+        assert async_ctx.degraded == sync_ctx.degraded is True
+        assert (
+            async_ctx.root.stage_names() == sync_ctx.root.stage_names()
+        )
+
+    def test_stage_boundary_yields_to_the_loop(self):
+        # A sibling task scheduled before the plan must get the loop
+        # between stages — that interleaving is run_async's entire point.
+        sibling_ticks = []
+
+        async def sibling():
+            for _ in range(2):
+                sibling_ticks.append(len(sibling_ticks))
+                await asyncio.sleep(0)
+
+        def fn(ctx, state):
+            state.append(len(sibling_ticks))
+
+        plan = ExecutionPlan([Stage("s1", fn), Stage("s2", fn)])
+
+        async def main():
+            task = asyncio.get_running_loop().create_task(sibling())
+            state = []
+            await plan.run_async(ExecutionContext(), state)
+            await task
+            return state
+
+        observed = run(main())
+        # The sibling ran at least once before the last stage.
+        assert observed[-1] >= 1
+
+
+# ---------------------------------------------------------------------------
+# WWTService.answer_async
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(CorpusConfig(seed=42, scale=0.05)).corpus
+
+
+def response_view(response):
+    """Everything but wall-clock timing, as a canonical string."""
+    payload = answer_payload(response)
+    return json.dumps(payload, sort_keys=True)
+
+
+class TestAnswerAsync:
+    def test_byte_identical_to_sync(self, corpus):
+        service = WWTService(corpus, EngineConfig(cache_size=0))
+        request = QueryRequest.parse("country | currency", page_size=7)
+        sync_response = service.answer(request)
+        async_response = run(service.answer_async(request))
+        assert response_view(async_response) == response_view(sync_response)
+        assert async_response.stages_ran == sync_response.stages_ran
+        assert async_response.degraded == sync_response.degraded
+
+    def test_cache_shared_with_sync_path(self, corpus):
+        service = WWTService(corpus, EngineConfig(cache_size=8))
+        request = QueryRequest.parse("country | currency")
+        cold = service.answer(request)
+        warm = run(service.answer_async(request))
+        assert warm.cache_hit is True
+        assert response_view(warm) == response_view(cold)
+
+    def test_deadline_degrades_identically(self, corpus):
+        service = WWTService(corpus, EngineConfig(cache_size=0))
+        request = QueryRequest.parse(
+            "country | currency", deadline_ms=0.02, use_cache=False,
+        )
+        sync_response = service.answer(request)
+        async_response = run(service.answer_async(request))
+        assert async_response.degraded is sync_response.degraded is True
+        assert async_response.stages_ran == sync_response.stages_ran
+
+    def test_concurrent_async_queries_on_one_loop(self, corpus):
+        service = WWTService(corpus, EngineConfig(cache_size=0))
+        texts = ["country | currency", "dog breed", "country | capital"]
+
+        async def main():
+            return await asyncio.gather(*[
+                service.answer_async(QueryRequest.parse(t)) for t in texts
+            ])
+
+        responses = run(main())
+        singles = [
+            service.answer(QueryRequest.parse(t)) for t in texts
+        ]
+        for got, want in zip(responses, singles):
+            assert response_view(got) == response_view(want)
+
+
+# ---------------------------------------------------------------------------
+# execution_mode="async" over real sockets
+
+
+class TestAsyncServeMode:
+    def test_async_mode_serves_byte_identical_answers(self, corpus):
+        service = WWTService(corpus)
+        body_by_mode = {}
+        for mode in ("thread", "async"):
+            config = ServeConfig(port=0, workers=2, execution_mode=mode)
+            with ReproServer(service, config) as server:
+                with ServeClient(server.host, server.port) as client:
+                    status, _, body = client.query(
+                        {"query": "country | currency", "use_cache": False}
+                    )
+                    assert status == 200
+                    body_by_mode[mode] = body
+        assert (
+            json.dumps(body_by_mode["async"]["answer"], sort_keys=True)
+            == json.dumps(body_by_mode["thread"]["answer"], sort_keys=True)
+        )
+
+    def test_async_mode_overlaps_requests(self, corpus):
+        # Two simultaneous clients against workers=2: both must complete
+        # through the single loop thread without serializing to failure.
+        service = WWTService(corpus, EngineConfig(cache_size=0))
+        config = ServeConfig(port=0, workers=2, execution_mode="async")
+        results = []
+        with ReproServer(service, config) as server:
+            def post(text):
+                with ServeClient(server.host, server.port) as client:
+                    results.append(client.query({"query": text}))
+
+            threads = [
+                threading.Thread(target=post, args=(t,))
+                for t in ("country | currency", "dog breed")
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+        assert [status for status, _, _ in results] == [200, 200]
+
+    def test_async_mode_graceful_shutdown_drains(self, corpus):
+        service = WWTService(corpus)
+        config = ServeConfig(port=0, workers=2, execution_mode="async")
+        server = ReproServer(service, config).start()
+        with ServeClient(server.host, server.port) as client:
+            status, _, _ = client.query({"query": "country | currency"})
+            assert status == 200
+        server.shutdown()
+        server.shutdown()  # idempotent
+        stats = server.stats()
+        assert stats.accepted == stats.completed == 1

@@ -5,6 +5,13 @@ import json
 import pytest
 
 from repro.index import InvertedIndex, TableStore, build_corpus_index
+from repro.index.store import (
+    LazyTableStore,
+    TABLES_OFFSETS_FILE,
+    read_offsets_sidecar,
+    scan_line_offsets,
+    write_offsets_sidecar,
+)
 from repro.tables.table import WebTable
 
 
@@ -139,6 +146,190 @@ class TestTableStore:
         path.write_text("{not json\n", encoding="utf-8")
         with pytest.raises(ValueError, match=r"bad\.jsonl:1: invalid table JSON"):
             TableStore.load(path)
+
+
+def lazy_fixture_tables(n=4):
+    return [
+        WebTable.from_rows(
+            [[f"val{i}", str(i)]], header=["name", "rank"], table_id=f"t{i}"
+        )
+        for i in range(n)
+    ]
+
+
+def write_tables_file(tmp_path, tables, name="tables.jsonl"):
+    path = tmp_path / name
+    TableStore(tables).save(path)
+    return path
+
+
+class TestOffsetsSidecar:
+    def test_sidecar_round_trips_the_scan(self, tmp_path):
+        path = write_tables_file(tmp_path, lazy_fixture_tables())
+        scanned = scan_line_offsets(path)
+        sidecar = write_offsets_sidecar(path)
+        assert sidecar == tmp_path / TABLES_OFFSETS_FILE
+        loaded = read_offsets_sidecar(
+            sidecar, expected_rows=4, data_size=path.stat().st_size
+        )
+        assert loaded == scanned
+
+    def test_scan_skips_blank_lines(self, tmp_path):
+        path = write_tables_file(tmp_path, lazy_fixture_tables(2))
+        raw = path.read_bytes()
+        first, second = raw.splitlines(keepends=True)
+        path.write_bytes(first + b"\n\n" + second)
+        offsets = scan_line_offsets(path)
+        assert len(offsets) == 3  # two rows + end mark, blanks ignored
+        data = path.read_bytes()
+        assert data[offsets[1]:offsets[2]].strip() == second.strip()
+
+    def test_scan_of_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_bytes(b"")
+        assert scan_line_offsets(path) == [0]
+
+    def test_missing_sidecar_means_scan_instead(self, tmp_path):
+        assert read_offsets_sidecar(tmp_path / "nope", 1, 10) is None
+
+    def test_corrupt_sidecar_is_rejected(self, tmp_path):
+        path = write_tables_file(tmp_path, lazy_fixture_tables())
+        sidecar = write_offsets_sidecar(path)
+        size = path.stat().st_size
+        good = sidecar.read_bytes()
+
+        flipped = bytearray(good)
+        flipped[-6] ^= 0xFF  # corrupt an offset byte: CRC must catch it
+        sidecar.write_bytes(bytes(flipped))
+        assert read_offsets_sidecar(sidecar, 4, size) is None
+
+        sidecar.write_bytes(good[: len(good) // 2])  # truncated
+        assert read_offsets_sidecar(sidecar, 4, size) is None
+
+        sidecar.write_bytes(b"XXXX\x00\x01" + good[6:])  # wrong magic
+        assert read_offsets_sidecar(sidecar, 4, size) is None
+
+    def test_stale_sidecar_is_rejected(self, tmp_path):
+        path = write_tables_file(tmp_path, lazy_fixture_tables())
+        sidecar = write_offsets_sidecar(path)
+        size = path.stat().st_size
+        # Row-count disagreement (index snapshot grew).
+        assert read_offsets_sidecar(sidecar, 5, size) is None
+        # Data-size disagreement (tables file was rewritten).
+        assert read_offsets_sidecar(sidecar, 4, size + 1) is None
+
+
+class TestLazyTableStore:
+    def open_lazy(self, tmp_path, tables=None, sidecar=True):
+        tables = lazy_fixture_tables() if tables is None else tables
+        path = write_tables_file(tmp_path, tables)
+        if sidecar:
+            write_offsets_sidecar(path)
+        return LazyTableStore.open(path, [t.table_id for t in tables]), path
+
+    def test_open_get_matches_eager(self, tmp_path):
+        tables = lazy_fixture_tables()
+        store, _ = self.open_lazy(tmp_path, tables)
+        assert len(store) == len(tables)
+        assert store.ids() == [t.table_id for t in tables]
+        for t in tables:
+            assert store.get(t.table_id).to_dict() == t.to_dict()
+        store.close()
+
+    def test_rows_parse_lazily_and_cache(self, tmp_path):
+        store, _ = self.open_lazy(tmp_path)
+        assert store._tables == {}  # nothing parsed at open
+        first = store.get("t2")
+        assert set(store._tables) == {"t2"}  # only the touched row
+        assert store.get("t2") is first  # cached, not re-parsed
+        store.close()
+
+    def test_open_without_sidecar_scans(self, tmp_path):
+        store, path = self.open_lazy(tmp_path, sidecar=False)
+        assert not (path.parent / TABLES_OFFSETS_FILE).exists()
+        assert store.get("t0").column_values(0) == ["val0"]
+        store.close()
+
+    def test_corrupt_sidecar_falls_back_to_scan(self, tmp_path):
+        tables = lazy_fixture_tables()
+        path = write_tables_file(tmp_path, tables)
+        (path.parent / TABLES_OFFSETS_FILE).write_bytes(b"garbage")
+        store = LazyTableStore.open(path, [t.table_id for t in tables])
+        assert [t.table_id for t in store] == [t.table_id for t in tables]
+        store.close()
+
+    def test_row_count_mismatch_rejected_at_open(self, tmp_path):
+        tables = lazy_fixture_tables()
+        path = write_tables_file(tmp_path, tables)
+        with pytest.raises(ValueError, match="table store holds"):
+            LazyTableStore.open(path, [t.table_id for t in tables] + ["t9"])
+
+    def test_duplicate_row_ids_rejected_at_open(self, tmp_path):
+        path = write_tables_file(tmp_path, lazy_fixture_tables(2))
+        with pytest.raises(ValueError, match="duplicate table ids"):
+            LazyTableStore.open(path, ["t0", "t0"])
+
+    def test_id_mismatch_surfaces_at_first_read(self, tmp_path):
+        tables = lazy_fixture_tables(2)
+        path = write_tables_file(tmp_path, tables)
+        store = LazyTableStore.open(path, ["t0", "WRONG"])
+        assert store.get("t0").table_id == "t0"  # the honest row is fine
+        with pytest.raises(ValueError, match=r":2: row holds table id 't1'"):
+            store.get("WRONG")
+        store.close()
+
+    def test_mutation_surface(self, tmp_path):
+        store, _ = self.open_lazy(tmp_path)
+        with pytest.raises(ValueError, match="duplicate table id 't1'"):
+            store.add(WebTable.from_rows([["x"]], table_id="t1"))
+
+        extra = WebTable.from_rows([["e"]], table_id="e1")
+        store.add(extra)
+        assert "e1" in store and len(store) == 5
+        assert store.ids() == ["t0", "t1", "t2", "t3", "e1"]
+
+        removed = store.remove("t1")
+        assert removed.table_id == "t1"
+        assert "t1" not in store and len(store) == 4
+        with pytest.raises(KeyError):
+            store.get("t1")
+        with pytest.raises(KeyError):
+            store.remove("t1")
+
+        # A removed on-disk id can be re-added (journal compaction path).
+        store.add(WebTable.from_rows([["new"]], table_id="t1"))
+        assert store.get("t1").column_values(0) == ["new"]
+        assert store.ids() == ["t0", "t2", "t3", "e1", "t1"]
+        store.close()
+
+    def test_get_many_preserves_order_skips_unknown(self, tmp_path):
+        store, _ = self.open_lazy(tmp_path)
+        got = store.get_many(["t3", "t0", "zz"])
+        assert [t.table_id for t in got] == ["t3", "t0"]
+        store.close()
+
+    def test_save_is_byte_identical_to_source(self, tmp_path):
+        store, path = self.open_lazy(tmp_path)
+        out = tmp_path / "copy.jsonl"
+        store.save(out)
+        assert out.read_bytes() == path.read_bytes()
+        store.close()
+
+    def test_save_over_own_backing_file_is_safe(self, tmp_path):
+        store, path = self.open_lazy(tmp_path)
+        store.remove("t0")
+        store.add(WebTable.from_rows([["e"]], table_id="e1"))
+        store.save(path)  # bytes gathered before the target opens
+        store.close()
+        reloaded = TableStore.load(path)
+        assert reloaded.ids() == ["t1", "t2", "t3", "e1"]
+
+    def test_close_is_idempotent_and_keeps_parsed_rows(self, tmp_path):
+        store, _ = self.open_lazy(tmp_path)
+        cached = store.get("t0")
+        store.close()
+        store.close()
+        assert store.get("t0") is cached  # cache survives the mmap
 
 
 class TestBuildCorpusIndex:

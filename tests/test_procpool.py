@@ -1,0 +1,227 @@
+"""Process-parallel scatter-gather: identity, lifecycle, IPC contracts.
+
+The acceptance bar for ``parallel_mode="process"`` is bit-identity: the
+same hits, scores, and field scores as the serial scatter over the same
+corpus, because document frequencies are summed corpus-globally in the
+parent and shipped to workers as explicit idf floats (two-phase scatter
+— see DESIGN.md, "Process-parallel scatter-gather").  The lifecycle
+tests prove the self-healing story end-to-end with *real* process
+death: SIGKILL the workers, observe an accurately-degraded answer, heal
+past the reopen window, observe a respawned pool and identical hits.
+"""
+
+import os
+import pickle
+import signal
+import time
+
+import pytest
+
+from repro.faults import FaultRule, Once, injected
+from repro.faults.health import HealthPolicy
+from repro.faults.injection import (
+    POINT_SHARD_WORKER,
+    InjectedFault,
+)
+from repro.index import ShardedCorpus, build_sharded_corpus, load_corpus
+from repro.index.procpool import ProcessScatterPool
+from repro.index.sharded import PARALLEL_MODES
+
+NUM_SHARDS = 4
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture(scope="module")
+def corpus_dir(small_env, tmp_path_factory):
+    """A persisted 4-shard corpus (v3 binary) for workers to mmap."""
+    tables = list(small_env.synthetic.corpus.store)
+    built = build_sharded_corpus(tables, NUM_SHARDS)
+    path = tmp_path_factory.mktemp("procpool") / "corpus"
+    built.save(path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def serial(corpus_dir):
+    corpus = ShardedCorpus.load(corpus_dir, parallel_mode="serial")
+    yield corpus
+    corpus.close()
+
+
+@pytest.fixture(scope="module")
+def process(corpus_dir):
+    corpus = ShardedCorpus.load(
+        corpus_dir, probe_workers=2, parallel_mode="process"
+    )
+    yield corpus
+    corpus.close()
+
+
+def hit_view(hits):
+    return [(h.doc_id, h.score, h.field_scores) for h in hits]
+
+
+class TestBitIdentity:
+    """Process scatter must be indistinguishable from serial, bit for bit."""
+
+    def test_search_identity_multi_term(self, serial, process):
+        terms = ["country", "currency"]
+        assert hit_view(process.search(terms, limit=25)) == hit_view(
+            serial.search(terms, limit=25)
+        )
+
+    def test_search_identity_with_field_scores(self, serial, process):
+        hits_s = serial.search(["country"], limit=10, with_field_scores=True)
+        hits_p = process.search(["country"], limit=10, with_field_scores=True)
+        assert hit_view(hits_p) == hit_view(hits_s)
+        assert all(h.field_scores for h in hits_p)
+
+    def test_docs_containing_all_identity(self, serial, process):
+        assert process.docs_containing_all(
+            ["country"], fields=["header"]
+        ) == serial.docs_containing_all(["country"], fields=["header"])
+
+    def test_global_idf_identity(self, serial, process):
+        for term in ("country", "currency", "rate", "zzz-absent"):
+            assert process.global_idf(term) == serial.global_idf(term)
+
+    def test_repr_names_the_mode(self, process):
+        assert "mode=process" in repr(process)
+
+
+class TestConstructionContracts:
+    def test_modes_catalog(self):
+        assert PARALLEL_MODES == ("serial", "thread", "process")
+
+    def test_unknown_mode_rejected(self, serial):
+        with pytest.raises(ValueError, match="parallel_mode"):
+            ShardedCorpus(
+                serial.shards, serial.stats,
+                validate=False, parallel_mode="gpu",
+            )
+
+    def test_process_mode_needs_persisted_corpus(self, serial):
+        with pytest.raises(ValueError, match="persisted corpus"):
+            ShardedCorpus(
+                serial.shards, serial.stats,
+                validate=False, parallel_mode="process",
+            )
+
+    def test_load_corpus_threads_the_mode(self, corpus_dir):
+        with load_corpus(
+            corpus_dir, mutable=True, probe_workers=2,
+            parallel_mode="process",
+        ) as corpus:
+            hits = corpus.search(["country"], limit=5)
+            assert hits
+
+
+class TestWorkerLifecycle:
+    """Real worker death: degrade accurately, then heal by respawning."""
+
+    def test_kill_degrade_reopen_respawn(self, corpus_dir, serial):
+        clock = FakeClock()
+        policy = HealthPolicy(
+            max_retries=1, backoff_s=1.0, backoff_factor=1.0,
+            max_backoff_s=1.0, reopen_after_s=2.0,
+        )
+        corpus = ShardedCorpus.load(
+            corpus_dir, probe_workers=2, parallel_mode="process",
+            health=policy, clock=clock,
+        )
+        try:
+            baseline = hit_view(corpus.search(["country"], limit=10))
+            assert baseline == hit_view(serial.search(["country"], limit=10))
+            pool = corpus._procpool
+            spawns_before = pool.spawns
+            pids = pool.worker_pids()
+            assert pids, "pool should expose live worker pids"
+            for pid in pids:
+                os.kill(pid, signal.SIGKILL)
+            time.sleep(0.2)
+
+            degraded_hits = corpus.search(["country"], limit=10)
+            coverage = corpus.coverage()
+            assert not coverage.complete
+            assert coverage.shards_reachable < NUM_SHARDS
+            assert 0.0 <= coverage.fraction < 1.0
+            # A partial answer never invents documents: every hit exists
+            # in the fault-free result set (unbounded, since losing a
+            # shard promotes lower-ranked docs into a truncated top-k).
+            assert set(h.doc_id for h in degraded_hits) <= set(
+                h.doc_id for h in serial.search(["country"], limit=1000)
+            )
+
+            clock.advance(10.0)
+            healed = hit_view(corpus.search(["country"], limit=10))
+            assert corpus.coverage().complete
+            assert healed == baseline
+            assert pool.spawns > spawns_before
+        finally:
+            corpus.close()
+
+    def test_close_then_reuse_respawns(self, corpus_dir, serial):
+        corpus = ShardedCorpus.load(
+            corpus_dir, probe_workers=2, parallel_mode="process"
+        )
+        try:
+            before = hit_view(corpus.search(["currency"], limit=5))
+            corpus._procpool.close()
+            after = hit_view(corpus.search(["currency"], limit=5))
+            assert before == after == hit_view(
+                serial.search(["currency"], limit=5)
+            )
+        finally:
+            corpus.close()
+
+
+class TestFaultIPC:
+    """shard.worker faults arm in the child and cross IPC intact."""
+
+    def test_injected_fault_pickles_with_attributes(self):
+        fault = InjectedFault(POINT_SHARD_WORKER, key="2")
+        clone = pickle.loads(pickle.dumps(fault))
+        assert isinstance(clone, InjectedFault)
+        assert (clone.point, clone.key) == (POINT_SHARD_WORKER, "2")
+
+    def test_worker_rules_ship_at_spawn_strict_mode_propagates(
+        self, corpus_dir
+    ):
+        # Rules are snapshotted when the pool (re)spawns, so activate the
+        # injector *before* the first probe; strict mode (no health
+        # tracker) is all-or-nothing, so the worker-side fault surfaces.
+        with injected(
+            FaultRule(POINT_SHARD_WORKER, Once(at=1), key="1")
+        ):
+            corpus = ShardedCorpus.load(
+                corpus_dir, probe_workers=2, parallel_mode="process"
+            )
+            try:
+                with pytest.raises(InjectedFault, match="shard.worker"):
+                    corpus.search(["country"], limit=5)
+            finally:
+                corpus.close()
+
+
+class TestPoolSurface:
+    def test_pool_repr_and_workers(self, corpus_dir):
+        pool = ProcessScatterPool(corpus_dir, workers=2)
+        try:
+            assert pool.workers == 2
+            assert pool.spawns == 0  # lazy: nothing spawned yet
+            assert "ProcessScatterPool" in repr(pool)
+            df = pool.document_frequencies(0, ["country"])
+            assert set(df) == {"country"}
+            assert pool.spawns == 1
+        finally:
+            pool.close()

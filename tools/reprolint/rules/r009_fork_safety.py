@@ -1,0 +1,161 @@
+"""R009 — fork-unsafe state must not cross a process-pool boundary."""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from ..base import Rule, SourceFile, Violation, call_name
+
+#: Constructors whose products are meaningless (or dangerous) in a child
+#: process: lock family, mmap handles, sockets, open file objects.  A
+#: name assigned from one of these must never appear in ``initargs=`` or
+#: a ``submit(...)`` argument list.
+FORK_UNSAFE_BUILDERS = frozenset({
+    "Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore",
+    "Event", "Barrier", "mmap", "socket", "open",
+})
+
+
+def _unsafe_names(tree: ast.Module) -> Set[str]:
+    """Names bound anywhere in the file to a fork-unsafe builder's result."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        value = node.value
+        if value is None or call_name(value) not in FORK_UNSAFE_BUILDERS:
+            continue
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
+def _pool_bindings(tree: ast.Module) -> Set[str]:
+    """Names (and ``self.<attr>`` attrs) assigned a ``ProcessPoolExecutor``."""
+    bound: Set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        if call_name(node.value) != "ProcessPoolExecutor":
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                bound.add(target.id)
+            elif isinstance(target, ast.Attribute):
+                bound.add(target.attr)
+    return bound
+
+
+def _is_self(node: ast.AST) -> bool:
+    return isinstance(node, ast.Name) and node.id == "self"
+
+
+def _is_self_attr(node: ast.AST) -> bool:
+    return isinstance(node, ast.Attribute) and _is_self(node.value)
+
+
+class ForkSafetyRule(Rule):
+    """Everything crossing a process-pool boundary must be spawn-safe.
+
+    The process scatter pool (:mod:`repro.index.procpool`) exists so a
+    query can fan out across cores, and its whole correctness story
+    rests on what travels over IPC: worker state is rebuilt *in* the
+    worker from primitives (a corpus path, shard ordinals, term lists,
+    explicit idf floats), never shipped from the parent.  Shipping a
+    bound method, a lambda, ``self``, or a handle-holding object (lock,
+    mmap, socket, open file) either fails to pickle outright, or —
+    worse — pickles a copy whose liveness is a lie in the child (a
+    "held" lock nobody holds, an mmap of a closed fd).  In files that
+    build a ``ProcessPoolExecutor``, this rule flags ``initializer=``
+    bound methods/lambdas, ``initargs=`` entries that are ``self``,
+    lambdas, or lock/mmap/socket/file-bound names, and ``submit(...)``
+    calls whose callable is a lambda or ``self``-bound method or whose
+    arguments carry the same fork-unsafe state.  Pass module-level
+    functions and plain data; let each worker open its own resources.
+    """
+
+    id = "R009"
+    title = "fork-unsafe state crosses a process-pool boundary"
+
+    def check(self, source: SourceFile) -> List[Violation]:
+        if "ProcessPoolExecutor" not in source.text:
+            return []
+        unsafe = _unsafe_names(source.tree)
+        pools = _pool_bindings(source.tree)
+        violations: List[Violation] = []
+
+        def check_payload(node: ast.AST, where: str) -> None:
+            if isinstance(node, ast.Lambda):
+                violations.append(self.violation(
+                    source, node,
+                    f"lambda in {where} cannot pickle; pass a "
+                    "module-level function",
+                ))
+            elif _is_self(node):
+                violations.append(self.violation(
+                    source, node,
+                    f"'self' in {where} drags the whole parent object "
+                    "(locks, executors, mmaps) across the process "
+                    "boundary; pass plain data and rebuild in the worker",
+                ))
+            elif isinstance(node, ast.Name) and node.id in unsafe:
+                violations.append(self.violation(
+                    source, node,
+                    f"{node.id!r} holds a lock/mmap/socket/file handle; "
+                    f"a pickled copy in {where} is dead state in the "
+                    "child — let the worker open its own",
+                ))
+            elif call_name(node) in FORK_UNSAFE_BUILDERS:
+                violations.append(self.violation(
+                    source, node,
+                    f"{call_name(node)}() result in {where} is a live "
+                    "handle; it does not survive the process boundary",
+                ))
+
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if call_name(node) == "ProcessPoolExecutor":
+                for kw in node.keywords:
+                    if kw.arg == "initializer":
+                        if isinstance(kw.value, ast.Lambda) or _is_self_attr(
+                            kw.value
+                        ):
+                            violations.append(self.violation(
+                                source, kw.value,
+                                "initializer= must be a module-level "
+                                "function (bound methods/lambdas pickle "
+                                "the instance or not at all)",
+                            ))
+                    elif kw.arg == "initargs" and isinstance(
+                        kw.value, (ast.Tuple, ast.List)
+                    ):
+                        for element in kw.value.elts:
+                            check_payload(element, "initargs=")
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "submit"):
+                continue
+            receiver = func.value
+            is_pool = (
+                isinstance(receiver, ast.Name) and receiver.id in pools
+            ) or (_is_self_attr(receiver) and receiver.attr in pools)
+            if not is_pool:
+                continue
+            if node.args:
+                callable_arg = node.args[0]
+                if isinstance(callable_arg, ast.Lambda) or _is_self_attr(
+                    callable_arg
+                ):
+                    violations.append(self.violation(
+                        source, callable_arg,
+                        "submit() callable must be a module-level "
+                        "function; bound methods/lambdas pickle the "
+                        "instance or fail outright under spawn",
+                    ))
+                for arg in node.args[1:]:
+                    check_payload(arg, "submit() arguments")
+        return violations
